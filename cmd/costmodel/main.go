@@ -1,0 +1,30 @@
+// Command costmodel prints the paper's Table 1 cost analysis for any
+// configuration size, plus the Active/cluster/SMP price comparison.
+//
+// Usage:
+//
+//	costmodel            # 64-node configurations, as in the paper
+//	costmodel -disks 128
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"howsim/internal/cost"
+	"howsim/internal/experiments"
+)
+
+func main() {
+	disks := flag.Int("disks", 64, "configuration size")
+	flag.Parse()
+
+	fmt.Println(experiments.RenderTable1(*disks))
+	fmt.Printf("Price ratios at %d disks:\n", *disks)
+	for _, d := range cost.Dates() {
+		a := cost.ActiveDiskTotal(d, *disks)
+		c := cost.ClusterTotal(d, *disks)
+		s := cost.SMPTotal(*disks)
+		fmt.Printf("  %-6s Active/Cluster = %.2f   SMP/Active = %.1fx\n", d, a/c, s/a)
+	}
+}

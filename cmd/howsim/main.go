@@ -1,0 +1,110 @@
+// Command howsim runs one decision-support task on one simulated
+// architecture and reports the execution time, per-phase breakdown and
+// resource statistics.
+//
+// Usage:
+//
+//	howsim -task sort -arch active -disks 64 [-fastio] [-mem 64]
+//	       [-feonly] [-fastdisk] [-scale 0.01]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"howsim/internal/arch"
+	"howsim/internal/tasks"
+	"howsim/internal/workload"
+)
+
+func main() {
+	var (
+		taskName = flag.String("task", "select", "task: select|aggregate|groupby|sort|dcube|join|dmine|mview")
+		archName = flag.String("arch", "active", "architecture: active|cluster|smp")
+		disks    = flag.Int("disks", 16, "number of disks (and processors)")
+		fastIO   = flag.Bool("fastio", false, "400 MB/s serial interconnect (Active/SMP)")
+		memMB    = flag.Int64("mem", 32, "Active Disk memory per drive, MB (32/64/128)")
+		feOnly   = flag.Bool("feonly", false, "restrict Active Disk communication to the front-end")
+		fastDisk = flag.Bool("fastdisk", false, "upgrade drives to the Hitachi DK3E1T-91")
+		fsw      = flag.Int("fibreswitch", 0, "split the Active Disk farm across N switched loops (0 = single loop)")
+		scale    = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = full Table 2 size)")
+		sweep    = flag.Bool("sweep", false, "run the task across 16/32/64/128 disks and print a scaling table")
+	)
+	flag.Parse()
+
+	task, err := workload.ParseTask(*taskName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var cfg arch.Config
+	switch *archName {
+	case "active":
+		cfg = arch.ActiveDisks(*disks).WithDiskMemory(*memMB << 20)
+		if *feOnly {
+			cfg = cfg.WithFrontEndOnly()
+		}
+		if *fsw > 1 {
+			cfg = cfg.WithFibreSwitch(*fsw)
+		}
+	case "cluster":
+		cfg = arch.Cluster(*disks)
+	case "smp":
+		cfg = arch.SMP(*disks)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown architecture %q\n", *archName)
+		os.Exit(2)
+	}
+	if *fastIO {
+		cfg = cfg.WithFastIO()
+	}
+	if *fastDisk {
+		cfg = cfg.WithFastDisk()
+	}
+
+	ds := workload.ForTask(task)
+	if *scale < 1.0 {
+		ds = ds.Scaled(int64(float64(ds.TotalBytes) * *scale))
+	}
+
+	if *sweep {
+		fmt.Printf("%s on %s, %0.2f GB dataset: scaling sweep\n\n", task, *archName, float64(ds.TotalBytes)/1e9)
+		fmt.Printf("%8s %12s %10s\n", "disks", "elapsed", "speedup")
+		var base float64
+		for _, n := range arch.StudiedSizes() {
+			c := cfg
+			c.Disks = n
+			r := tasks.RunDataset(c, task, ds)
+			if base == 0 {
+				base = r.Elapsed.Seconds()
+			}
+			fmt.Printf("%8d %11.1fs %9.2fx\n", n, r.Elapsed.Seconds(), base/r.Elapsed.Seconds())
+		}
+		return
+	}
+
+	res := tasks.RunDataset(cfg, task, ds)
+
+	fmt.Printf("task       %s\n", task)
+	fmt.Printf("config     %s\n", cfg.Name())
+	fmt.Printf("dataset    %.2f GB (%d tuples of %d bytes)\n",
+		float64(ds.TotalBytes)/1e9, ds.Tuples, ds.TupleBytes)
+	fmt.Printf("elapsed    %v\n", res.Elapsed)
+	if names := res.Breakdown.Names(); len(names) > 0 {
+		fmt.Println("breakdown:")
+		for _, n := range names {
+			fmt.Printf("  %-16s %6.1f%%  %v\n", n, 100*res.Breakdown.Fraction(n), res.Breakdown.Get(n))
+		}
+	}
+	keys := make([]string, 0, len(res.Details))
+	for k := range res.Details {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Println("details:")
+	for _, k := range keys {
+		fmt.Printf("  %-24s %g\n", k, res.Details[k])
+	}
+}

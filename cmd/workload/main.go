@@ -1,0 +1,101 @@
+// Command workload inspects the Table 2 datasets and exercises the
+// synthetic generators, printing distribution statistics for a scaled
+// instance of any task's input.
+//
+// Usage:
+//
+//	workload                 # print Table 2
+//	workload -task dmine -sample 100000 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"howsim/internal/experiments"
+	"howsim/internal/workload"
+)
+
+func main() {
+	var (
+		taskName = flag.String("task", "", "generate a sample for this task (empty = just print Table 2)")
+		sample   = flag.Int64("sample", 100_000, "sample size (tuples/transactions)")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	fmt.Println(experiments.RenderTable2())
+	if *taskName == "" {
+		return
+	}
+	task, err := workload.ParseTask(*taskName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	ds := workload.ForTask(task)
+	fmt.Printf("sample of %d for %s (seed %d):\n", *sample, task, *seed)
+	switch task {
+	case workload.Select, workload.Aggregate, workload.GroupBy:
+		distinct := ds.DistinctGroups
+		if distinct == 0 || distinct > *sample {
+			distinct = *sample / 20
+		}
+		recs := workload.GenRecords(*sample, distinct, *seed)
+		keys := map[uint64]bool{}
+		selected := 0
+		sum := 0.0
+		for _, r := range recs {
+			keys[r.Key] = true
+			sum += r.Value
+			if r.Attr < ds.Selectivity {
+				selected++
+			}
+		}
+		fmt.Printf("  records   %d\n  distinct  %d\n  sum       %.1f\n", len(recs), len(keys), sum)
+		if ds.Selectivity > 0 {
+			fmt.Printf("  selected  %d (%.2f%%)\n", selected, 100*float64(selected)/float64(len(recs)))
+		}
+	case workload.Sort:
+		keys := workload.GenSortKeys(*sample, *seed)
+		var min, max uint64 = ^uint64(0), 0
+		for _, k := range keys {
+			if k < min {
+				min = k
+			}
+			if k > max {
+				max = k
+			}
+		}
+		fmt.Printf("  keys      %d\n  min       %d\n  max       %d\n", len(keys), min, max)
+	case workload.DataCube:
+		tuples := workload.GenCube(*sample, ds.CubeDims, *seed)
+		for d := 0; d < 4; d++ {
+			seen := map[uint32]bool{}
+			for _, tp := range tuples {
+				seen[tp.Dims[d]] = true
+			}
+			fmt.Printf("  dim %d     %d distinct values\n", d, len(seen))
+		}
+	case workload.Join:
+		r, s := workload.GenJoin(*sample/4, *sample, *seed)
+		fmt.Printf("  R tuples  %d (unique keys)\n  S tuples  %d (foreign keys)\n", len(r), len(s))
+	case workload.DataMine:
+		txns := workload.GenTxns(*sample, ds.Items/1000, ds.AvgItemsPerTxn, *seed)
+		total := 0
+		for _, t := range txns {
+			total += len(t)
+		}
+		fmt.Printf("  txns      %d\n  avg items %.2f\n", len(txns), float64(total)/float64(len(txns)))
+	case workload.MView:
+		deltas := workload.GenDeltas(*sample, *sample/20, *seed)
+		ins := 0
+		for _, d := range deltas {
+			if d.Insert {
+				ins++
+			}
+		}
+		fmt.Printf("  deltas    %d (%d inserts, %d deletes)\n", len(deltas), ins, len(deltas)-ins)
+	}
+}

@@ -1,0 +1,3 @@
+module howsim
+
+go 1.22

@@ -1,0 +1,100 @@
+// Package bus models I/O interconnects with the paper's "simple
+// queue-based model that has parameters for startup latency, transfer
+// speed and the capacity of the interconnect". Concrete interconnects:
+// dual-loop Fibre Channel Arbitrated Loop (200 MB/s aggregate, with a
+// 400 MB/s "Fast I/O" variant), Ultra2 SCSI, the Origin-2000-style XIO
+// I/O subsystem, and a host PCI bus.
+//
+// Arbitration is modeled at frame granularity: a long transfer
+// re-arbitrates for the medium every Frame bytes, so concurrent streams
+// share bandwidth fairly instead of serializing whole multi-megabyte
+// transfers.
+package bus
+
+import "howsim/internal/sim"
+
+// Bus is a shared transfer medium.
+type Bus struct {
+	pipe  *sim.Pipe
+	Frame int64 // arbitration granularity in bytes
+}
+
+// New creates a bus with the given number of independent channels, each
+// at bytesPerSec, charging startup per arbitration and re-arbitrating
+// every frame bytes.
+func New(k *sim.Kernel, name string, channels int, bytesPerSec float64, startup sim.Time, frame int64) *Bus {
+	return &Bus{pipe: sim.NewPipe(k, name, channels, bytesPerSec, startup), Frame: frame}
+}
+
+// Transfer moves bytes across the bus on behalf of p, re-arbitrating at
+// frame granularity.
+func (b *Bus) Transfer(p *sim.Proc, bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	b.pipe.TransferSegmented(p, bytes, b.Frame)
+}
+
+// AggregateBandwidth returns the total bytes/sec across all channels.
+func (b *Bus) AggregateBandwidth() float64 {
+	return b.pipe.BytesPerSec * float64(b.pipe.Channels())
+}
+
+// BytesMoved returns total payload bytes moved so far.
+func (b *Bus) BytesMoved() int64 { return b.pipe.BytesMoved() }
+
+// Utilization returns the mean fraction of bus capacity in use.
+func (b *Bus) Utilization() float64 { return b.pipe.Utilization() }
+
+// QueueLen returns the number of transfers waiting to arbitrate.
+func (b *Bus) QueueLen() int { return b.pipe.QueueLen() }
+
+// Name returns the bus's name.
+func (b *Bus) Name() string { return b.pipe.Name() }
+
+const (
+	// FCALFrame is the arbitration granularity used for Fibre Channel
+	// loops. Real FC frames are 2 KB; simulating every frame is
+	// needlessly expensive, so arbitration is modeled at 128 KB bursts.
+	FCALFrame = 128 << 10
+	// FCALStartup is the per-arbitration overhead on a loop.
+	FCALStartup = 20 * sim.Microsecond
+)
+
+// NewFCAL returns a Fibre Channel Arbitrated Loop interconnect with the
+// given number of loops at perLoopBytesPerSec each. The paper's baseline
+// is NewFCAL(k, name, 2, 100e6): a dual loop at 200 MB/s aggregate; the
+// "Fast I/O" variant doubles the per-loop rate.
+func NewFCAL(k *sim.Kernel, name string, loops int, perLoopBytesPerSec float64) *Bus {
+	return New(k, name, loops, perLoopBytesPerSec, FCALStartup, FCALFrame)
+}
+
+// NewUltra2SCSI returns an 80 MB/s Ultra2 SCSI bus (the cluster nodes'
+// local disk connection).
+func NewUltra2SCSI(k *sim.Kernel, name string) *Bus {
+	return New(k, name, 1, 80e6, 10*sim.Microsecond, 64<<10)
+}
+
+// NewXIO returns an Origin-2000-style I/O subsystem: two I/O nodes with
+// a total of 1.4 GB/s of bandwidth.
+func NewXIO(k *sim.Kernel, name string) *Bus {
+	return New(k, name, 2, 700e6, 2*sim.Microsecond, 128<<10)
+}
+
+// NewPCI returns a host PCI bus (cluster node and front-end host I/O
+// path): 133 MB/s nominal, modeled at 100 MB/s sustained to account for
+// arbitration and burst-setup overheads.
+func NewPCI(k *sim.Kernel, name string) *Bus {
+	return New(k, name, 1, 100e6, 1*sim.Microsecond, 64<<10)
+}
+
+// NewSMPInterconnect returns the Origin-2000-style board interconnect:
+// 780 MB/s links with 1 microsecond latency. Channel count scales with
+// the number of boards so the interconnect's bisection bandwidth grows
+// with machine size (it is not the bottleneck the paper studies).
+func NewSMPInterconnect(k *sim.Kernel, name string, boards int) *Bus {
+	if boards < 1 {
+		boards = 1
+	}
+	return New(k, name, boards, 780e6, 1*sim.Microsecond, 128<<10)
+}

@@ -1,0 +1,181 @@
+// Package cluster models the commodity-PC cluster the paper compares
+// against, patterned on the Avalon cluster: each node is a 300 MHz
+// Pentium II with 128 MB (104 MB usable under a full-function OS), a
+// 133 MB/s PCI bus, a 100BaseT NIC and one locally attached Seagate
+// ST39102; nodes connect through 24-port Fast Ethernet switches with two
+// Gigabit Ethernet uplinks into a Gigabit root switch, so bisection
+// bandwidth scales with cluster size while any single node is capped at
+// 100 Mb/s. The front-end host is one more node on the same network.
+//
+// Since each host can only address its own disk, datasets are
+// partitioned across nodes; repartitioning happens through the MPI-like
+// message layer with up to 16 posted asynchronous receives, and I/O uses
+// large (256 KB) requests with deep (4) queues, as in the paper's
+// cluster optimizations.
+package cluster
+
+import (
+	"fmt"
+
+	"howsim/internal/bus"
+	"howsim/internal/cpu"
+	"howsim/internal/disk"
+	"howsim/internal/mpi"
+	"howsim/internal/netsim"
+	"howsim/internal/osmodel"
+	"howsim/internal/sim"
+)
+
+// Config parameterizes a cluster.
+type Config struct {
+	Nodes    int // worker nodes (one disk each); the front-end is extra
+	DiskSpec *disk.Spec
+	CPUHz    float64
+	Net      netsim.FatTreeConfig
+	// RequestBytes is the application I/O request size (256 KB).
+	RequestBytes int64
+	// RequestDepth is the number of outstanding async I/O requests (4).
+	RequestDepth int
+	// PostedRecvs is the number of posted asynchronous receives (16).
+	PostedRecvs int
+	// SpecFor optionally overrides the drive specification per node.
+	SpecFor func(i int) *disk.Spec
+}
+
+// DefaultConfig returns the paper's cluster configuration for n worker
+// nodes.
+func DefaultConfig(n int) Config {
+	return Config{
+		Nodes:        n,
+		DiskSpec:     disk.Cheetah9LP(),
+		CPUHz:        300e6,
+		Net:          netsim.DefaultFatTreeConfig(),
+		RequestBytes: 256 << 10,
+		RequestDepth: 4,
+		PostedRecvs:  16,
+	}
+}
+
+// Node is one cluster host.
+type Node struct {
+	ID   int
+	CPU  *cpu.CPU
+	Disk *disk.Disk
+	SCSI *bus.Bus
+	PCI  *bus.Bus
+	OS   osmodel.Costs
+	m    *Machine
+}
+
+// Machine is a built cluster: worker nodes, the front-end node, the
+// switched network and the message-passing world.
+type Machine struct {
+	K      *sim.Kernel
+	Cfg    Config
+	Net    *netsim.Network
+	Tree   *netsim.FatTree
+	World  *mpi.World
+	Nodes  []*Node // workers; the front-end is FERank
+	FE     *Node
+	FERank int
+}
+
+// New builds a cluster on k. The network has Cfg.Nodes+1 endpoints; the
+// front-end is the last rank.
+func New(k *sim.Kernel, cfg Config) *Machine {
+	if cfg.Nodes <= 0 {
+		panic("cluster: need at least one node")
+	}
+	m := &Machine{K: k, Cfg: cfg, FERank: cfg.Nodes}
+	m.Net = netsim.New(k, 0)
+	m.Tree = netsim.NewFatTree(m.Net, cfg.Nodes+1, cfg.Net)
+	m.Net.SetTopology(m.Tree)
+
+	osCosts := osmodel.FullFunctionOS().ScaledTo(cfg.CPUHz)
+	cpus := make([]*cpu.CPU, cfg.Nodes+1)
+	for i := 0; i <= cfg.Nodes; i++ {
+		hz := cfg.CPUHz
+		costs := osCosts
+		name := fmt.Sprintf("node%d", i)
+		if i == cfg.Nodes {
+			hz = 450e6
+			costs = osmodel.FrontEndOS()
+			name = "fe"
+		}
+		n := &Node{
+			ID:   i,
+			CPU:  cpu.New(k, name+".cpu", hz),
+			SCSI: bus.NewUltra2SCSI(k, name+".scsi"),
+			PCI:  bus.NewPCI(k, name+".pci"),
+			OS:   costs,
+			m:    m,
+		}
+		if i < cfg.Nodes {
+			spec := cfg.DiskSpec
+			if cfg.SpecFor != nil {
+				if sp := cfg.SpecFor(i); sp != nil {
+					spec = sp
+				}
+			}
+			n.Disk = disk.New(k, name+".disk", spec)
+			m.Nodes = append(m.Nodes, n)
+		} else {
+			m.FE = n
+		}
+		cpus[i] = n.CPU
+	}
+	m.World = mpi.NewWorld(m.Net, cpus, osCosts)
+	return m
+}
+
+// UsableMemoryBytes returns the per-node memory available to the
+// application (104 MB of the 128 MB under a full-function OS).
+func (m *Machine) UsableMemoryBytes() int64 {
+	return m.Nodes[0].OS.UsableMemoryBytes
+}
+
+// Endpoint returns a node's message-passing endpoint.
+func (n *Node) Endpoint() *mpi.Endpoint { return n.m.World.Rank(n.ID) }
+
+// rw charges one local disk request's full path: syscall, driver queue,
+// media, SCSI, PCI, completion interrupt.
+func (n *Node) rw(p *sim.Proc, offset, length int64, write bool) {
+	n.CPU.Busy(p, n.OS.ReadWriteCall+n.OS.DriverQueue)
+	req := n.Disk.Submit(&disk.Request{Write: write, Offset: offset, Length: length})
+	req.Wait(p)
+	n.SCSI.Transfer(p, length)
+	n.PCI.Transfer(p, length)
+	n.CPU.Busy(p, n.OS.Interrupt)
+}
+
+// ReadLocal reads from the node's own disk.
+func (n *Node) ReadLocal(p *sim.Proc, offset, length int64) { n.rw(p, offset, length, false) }
+
+// WriteLocal writes to the node's own disk.
+func (n *Node) WriteLocal(p *sim.Proc, offset, length int64) { n.rw(p, offset, length, true) }
+
+// AsyncRead issues a local read without waiting for the media (the
+// lio_listio pattern); the returned request can be Waited on. The
+// bus/interrupt portion of the path is charged at completion by Finish.
+func (n *Node) AsyncRead(p *sim.Proc, offset, length int64) *disk.Request {
+	n.CPU.Busy(p, n.OS.ReadWriteCall+n.OS.DriverQueue)
+	return n.Disk.Submit(&disk.Request{Offset: offset, Length: length})
+}
+
+// AsyncWrite issues a local write without waiting.
+func (n *Node) AsyncWrite(p *sim.Proc, offset, length int64) *disk.Request {
+	n.CPU.Busy(p, n.OS.ReadWriteCall+n.OS.DriverQueue)
+	return n.Disk.Submit(&disk.Request{Write: true, Offset: offset, Length: length})
+}
+
+// Finish waits for an async request and charges the transfer path and
+// completion interrupt.
+func (n *Node) Finish(p *sim.Proc, req *disk.Request) {
+	req.Wait(p)
+	n.SCSI.Transfer(p, req.Length)
+	n.PCI.Transfer(p, req.Length)
+	n.CPU.Busy(p, n.OS.Interrupt)
+}
+
+// Compute runs cycles on the node's processor.
+func (n *Node) Compute(p *sim.Proc, cycles int64) { n.CPU.Compute(p, cycles) }

@@ -1,0 +1,105 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTable1PaperTotals(t *testing.T) {
+	// The paper's Table 1 totals for 64-node configurations (rounded to
+	// the nearest thousand in the paper).
+	cases := []struct {
+		date          Date
+		active, clust float64
+	}{
+		{Aug98, 70_000, 167_000},
+		{Nov98, 58_000, 143_000},
+		{Jul99, 50_000, 108_000},
+	}
+	for _, c := range cases {
+		a := ActiveDiskTotal(c.date, 64)
+		if math.Abs(a-c.active) > 0.05*c.active {
+			t.Errorf("%v Active total = %.0f, want ~%.0f", c.date, a, c.active)
+		}
+		cl := ClusterTotal(c.date, 64)
+		if math.Abs(cl-c.clust) > 0.05*c.clust {
+			t.Errorf("%v cluster total = %.0f, want ~%.0f", c.date, cl, c.clust)
+		}
+	}
+}
+
+func TestActiveDisksHalfClusterPrice(t *testing.T) {
+	// "the price of Active Disk configurations is consistently about
+	// half that of commodity cluster configurations".
+	for _, d := range Dates() {
+		ratio := ActiveDiskTotal(d, 64) / ClusterTotal(d, 64)
+		if ratio < 0.35 || ratio > 0.6 {
+			t.Errorf("%v Active/cluster price ratio = %.2f, want ~0.5", d, ratio)
+		}
+	}
+}
+
+func TestSMPOrderOfMagnitudeAboveActive(t *testing.T) {
+	// "the estimated price of the 64-disk Active Disk configuration is
+	// more than an order of magnitude smaller than that of the
+	// corresponding SMP configuration".
+	if s := SMPTotal(64); math.Abs(s-1_500_000) > 1 {
+		t.Errorf("64-processor SMP = %.0f, want $1.5M", s)
+	}
+	for _, d := range Dates() {
+		if SMPTotal(64)/ActiveDiskTotal(d, 64) < 10 {
+			t.Errorf("%v SMP/Active price ratio below 10x", d)
+		}
+	}
+}
+
+func TestPricesFallOverTime(t *testing.T) {
+	for _, size := range []int{16, 64, 128} {
+		if !(ActiveDiskTotal(Aug98, size) > ActiveDiskTotal(Nov98, size) &&
+			ActiveDiskTotal(Nov98, size) > ActiveDiskTotal(Jul99, size)) {
+			t.Errorf("Active prices at %d disks should fall monotonically", size)
+		}
+		if !(ClusterTotal(Aug98, size) > ClusterTotal(Nov98, size) &&
+			ClusterTotal(Nov98, size) > ClusterTotal(Jul99, size)) {
+			t.Errorf("cluster prices at %d nodes should fall monotonically", size)
+		}
+	}
+}
+
+func TestTable1RowsConsistent(t *testing.T) {
+	rows := Table1(64)
+	if len(rows) != 13 {
+		t.Fatalf("Table1 has %d rows, want 13", len(rows))
+	}
+	// The totals rows equal the corresponding functions.
+	for i, d := range Dates() {
+		if rows[7].Values[i] != ActiveDiskTotal(d, 64) {
+			t.Errorf("Active total row mismatch at %v", d)
+		}
+		if rows[12].Values[i] != ClusterTotal(d, 64) {
+			t.Errorf("cluster total row mismatch at %v", d)
+		}
+	}
+	// Per-item component prices match the published table exactly.
+	if rows[0].Values[0] != 670 || rows[0].Values[2] != 470 {
+		t.Error("disk price row does not match Table 1")
+	}
+	if rows[1].Values[0] != 32 || rows[2].Values[1] != 30 {
+		t.Error("CPU/SDRAM rows do not match Table 1")
+	}
+}
+
+func TestPricePerformance(t *testing.T) {
+	// Same runtime, half the price => half the price/performance value.
+	a := PricePerformance(50_000, 100)
+	b := PricePerformance(100_000, 100)
+	if a*2 != b {
+		t.Errorf("price/performance should scale linearly with price: %v vs %v", a, b)
+	}
+}
+
+func TestDateString(t *testing.T) {
+	if Aug98.String() != "8/98" || Nov98.String() != "11/98" || Jul99.String() != "7/99" {
+		t.Error("date labels do not match Table 1 headers")
+	}
+}

@@ -1,0 +1,87 @@
+// Package cpu provides the coarse-grain processor model: Howsim "models
+// variation in processor speed by scaling [trace] processing times".
+// A CPU is a serially shared resource; work is expressed in cycles (for
+// algorithm inner loops, via calibrated cycles-per-tuple constants) or
+// directly in time at a reference clock (for OS operations measured with
+// lmbench on a reference machine).
+package cpu
+
+import "howsim/internal/sim"
+
+// CPU is one processor. Processes submit work with Compute; concurrent
+// submissions serialize FIFO, modeling a single hardware context.
+type CPU struct {
+	name string
+	hz   float64
+	res  *sim.Resource
+	busy sim.Time
+	work int64 // total cycles executed
+}
+
+// New creates a processor with the given clock rate in Hz.
+func New(k *sim.Kernel, name string, hz float64) *CPU {
+	return &CPU{name: name, hz: hz, res: sim.NewResource(k, name, 1)}
+}
+
+// Name returns the processor's name.
+func (c *CPU) Name() string { return c.name }
+
+// Hz returns the clock rate.
+func (c *CPU) Hz() float64 { return c.hz }
+
+// CycleTime returns the duration of n cycles at this clock.
+func (c *CPU) CycleTime(n int64) sim.Time {
+	if n <= 0 {
+		return 0
+	}
+	ns := float64(n) / c.hz * float64(sim.Second)
+	t := sim.Time(ns)
+	if float64(t) < ns {
+		t++
+	}
+	return t
+}
+
+// Compute executes n cycles of work on behalf of p, holding the
+// processor for the duration.
+func (c *CPU) Compute(p *sim.Proc, n int64) {
+	if n <= 0 {
+		return
+	}
+	c.res.Acquire(p, 1)
+	d := c.CycleTime(n)
+	p.Delay(d)
+	c.res.Release(1)
+	c.busy += d
+	c.work += n
+}
+
+// Busy executes a fixed amount of time on the processor regardless of
+// clock rate — used for costs already expressed in wall time (e.g. an
+// lmbench-measured syscall on the modeled machine).
+func (c *CPU) Busy(p *sim.Proc, d sim.Time) {
+	if d <= 0 {
+		return
+	}
+	c.res.Acquire(p, 1)
+	p.Delay(d)
+	c.res.Release(1)
+	c.busy += d
+}
+
+// ScaledBusy executes time that was measured at refHz, scaled to this
+// processor's clock (the trace-replay mechanism: "it models variation in
+// processor speed by scaling these processing times").
+func (c *CPU) ScaledBusy(p *sim.Proc, d sim.Time, refHz float64) {
+	c.Busy(p, sim.Time(float64(d)*refHz/c.hz))
+}
+
+// BusyTime returns the total time this CPU has spent executing.
+func (c *CPU) BusyTime() sim.Time { return c.busy }
+
+// Cycles returns the total cycles executed via Compute.
+func (c *CPU) Cycles() int64 { return c.work }
+
+// Utilization returns the fraction of elapsed virtual time the CPU was
+// busy.
+func (c *CPU) Utilization() float64 { return c.res.Utilization() }

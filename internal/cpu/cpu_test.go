@@ -1,0 +1,95 @@
+package cpu
+
+import (
+	"testing"
+
+	"howsim/internal/sim"
+)
+
+func TestComputeScalesWithClock(t *testing.T) {
+	k := sim.NewKernel()
+	slow := New(k, "cyrix200", 200e6)
+	fast := New(k, "pii300", 300e6)
+	var slowT, fastT sim.Time
+	k.Spawn("a", func(p *sim.Proc) {
+		t0 := p.Now()
+		slow.Compute(p, 200e6) // one second of work at 200 MHz
+		slowT = p.Now() - t0
+	})
+	k.Spawn("b", func(p *sim.Proc) {
+		t0 := p.Now()
+		fast.Compute(p, 200e6)
+		fastT = p.Now() - t0
+	})
+	k.Run()
+	if slowT != sim.Second {
+		t.Errorf("200M cycles at 200MHz = %v, want 1s", slowT)
+	}
+	ratio := float64(slowT) / float64(fastT)
+	if ratio < 1.49 || ratio > 1.51 {
+		t.Errorf("200/300 MHz time ratio = %.3f, want 1.5", ratio)
+	}
+}
+
+func TestCPUSerializesSharers(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k, "cpu", 100e6)
+	var finishes []sim.Time
+	for i := 0; i < 3; i++ {
+		k.Spawn("w", func(p *sim.Proc) {
+			c.Compute(p, 100e6) // 1s each
+			finishes = append(finishes, p.Now())
+		})
+	}
+	k.Run()
+	want := []sim.Time{sim.Second, 2 * sim.Second, 3 * sim.Second}
+	for i := range want {
+		if finishes[i] != want[i] {
+			t.Errorf("finishes = %v, want %v", finishes, want)
+			break
+		}
+	}
+	if c.BusyTime() != 3*sim.Second {
+		t.Errorf("BusyTime = %v, want 3s", c.BusyTime())
+	}
+	if c.Cycles() != 300e6 {
+		t.Errorf("Cycles = %d, want 300e6", c.Cycles())
+	}
+}
+
+func TestScaledBusy(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k, "cpu", 600e6)
+	var el sim.Time
+	k.Spawn("w", func(p *sim.Proc) {
+		t0 := p.Now()
+		// 3ms measured on a 300 MHz machine takes 1.5ms at 600 MHz.
+		c.ScaledBusy(p, 3*sim.Millisecond, 300e6)
+		el = p.Now() - t0
+	})
+	k.Run()
+	if el != 1500*sim.Microsecond {
+		t.Errorf("scaled busy = %v, want 1.5ms", el)
+	}
+}
+
+func TestZeroWorkIsFree(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k, "cpu", 100e6)
+	k.Spawn("w", func(p *sim.Proc) {
+		c.Compute(p, 0)
+		c.Busy(p, 0)
+		if p.Now() != 0 {
+			t.Errorf("zero work advanced time to %v", p.Now())
+		}
+	})
+	k.Run()
+}
+
+func TestCycleTimeRoundsUp(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k, "cpu", 3e9) // sub-ns cycles
+	if c.CycleTime(1) == 0 {
+		t.Error("one cycle must take nonzero time")
+	}
+}

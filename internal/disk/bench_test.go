@@ -1,0 +1,78 @@
+package disk
+
+import (
+	"testing"
+
+	"howsim/internal/sim"
+)
+
+// Validation microbenchmarks against the published drive
+// specifications, mirroring how DiskSim "has been validated against
+// several disk drives using the published disk specifications".
+
+// BenchmarkSequentialRead reports achieved outer-zone streaming rate,
+// to be compared against the spec's 21.3 MB/s.
+func BenchmarkSequentialRead(b *testing.B) {
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel()
+		d := New(k, "d", Cheetah9LP())
+		const total = 64 << 20
+		var elapsed sim.Time
+		k.Spawn("r", func(p *sim.Proc) {
+			start := p.Now()
+			for off := int64(0); off < total; off += 256 << 10 {
+				d.Read(p, off, 256<<10)
+			}
+			elapsed = p.Now() - start
+		})
+		k.Run()
+		rate = float64(total) / elapsed.Seconds() / 1e6
+	}
+	b.ReportMetric(rate, "MB/s")
+	b.ReportMetric(Cheetah9LP().MaxMediaRate()/1e6, "spec-MB/s")
+}
+
+// BenchmarkRandomRead reports the mean service time of scattered 8 KB
+// reads: average seek (5.4 ms) + half a rotation (3.0 ms) + transfer.
+func BenchmarkRandomRead(b *testing.B) {
+	var perOp sim.Time
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel()
+		d := New(k, "d", Cheetah9LP())
+		const n = 128
+		var elapsed sim.Time
+		k.Spawn("r", func(p *sim.Proc) {
+			start := p.Now()
+			slots := d.Capacity() / (8 << 10)
+			for j := int64(0); j < n; j++ {
+				off := j * 2654435761 % slots * (8 << 10)
+				d.Read(p, off, 8<<10)
+			}
+			elapsed = p.Now() - start
+		})
+		k.Run()
+		perOp = elapsed / n
+	}
+	b.ReportMetric(perOp.Milliseconds(), "ms/op")
+}
+
+// BenchmarkSimulatedIOPS reports the simulator's wall cost per simulated
+// request.
+func BenchmarkSimulatedIOPS(b *testing.B) {
+	k := sim.NewKernel()
+	d := New(k, "d", Cheetah9LP())
+	off := int64(0)
+	k.Spawn("driver", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			d.Read(p, off, 64<<10)
+			off += 64 << 10
+			if off >= 1<<30 {
+				off = 0
+			}
+		}
+		k.Stop()
+	})
+	b.ResetTimer()
+	k.Run()
+}

@@ -1,0 +1,424 @@
+package disk
+
+import (
+	"fmt"
+
+	"howsim/internal/sim"
+)
+
+// Request is one I/O operation against a disk. Offsets and lengths are
+// in bytes and must be sector-aligned.
+type Request struct {
+	Write  bool
+	Offset int64
+	Length int64
+
+	done     *sim.Signal
+	Queued   sim.Time // when the request entered the disk queue
+	Started  sim.Time // when the disk began servicing it
+	Finished sim.Time // when data was in the buffer (read) or on media (write)
+}
+
+// Wait blocks p until the request completes.
+func (r *Request) Wait(p *sim.Proc) { r.done.Wait(p) }
+
+// Done reports whether the request has completed.
+func (r *Request) Done() bool { return r.done.Fired() }
+
+// segment is the state of one sequential stream tracked by the on-board
+// segmented cache.
+type segment struct {
+	valid      bool
+	write      bool
+	endLBA     int64 // next expected sector of the stream
+	prefetched int64 // bytes buffered ahead of endLBA (reads only)
+	lastUse    sim.Time
+}
+
+// Stats aggregates a disk's activity counters.
+type Stats struct {
+	Requests      int64
+	BytesRead     int64
+	BytesWritten  int64
+	Seeks         int64
+	SeekTime      sim.Time
+	RotationTime  sim.Time
+	TransferTime  sim.Time
+	BusyTime      sim.Time
+	CacheHitBytes int64
+}
+
+// Disk is a simulated drive: a FIFO request queue served by a single
+// mechanical arm, with a segmented read-ahead cache. All methods must be
+// called from simulation processes of the kernel the disk was created
+// on.
+type Disk struct {
+	name      string
+	spec      *Spec
+	geom      *geometry
+	readSeek  seekCurve
+	writeSeek seekCurve
+	k         *sim.Kernel
+	queue     *sim.Mailbox
+
+	curCyl    int
+	headSeg   int // index of the segment the arm is streaming; -1 if none
+	segs      []segment
+	segBytes  int64 // per-segment prefetch capacity
+	idleSince sim.Time
+	rotPeriod sim.Time
+	stats     Stats
+
+	policy  SchedulingPolicy
+	pending []*Request
+	sweepUp bool
+}
+
+// SchedulingPolicy selects how queued requests are ordered for service.
+type SchedulingPolicy int
+
+// The supported request schedulers.
+const (
+	// FCFS serves requests strictly in arrival order — the paper's
+	// tasks issue deep streams of near-sequential requests, for which
+	// this is the natural choice.
+	FCFS SchedulingPolicy = iota
+	// Elevator (SCAN) sweeps the arm across the cylinders, serving the
+	// nearest request in the sweep direction and reversing at the ends —
+	// DiskSim's classic alternative for seek-heavy multi-stream queues.
+	Elevator
+)
+
+// SetScheduler selects the request scheduling policy (default FCFS).
+// Call before issuing requests.
+func (d *Disk) SetScheduler(p SchedulingPolicy) { d.policy = p }
+
+// New creates a disk and spawns its service process on k.
+func New(k *sim.Kernel, name string, spec *Spec) *Disk {
+	d := &Disk{
+		name:      name,
+		spec:      spec,
+		geom:      newGeometry(spec),
+		readSeek:  newSeekCurve(spec.TrackToTrackRead, spec.AvgSeekRead, spec.MaxSeekRead, spec.TotalCylinders()),
+		writeSeek: newSeekCurve(spec.TrackToTrackWrite, spec.AvgSeekWrite, spec.MaxSeekWrite, spec.TotalCylinders()),
+		k:         k,
+		queue:     sim.NewMailbox(k, name+".queue", 0),
+		headSeg:   -1,
+		segs:      make([]segment, spec.CacheSegments),
+		segBytes:  spec.CacheBytes / int64(spec.CacheSegments),
+		rotPeriod: spec.RotationPeriod(),
+	}
+	k.Spawn(name+".server", d.serve)
+	return d
+}
+
+// Name returns the disk's name.
+func (d *Disk) Name() string { return d.name }
+
+// Spec returns the drive specification.
+func (d *Disk) Spec() *Spec { return d.spec }
+
+// Stats returns a snapshot of the activity counters.
+func (d *Disk) Stats() Stats { return d.stats }
+
+// QueueLen returns the number of requests waiting for service.
+func (d *Disk) QueueLen() int { return d.queue.Len() + len(d.pending) }
+
+// Utilization returns the fraction of elapsed time the arm was busy.
+func (d *Disk) Utilization() float64 {
+	if d.k.Now() == 0 {
+		return 0
+	}
+	return float64(d.stats.BusyTime) / float64(d.k.Now())
+}
+
+// Submit enqueues a request for asynchronous service and returns it;
+// call Wait on the result to block until completion.
+func (d *Disk) Submit(req *Request) *Request {
+	if req.Offset%SectorSize != 0 || req.Length%SectorSize != 0 {
+		panic(fmt.Sprintf("disk %s: request %d+%d not sector-aligned", d.name, req.Offset, req.Length))
+	}
+	if req.Length <= 0 {
+		panic(fmt.Sprintf("disk %s: request length %d must be positive", d.name, req.Length))
+	}
+	end := (req.Offset + req.Length) / SectorSize
+	if end > d.geom.totalSectors {
+		panic(fmt.Sprintf("disk %s: request beyond capacity (%d > %d sectors)", d.name, end, d.geom.totalSectors))
+	}
+	req.done = sim.NewSignal()
+	req.Queued = d.k.Now()
+	if !d.queue.TryPut(req) {
+		panic("disk: unbounded queue rejected request")
+	}
+	return req
+}
+
+// Read performs a synchronous read of length bytes at offset.
+func (d *Disk) Read(p *sim.Proc, offset, length int64) {
+	d.Submit(&Request{Offset: offset, Length: length}).Wait(p)
+}
+
+// Write performs a synchronous write of length bytes at offset.
+func (d *Disk) Write(p *sim.Proc, offset, length int64) {
+	d.Submit(&Request{Write: true, Offset: offset, Length: length}).Wait(p)
+}
+
+// Capacity returns the disk's formatted capacity in bytes.
+func (d *Disk) Capacity() int64 { return d.geom.totalSectors * SectorSize }
+
+// serve is the drive's single service loop: it collects queued requests
+// and dispatches them under the configured scheduling policy.
+func (d *Disk) serve(p *sim.Proc) {
+	for {
+		if len(d.pending) == 0 {
+			v, ok := d.queue.Get(p)
+			if !ok {
+				return
+			}
+			d.pending = append(d.pending, v.(*Request))
+		}
+		// Drain everything else that has already arrived, so the
+		// scheduler sees the full queue.
+		for {
+			v, ok := d.queue.TryGet()
+			if !ok {
+				break
+			}
+			d.pending = append(d.pending, v.(*Request))
+		}
+		req := d.nextRequest()
+		d.accrueIdlePrefetch(p.Now())
+		req.Started = p.Now()
+		service := d.serviceTime(req)
+		p.Delay(service)
+		req.Finished = p.Now()
+		d.stats.BusyTime += service
+		d.stats.Requests++
+		if req.Write {
+			d.stats.BytesWritten += req.Length
+		} else {
+			d.stats.BytesRead += req.Length
+		}
+		d.idleSince = p.Now()
+		req.done.Fire()
+	}
+}
+
+// nextRequest removes and returns the next request to serve under the
+// active policy.
+func (d *Disk) nextRequest() *Request {
+	best := 0
+	if d.policy == Elevator && len(d.pending) > 1 {
+		best = d.elevatorPick()
+	}
+	req := d.pending[best]
+	d.pending = append(d.pending[:best], d.pending[best+1:]...)
+	return req
+}
+
+// elevatorPick returns the index of the pending request nearest to the
+// arm in the current sweep direction, reversing when the sweep is
+// exhausted.
+func (d *Disk) elevatorPick() int {
+	pick := func(up bool) (int, bool) {
+		best, bestDist := -1, int(^uint(0)>>1)
+		for i, r := range d.pending {
+			cyl := d.geom.locate(r.Offset / SectorSize).cylinder
+			dist := cyl - d.curCyl
+			if !up {
+				dist = -dist
+			}
+			if dist >= 0 && dist < bestDist {
+				best, bestDist = i, dist
+			}
+		}
+		return best, best >= 0
+	}
+	if i, ok := pick(d.sweepUp); ok {
+		return i
+	}
+	d.sweepUp = !d.sweepUp
+	if i, ok := pick(d.sweepUp); ok {
+		return i
+	}
+	return 0
+}
+
+// accrueIdlePrefetch credits read-ahead to the stream the arm was left
+// on, for the idle gap since the previous request completed.
+func (d *Disk) accrueIdlePrefetch(now sim.Time) {
+	if d.headSeg < 0 {
+		return
+	}
+	seg := &d.segs[d.headSeg]
+	if !seg.valid || seg.write {
+		return
+	}
+	gap := now - d.idleSince
+	if gap <= 0 {
+		return
+	}
+	loc := d.locateOrEnd(seg.endLBA + seg.prefetched/SectorSize)
+	rate := d.spec.mediaRate(loc.spt)
+	extra := int64(float64(gap) / float64(sim.Second) * rate)
+	seg.prefetched += extra
+	if seg.prefetched > d.segBytes {
+		seg.prefetched = d.segBytes
+	}
+	// Prefetching moves the arm along with the stream.
+	d.curCyl = d.locateOrEnd(seg.endLBA + seg.prefetched/SectorSize).cylinder
+}
+
+// locateOrEnd is locate clamped to the last valid sector, for prefetch
+// positions that may run off the end of the disk.
+func (d *Disk) locateOrEnd(lba int64) location {
+	if lba >= d.geom.totalSectors {
+		lba = d.geom.totalSectors - 1
+	}
+	if lba < 0 {
+		lba = 0
+	}
+	return d.geom.locate(lba)
+}
+
+// serviceTime computes the mechanical + controller time for req and
+// updates arm/cache state.
+func (d *Disk) serviceTime(req *Request) sim.Time {
+	startLBA := req.Offset / SectorSize
+	sectors := req.Length / SectorSize
+	t := d.spec.ControllerOverhead
+
+	segIdx := d.findStream(startLBA, req.Write)
+	var hit int64
+	if segIdx >= 0 && !req.Write {
+		seg := &d.segs[segIdx]
+		hit = seg.prefetched
+		if hit > req.Length {
+			hit = req.Length
+		}
+		d.stats.CacheHitBytes += hit
+	}
+	mediaBytes := req.Length - hit
+	mediaStart := startLBA + hit/SectorSize
+
+	if mediaBytes > 0 {
+		loc := d.geom.locate(mediaStart)
+		// The arm keeps streaming with no positioning cost only when this
+		// request continues the stream the arm is currently on.
+		sequential := segIdx >= 0 && segIdx == d.headSeg
+		if !sequential {
+			curve := d.readSeek
+			if req.Write {
+				curve = d.writeSeek
+			}
+			dist := loc.cylinder - d.curCyl
+			if dist < 0 {
+				dist = -dist
+			}
+			if dist > 0 {
+				st := curve.seekTime(dist)
+				t += st
+				d.stats.Seeks++
+				d.stats.SeekTime += st
+			}
+			rot := d.rotationalLatency(d.k.Now()+t, loc)
+			t += rot
+			d.stats.RotationTime += rot
+		}
+		xfer := d.transferTime(mediaStart, mediaBytes/SectorSize)
+		t += xfer
+		d.stats.TransferTime += xfer
+	}
+
+	// Update stream state.
+	endLBA := startLBA + sectors
+	if segIdx < 0 {
+		segIdx = d.evictLRU()
+	}
+	d.segs[segIdx] = segment{
+		valid:   true,
+		write:   req.Write,
+		endLBA:  endLBA,
+		lastUse: d.k.Now(),
+	}
+	d.headSeg = segIdx
+	d.curCyl = d.locateOrEnd(endLBA).cylinder
+	return t
+}
+
+// findStream returns the index of the cache segment whose stream
+// continues at lba with matching direction, or -1.
+func (d *Disk) findStream(lba int64, write bool) int {
+	for i := range d.segs {
+		s := &d.segs[i]
+		if s.valid && s.write == write && s.endLBA == lba {
+			return i
+		}
+	}
+	return -1
+}
+
+// evictLRU picks the least recently used (or first invalid) segment.
+func (d *Disk) evictLRU() int {
+	best := 0
+	for i := range d.segs {
+		if !d.segs[i].valid {
+			return i
+		}
+		if d.segs[i].lastUse < d.segs[best].lastUse {
+			best = i
+		}
+	}
+	return best
+}
+
+// rotationalLatency returns the wait for the platter to bring the target
+// sector under the head at absolute time at. Rotational position is a
+// deterministic function of absolute time (all platters spin from angle
+// zero at time zero).
+func (d *Disk) rotationalLatency(at sim.Time, loc location) sim.Time {
+	period := d.rotPeriod
+	pos := at % period // current angular position, in time units
+	target := sim.Time(int64(period) * loc.sectorInTrk / int64(loc.spt))
+	wait := target - pos
+	if wait < 0 {
+		wait += period
+	}
+	return wait
+}
+
+// transferTime returns the media time to stream sectors starting at lba,
+// crossing zones and charging cylinder switches.
+func (d *Disk) transferTime(lba, sectors int64) sim.Time {
+	var t sim.Time
+	for sectors > 0 {
+		loc := d.geom.locate(lba)
+		zoneEnd := d.zoneEndLBA(loc.zone)
+		take := sectors
+		if lba+take > zoneEnd {
+			take = zoneEnd - lba
+		}
+		rate := d.spec.mediaRate(loc.spt)
+		t += sim.TransferTime(take*SectorSize, rate)
+		// Cylinder crossings within the span.
+		relStart := lba - d.zoneStartLBA(loc.zone)
+		relEnd := relStart + take - 1
+		crossings := relEnd/loc.sectorsPerCy - relStart/loc.sectorsPerCy
+		t += sim.Time(crossings) * d.spec.CylinderSwitch
+		lba += take
+		sectors -= take
+		if sectors > 0 && lba >= d.geom.totalSectors {
+			panic("disk: transfer runs off the end of the disk")
+		}
+	}
+	return t
+}
+
+func (d *Disk) zoneStartLBA(zone int) int64 { return d.geom.zoneStartLBA[zone] }
+
+func (d *Disk) zoneEndLBA(zone int) int64 {
+	if zone+1 < len(d.geom.zoneStartLBA) {
+		return d.geom.zoneStartLBA[zone+1]
+	}
+	return d.geom.totalSectors
+}

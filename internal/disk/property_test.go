@@ -1,0 +1,108 @@
+package disk
+
+import (
+	"testing"
+	"testing/quick"
+
+	"howsim/internal/sim"
+)
+
+// serviceTimeOf measures one isolated request's service time on a
+// fresh, idle disk.
+func serviceTimeOf(offset, length int64) sim.Time {
+	k := sim.NewKernel()
+	d := New(k, "d", Cheetah9LP())
+	var t sim.Time
+	k.Spawn("r", func(p *sim.Proc) {
+		start := p.Now()
+		d.Read(p, offset, length)
+		t = p.Now() - start
+	})
+	k.Run()
+	return t
+}
+
+func TestServiceTimeMonotoneInLengthProperty(t *testing.T) {
+	// Property: from the same start position on a cold disk, a longer
+	// read never completes faster than a shorter one.
+	f := func(off uint16, a, b uint8) bool {
+		offset := int64(off) * 64 << 10
+		x := (int64(a)%64 + 1) * 8 << 10
+		y := (int64(b)%64 + 1) * 8 << 10
+		if x > y {
+			x, y = y, x
+		}
+		return serviceTimeOf(offset, x) <= serviceTimeOf(offset, y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsConservationProperty(t *testing.T) {
+	// Property: for any interleaving of reads and writes, the byte
+	// counters equal exactly what was requested and busy time is
+	// positive and below elapsed time.
+	f := func(ops []uint8) bool {
+		if len(ops) == 0 {
+			return true
+		}
+		k := sim.NewKernel()
+		d := New(k, "d", Cheetah9LP())
+		var wantR, wantW int64
+		k.Spawn("w", func(p *sim.Proc) {
+			for i, op := range ops {
+				if i >= 24 {
+					break
+				}
+				n := (int64(op)%32 + 1) * 16 << 10
+				off := int64(i) * (1 << 20)
+				if op%2 == 0 {
+					d.Read(p, off, n)
+					wantR += n
+				} else {
+					d.Write(p, off, n)
+					wantW += n
+				}
+			}
+		})
+		end := k.Run()
+		st := d.Stats()
+		return st.BytesRead == wantR && st.BytesWritten == wantW &&
+			st.BusyTime > 0 && st.BusyTime <= end
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeratedSlowerEverywhereProperty(t *testing.T) {
+	base := Cheetah9LP()
+	f := func(fRaw uint8) bool {
+		factor := 0.2 + float64(fRaw%70)/100 // 0.2 .. 0.89
+		slow := Derated(base, factor)
+		if slow.MaxMediaRate() >= base.MaxMediaRate() {
+			return false
+		}
+		if slow.AvgSeekRead <= base.AvgSeekRead {
+			return false
+		}
+		return slow.CapacityBytes() <= base.CapacityBytes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeratedBadFactorPanics(t *testing.T) {
+	for _, f := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Derated(%v) should panic", f)
+				}
+			}()
+			Derated(Cheetah9LP(), f)
+		}()
+	}
+}

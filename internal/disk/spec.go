@@ -1,0 +1,182 @@
+// Package disk implements a detailed mechanical disk model in the spirit
+// of DiskSim, which the paper's Howsim simulator uses for drives,
+// controllers and device drivers. The model includes zoned geometry, a
+// three-region seek-time curve calibrated to published specifications,
+// deterministic rotational-position tracking, a segmented read cache
+// with read-ahead, and per-request controller overheads.
+//
+// Two drive specifications from the paper are provided: the Seagate
+// Cheetah 9LP ST39102 (used in every architecture) and the Hitachi
+// DK3E1T-91 (the "Fast Disk" upgrade studied in Figure 3).
+package disk
+
+import (
+	"fmt"
+
+	"howsim/internal/sim"
+)
+
+// SectorSize is the fixed sector size in bytes for all modeled drives.
+const SectorSize = 512
+
+// Zone describes a band of cylinders recorded at the same density.
+// Outer zones (lower cylinder numbers, lower LBAs) hold more sectors per
+// track and therefore transfer faster.
+type Zone struct {
+	Cylinders       int // number of cylinders in this zone
+	SectorsPerTrack int
+}
+
+// Spec is the static description of a disk drive.
+type Spec struct {
+	Name  string
+	RPM   float64
+	Heads int // recording surfaces (tracks per cylinder)
+	Zones []Zone
+
+	// Seek curve calibration points, per the product manual.
+	TrackToTrackRead  sim.Time
+	TrackToTrackWrite sim.Time
+	AvgSeekRead       sim.Time
+	AvgSeekWrite      sim.Time
+	MaxSeekRead       sim.Time
+	MaxSeekWrite      sim.Time
+
+	// Controller.
+	CacheBytes         int64    // on-board buffer dedicated to read segments
+	CacheSegments      int      // concurrent sequential streams tracked
+	ControllerOverhead sim.Time // fixed per-request command processing
+	CylinderSwitch     sim.Time // charged when a sequential transfer crosses cylinders
+}
+
+// RotationPeriod returns the time for one platter revolution.
+func (s *Spec) RotationPeriod() sim.Time {
+	return sim.Time(60.0 / s.RPM * float64(sim.Second))
+}
+
+// TotalCylinders returns the cylinder count summed over zones.
+func (s *Spec) TotalCylinders() int {
+	n := 0
+	for _, z := range s.Zones {
+		n += z.Cylinders
+	}
+	return n
+}
+
+// CapacityBytes returns the formatted capacity.
+func (s *Spec) CapacityBytes() int64 {
+	var sectors int64
+	for _, z := range s.Zones {
+		sectors += int64(z.Cylinders) * int64(s.Heads) * int64(z.SectorsPerTrack)
+	}
+	return sectors * SectorSize
+}
+
+// MediaRate returns the sustained media transfer rate, in bytes/second,
+// of the zone with the given sectors-per-track count.
+func (s *Spec) mediaRate(spt int) float64 {
+	return float64(spt) * SectorSize / s.RotationPeriod().Seconds()
+}
+
+// MinMediaRate returns the innermost-zone sustained rate in bytes/sec.
+func (s *Spec) MinMediaRate() float64 {
+	return s.mediaRate(s.Zones[len(s.Zones)-1].SectorsPerTrack)
+}
+
+// MaxMediaRate returns the outermost-zone sustained rate in bytes/sec.
+func (s *Spec) MaxMediaRate() float64 {
+	return s.mediaRate(s.Zones[0].SectorsPerTrack)
+}
+
+// zoneTable builds an 8-zone table interpolating sectors-per-track
+// linearly from outer to inner so that the zone rates span the published
+// min/max media rates.
+func zoneTable(totalCyl, outerSPT, innerSPT int) []Zone {
+	const nzones = 8
+	zones := make([]Zone, nzones)
+	cylPer := totalCyl / nzones
+	for i := 0; i < nzones; i++ {
+		spt := outerSPT + (innerSPT-outerSPT)*i/(nzones-1)
+		cyl := cylPer
+		if i == nzones-1 {
+			cyl = totalCyl - cylPer*(nzones-1)
+		}
+		zones[i] = Zone{Cylinders: cyl, SectorsPerTrack: spt}
+	}
+	return zones
+}
+
+// Cheetah9LP returns the specification of the Seagate ST39102 (Cheetah
+// 9LP family): 10,025 RPM, 14.5-21.3 MB/s formatted media rate, 5.4/6.2
+// ms average and 12.2/13.2 ms maximum read/write seeks, 9.1 GB.
+func Cheetah9LP() *Spec {
+	return &Spec{
+		Name: "Seagate ST39102 Cheetah 9LP",
+		RPM:  10025,
+		// 12 surfaces; 6,962 cylinders; zones span 170..249 sectors/track,
+		// giving 14.5..21.3 MB/s at 10,025 RPM and ~9.1 GB formatted.
+		Heads:              12,
+		Zones:              zoneTable(6962, 249, 170),
+		TrackToTrackRead:   sim.Time(0.8 * float64(sim.Millisecond)),
+		TrackToTrackWrite:  sim.Time(1.1 * float64(sim.Millisecond)),
+		AvgSeekRead:        sim.Time(5.4 * float64(sim.Millisecond)),
+		AvgSeekWrite:       sim.Time(6.2 * float64(sim.Millisecond)),
+		MaxSeekRead:        sim.Time(12.2 * float64(sim.Millisecond)),
+		MaxSeekWrite:       sim.Time(13.2 * float64(sim.Millisecond)),
+		CacheBytes:         1 << 20, // 1 MB buffer
+		CacheSegments:      8,
+		ControllerOverhead: 300 * sim.Microsecond,
+		CylinderSwitch:     sim.Time(0.5 * float64(sim.Millisecond)),
+	}
+}
+
+// Derated returns a copy of spec with media bandwidth scaled by factor
+// (0 < factor <= 1) and seek times scaled by 1/factor — a degraded or
+// aging drive, used for straggler/failure-injection studies.
+func Derated(spec *Spec, factor float64) *Spec {
+	if factor <= 0 || factor > 1 {
+		panic("disk: derate factor must be in (0, 1]")
+	}
+	out := *spec
+	out.Name = fmt.Sprintf("%s (derated %.0f%%)", spec.Name, factor*100)
+	out.Zones = make([]Zone, len(spec.Zones))
+	for i, z := range spec.Zones {
+		z.SectorsPerTrack = int(float64(z.SectorsPerTrack) * factor)
+		if z.SectorsPerTrack < 1 {
+			z.SectorsPerTrack = 1
+		}
+		out.Zones[i] = z
+	}
+	scale := func(t sim.Time) sim.Time { return sim.Time(float64(t) / factor) }
+	out.TrackToTrackRead = scale(spec.TrackToTrackRead)
+	out.TrackToTrackWrite = scale(spec.TrackToTrackWrite)
+	out.AvgSeekRead = scale(spec.AvgSeekRead)
+	out.AvgSeekWrite = scale(spec.AvgSeekWrite)
+	out.MaxSeekRead = scale(spec.MaxSeekRead)
+	out.MaxSeekWrite = scale(spec.MaxSeekWrite)
+	return &out
+}
+
+// HitachiDK3E1T91 returns the specification of the Hitachi DK3E1T-91
+// used as the paper's "Fast Disk" upgrade: 12,030 RPM, 18.3-27.3 MB/s
+// media rate, 5/6 ms average and 10.5/11.5 ms maximum read/write seeks.
+func HitachiDK3E1T91() *Spec {
+	return &Spec{
+		Name: "Hitachi DK3E1T-91",
+		RPM:  12030,
+		// 10 surfaces; 7,423 cylinders; zones span 182..272 sectors/track,
+		// giving 18.3..27.3 MB/s at 12,030 RPM and ~8.7 GB formatted.
+		Heads:              10,
+		Zones:              zoneTable(7423, 272, 182),
+		TrackToTrackRead:   sim.Time(0.7 * float64(sim.Millisecond)),
+		TrackToTrackWrite:  sim.Time(1.0 * float64(sim.Millisecond)),
+		AvgSeekRead:        sim.Time(5.0 * float64(sim.Millisecond)),
+		AvgSeekWrite:       sim.Time(6.0 * float64(sim.Millisecond)),
+		MaxSeekRead:        sim.Time(10.5 * float64(sim.Millisecond)),
+		MaxSeekWrite:       sim.Time(11.5 * float64(sim.Millisecond)),
+		CacheBytes:         1 << 20,
+		CacheSegments:      8,
+		ControllerOverhead: 300 * sim.Microsecond,
+		CylinderSwitch:     sim.Time(0.45 * float64(sim.Millisecond)),
+	}
+}

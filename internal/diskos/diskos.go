@@ -1,0 +1,412 @@
+// Package diskos models the Active Disk runtime from the paper: each
+// drive integrates an embedded processor (200 MHz Cyrix 6x86) and 32 MB
+// of SDRAM, runs DiskOS ("support for scheduling disklets as well as for
+// managing memory, I/O and stream communication"), and is attached to a
+// dual Fibre Channel arbitrated loop shared with all other drives and a
+// front-end host.
+//
+// Disklets are simulation processes bound to a disk's embedded CPU. They
+// communicate through streams: bounded, credit-controlled chunk flows
+// whose backpressure reflects the OS communication buffers (the paper
+// doubles/quadruples those buffers in the 64/128 MB variants). The
+// communication architecture is switchable between direct disk-to-disk
+// transfers and the restricted mode where every byte is relayed through
+// the front-end host's memory (the Figure 5 experiment).
+package diskos
+
+import (
+	"fmt"
+
+	"howsim/internal/bus"
+	"howsim/internal/cpu"
+	"howsim/internal/disk"
+	"howsim/internal/osmodel"
+	"howsim/internal/sim"
+)
+
+// Config parameterizes an Active Disk system.
+type Config struct {
+	Disks           int
+	DiskSpec        *disk.Spec
+	DiskMemBytes    int64   // per-disk SDRAM (32/64/128 MB in the paper)
+	EmbeddedHz      float64 // embedded processor clock (200 MHz Cyrix)
+	Loops           int     // Fibre Channel loops (2)
+	LoopBytesPerSec float64 // per-loop bandwidth (100 MB/s; 200 for Fast I/O)
+	DirectComm      bool    // disk-to-disk transfers allowed
+	FrontEndHz      float64 // front-end host clock (450 MHz; 1 GHz variant)
+	// CommBufBytes is the per-disk memory reserved for inter-device
+	// communication buffers. Zero selects the default, which scales with
+	// disk memory exactly as the paper scales the OS buffer count.
+	CommBufBytes int64
+	// ChunkBytes is the stream transfer granularity. Zero selects 128 KB.
+	ChunkBytes int64
+	// SpecFor optionally overrides the drive specification per disk
+	// (heterogeneous farms, straggler injection). Nil entries fall back
+	// to DiskSpec.
+	SpecFor func(i int) *disk.Spec
+	// SwitchedLoops splits the farm across this many dual loops joined
+	// by a non-blocking FibreSwitch — the paper's recommendation for
+	// scaling beyond 64 disks ("a more aggressive interconnect (e.g.,
+	// multiple Fibre Channel loops connected by a FibreSwitch)").
+	// 0 or 1 selects the baseline single shared loop.
+	SwitchedLoops int
+}
+
+// DefaultConfig returns the paper's baseline Active Disk configuration
+// for n disks: Cheetah 9LP drives, 200 MHz embedded processors with
+// 32 MB each, a dual 100 MB/s FC loop, direct disk-to-disk
+// communication, and a 450 MHz front-end.
+func DefaultConfig(n int) Config {
+	return Config{
+		Disks:           n,
+		DiskSpec:        disk.Cheetah9LP(),
+		DiskMemBytes:    32 << 20,
+		EmbeddedHz:      200e6,
+		Loops:           2,
+		LoopBytesPerSec: 100e6,
+		DirectComm:      true,
+		FrontEndHz:      450e6,
+	}
+}
+
+func (c Config) commBufBytes() int64 {
+	if c.CommBufBytes > 0 {
+		return c.CommBufBytes
+	}
+	// 4 MB of communication buffers at 32 MB, doubled per memory step:
+	// "we doubled and quadrupled, respectively, the number of OS buffers
+	// allocated for inter-device communication".
+	buf := int64(4 << 20)
+	for m := int64(32 << 20); m < c.DiskMemBytes && m < 1<<40; m *= 2 {
+		buf *= 2
+	}
+	return buf
+}
+
+func (c Config) chunkBytes() int64 {
+	if c.ChunkBytes > 0 {
+		return c.ChunkBytes
+	}
+	return 128 << 10
+}
+
+// Chunk is one stream transfer delivered to a receiving disklet.
+type Chunk struct {
+	Src     int // source disk ID, or FromFrontEnd
+	Bytes   int64
+	Payload any
+}
+
+// FromFrontEnd is the Chunk.Src value for data sent by the front-end.
+const FromFrontEnd = -1
+
+// ActiveDisk is one drive: media, embedded CPU, memory, and its stream
+// endpoints.
+type ActiveDisk struct {
+	ID   int
+	Disk *disk.Disk
+	CPU  *cpu.CPU
+	// Scratch is the disklet working memory (run buffers, hash tables):
+	// total SDRAM minus communication buffers.
+	Scratch *sim.Resource
+
+	sys     *System
+	commBuf *sim.Resource // receive-side communication buffer credits
+	inbox   *sim.Mailbox
+}
+
+// FrontEnd is the host that coordinates the Active Disk farm and relays
+// communication in the restricted (non-direct) architecture.
+type FrontEnd struct {
+	CPU *cpu.CPU
+	OS  osmodel.Costs
+	// Adaptor is the FC host bus adaptor (dual loop, 200 MB/s).
+	Adaptor *bus.Bus
+	// PCI is the host I/O bus every relayed or delivered byte crosses.
+	PCI   *bus.Bus
+	inbox *sim.Mailbox
+
+	relayedBytes  int64
+	receivedBytes int64
+}
+
+// System is an Active Disk installation: the disk farm, its loop (or
+// FibreSwitch-joined loops), and the front-end.
+type System struct {
+	K   *sim.Kernel
+	Cfg Config
+	// Loop is the first (or only) FC loop; in a FibreSwitch
+	// configuration use the Loop* aggregate accessors instead.
+	Loop     *bus.Bus
+	Disks    []*ActiveDisk
+	FE       *FrontEnd
+	chunk    int64
+	loops    []*bus.Bus
+	perGroup int
+}
+
+// NewSystem builds an Active Disk system on k.
+func NewSystem(k *sim.Kernel, cfg Config) *System {
+	if cfg.Disks <= 0 {
+		panic("diskos: need at least one disk")
+	}
+	s := &System{
+		K:     k,
+		Cfg:   cfg,
+		chunk: cfg.chunkBytes(),
+	}
+	groups := cfg.SwitchedLoops
+	if groups < 1 {
+		groups = 1
+	}
+	if groups > cfg.Disks {
+		groups = cfg.Disks
+	}
+	s.perGroup = (cfg.Disks + groups - 1) / groups
+	for g := 0; g < groups; g++ {
+		s.loops = append(s.loops, bus.NewFCAL(k, fmt.Sprintf("fcal%d", g), cfg.Loops, cfg.LoopBytesPerSec))
+	}
+	s.Loop = s.loops[0]
+	feOS := osmodel.FrontEndOS()
+	if cfg.FrontEndHz != 450e6 && cfg.FrontEndHz > 0 {
+		feOS = feOS.ScaledTo(cfg.FrontEndHz)
+	}
+	s.FE = &FrontEnd{
+		CPU:     cpu.New(k, "fe.cpu", cfg.FrontEndHz),
+		OS:      feOS,
+		Adaptor: bus.New(k, "fe.fc", cfg.Loops, cfg.LoopBytesPerSec, bus.FCALStartup, bus.FCALFrame),
+		PCI:     bus.NewPCI(k, "fe.pci"),
+		inbox:   sim.NewMailbox(k, "fe.inbox", 0),
+	}
+	commBuf := cfg.commBufBytes()
+	scratch := cfg.DiskMemBytes - commBuf
+	if scratch < 1<<20 {
+		panic(fmt.Sprintf("diskos: %d bytes of disk memory leaves no scratch space", cfg.DiskMemBytes))
+	}
+	for i := 0; i < cfg.Disks; i++ {
+		spec := cfg.DiskSpec
+		if cfg.SpecFor != nil {
+			if s := cfg.SpecFor(i); s != nil {
+				spec = s
+			}
+		}
+		ad := &ActiveDisk{
+			ID:      i,
+			Disk:    disk.New(k, fmt.Sprintf("ad%d", i), spec),
+			CPU:     cpu.New(k, fmt.Sprintf("ad%d.cpu", i), cfg.EmbeddedHz),
+			Scratch: sim.NewResource(k, fmt.Sprintf("ad%d.scratch", i), scratch),
+			sys:     s,
+			commBuf: sim.NewResource(k, fmt.Sprintf("ad%d.commbuf", i), commBuf),
+			inbox:   sim.NewMailbox(k, fmt.Sprintf("ad%d.inbox", i), 0),
+		}
+		s.Disks = append(s.Disks, ad)
+	}
+	return s
+}
+
+// groupOf returns the loop group a disk belongs to.
+func (s *System) groupOf(diskID int) int { return diskID / s.perGroup }
+
+// loopOf returns the loop a disk is attached to.
+func (s *System) loopOf(diskID int) *bus.Bus { return s.loops[s.groupOf(diskID)] }
+
+// Loops returns the number of FC loops (1 in the baseline; more with a
+// FibreSwitch).
+func (s *System) Loops() int { return len(s.loops) }
+
+// diskToDisk moves one chunk between two disks: once over a shared
+// loop, or across the FibreSwitch (source loop, then destination loop)
+// when the disks sit on different loops.
+func (s *System) diskToDisk(p *sim.Proc, src, dst int, n int64) {
+	sl, dl := s.loopOf(src), s.loopOf(dst)
+	sl.Transfer(p, n)
+	if dl != sl {
+		dl.Transfer(p, n)
+	}
+}
+
+// diskToFE moves one chunk from a disk's loop to the front-end's
+// adaptor (the adaptor hangs off the switch in FibreSwitch mode, off
+// the loop otherwise — either way the source loop is crossed once).
+func (s *System) diskToFE(p *sim.Proc, src int, n int64) {
+	s.loopOf(src).Transfer(p, n)
+	s.FE.Adaptor.Transfer(p, n)
+}
+
+// feToDisk moves one chunk from the front-end to a disk's loop.
+func (s *System) feToDisk(p *sim.Proc, dst int, n int64) {
+	s.FE.Adaptor.Transfer(p, n)
+	s.loopOf(dst).Transfer(p, n)
+}
+
+// LoopBytesMoved returns payload bytes summed over all loops.
+func (s *System) LoopBytesMoved() int64 {
+	var n int64
+	for _, l := range s.loops {
+		n += l.BytesMoved()
+	}
+	return n
+}
+
+// LoopUtilization returns the mean utilization across loops.
+func (s *System) LoopUtilization() float64 {
+	u := 0.0
+	for _, l := range s.loops {
+		u += l.Utilization()
+	}
+	return u / float64(len(s.loops))
+}
+
+// ScratchBytes returns the per-disk disklet working memory.
+func (s *System) ScratchBytes() int64 { return s.Disks[0].Scratch.Capacity() }
+
+// CommBufBytes returns the per-disk memory reserved for inter-device
+// communication buffers.
+func (s *System) CommBufBytes() int64 { return s.Cfg.commBufBytes() }
+
+// ChunkBytes returns the stream transfer granularity.
+func (s *System) ChunkBytes() int64 { return s.chunk }
+
+// ReadLocal reads length bytes at offset from the drive's own media —
+// the defining Active Disk operation: the data never crosses the loop.
+func (ad *ActiveDisk) ReadLocal(p *sim.Proc, offset, length int64) {
+	ad.Disk.Read(p, offset, length)
+}
+
+// WriteLocal writes length bytes at offset to the drive's own media.
+func (ad *ActiveDisk) WriteLocal(p *sim.Proc, offset, length int64) {
+	ad.Disk.Write(p, offset, length)
+}
+
+// Compute executes cycles on the embedded processor.
+func (ad *ActiveDisk) Compute(p *sim.Proc, cycles int64) {
+	ad.CPU.Compute(p, cycles)
+}
+
+// Send streams bytes to the peer disk dst. In the direct architecture
+// the transfer crosses the loop once; in the restricted architecture it
+// is relayed through the front-end host (loop to the FE's adaptor, PCI
+// into host memory, a host memory copy, PCI out, and the loop again).
+// The transfer is chunked; each chunk consumes receive-buffer credit at
+// the destination until the receiving disklet consumes it.
+func (ad *ActiveDisk) Send(p *sim.Proc, dst int, bytes int64, payload any) {
+	ad.sys.stream(p, ad.ID, dst, bytes, payload)
+}
+
+// SendToFrontEnd streams bytes to the front-end host (results, partial
+// aggregates). The data crosses the loop, the FE adaptor and its PCI
+// bus.
+func (ad *ActiveDisk) SendToFrontEnd(p *sim.Proc, bytes int64, payload any) {
+	s := ad.sys
+	remaining := bytes
+	for remaining > 0 {
+		n := s.chunk
+		if remaining < n {
+			n = remaining
+		}
+		remaining -= n
+		s.diskToFE(p, ad.ID, n)
+		s.FE.PCI.Transfer(p, n)
+		s.FE.CPU.Busy(p, s.FE.OS.Interrupt)
+		s.FE.receivedBytes += n
+	}
+	if !s.FE.inbox.TryPut(Chunk{Src: ad.ID, Bytes: bytes, Payload: payload}) {
+		panic("diskos: front-end inbox rejected chunk")
+	}
+}
+
+// Recv blocks until a stream chunk arrives for this disk and returns it.
+// The chunk's buffer credit is released once the receiving disklet calls
+// Release (or immediately if release is deferred to the runtime).
+func (ad *ActiveDisk) Recv(p *sim.Proc) (Chunk, bool) {
+	v, ok := ad.inbox.Get(p)
+	if !ok {
+		return Chunk{}, false
+	}
+	return v.(Chunk), true
+}
+
+// Release returns receive-buffer credit after a chunk's payload has been
+// consumed by the disklet.
+func (ad *ActiveDisk) Release(bytes int64) { ad.commBuf.Release(bytes) }
+
+// CloseInbox signals receivers that no more chunks will arrive.
+func (ad *ActiveDisk) CloseInbox() { ad.inbox.Close() }
+
+// stream moves bytes from disk src to disk dst chunk by chunk.
+func (s *System) stream(p *sim.Proc, src, dst int, bytes int64, payload any) {
+	d := s.Disks[dst]
+	remaining := bytes
+	for remaining > 0 {
+		n := s.chunk
+		if remaining < n {
+			n = remaining
+		}
+		remaining -= n
+		d.commBuf.Acquire(p, n) // backpressure: wait for receive buffers
+		if s.Cfg.DirectComm {
+			s.diskToDisk(p, src, dst, n)
+		} else {
+			s.relayThroughFrontEnd(p, src, dst, n)
+		}
+		last := remaining == 0
+		var pl any
+		if last {
+			pl = payload
+		}
+		if !d.inbox.TryPut(Chunk{Src: src, Bytes: n, Payload: pl}) {
+			panic("diskos: disk inbox rejected chunk")
+		}
+	}
+}
+
+// relayThroughFrontEnd is the restricted communication path: the chunk
+// crosses the loop to the front-end, enters host memory over PCI, is
+// copied by the host CPU, leaves over PCI and crosses the loop again.
+func (s *System) relayThroughFrontEnd(p *sim.Proc, src, dst int, n int64) {
+	fe := s.FE
+	s.diskToFE(p, src, n)
+	fe.PCI.Transfer(p, n)
+	fe.CPU.Busy(p, fe.OS.Interrupt+sim.TransferTime(n, fe.OS.MemoryCopyBytesPerSec))
+	fe.PCI.Transfer(p, n)
+	s.feToDisk(p, dst, n)
+	fe.relayedBytes += n
+}
+
+// FrontEndSend streams bytes from the front-end host to a disk
+// (candidate broadcasts, control tables): PCI out of host memory, the
+// FE adaptor, the loop, and the destination's receive buffers.
+func (s *System) FrontEndSend(p *sim.Proc, dst int, bytes int64, payload any) {
+	fe := s.FE
+	d := s.Disks[dst]
+	remaining := bytes
+	for remaining > 0 {
+		n := s.chunk
+		if remaining < n {
+			n = remaining
+		}
+		remaining -= n
+		d.commBuf.Acquire(p, n)
+		fe.CPU.Busy(p, fe.OS.MessageSend)
+		fe.PCI.Transfer(p, n)
+		s.feToDisk(p, dst, n)
+		last := remaining == 0
+		var pl any
+		if last {
+			pl = payload
+		}
+		if !d.inbox.TryPut(Chunk{Src: FromFrontEnd, Bytes: n, Payload: pl}) {
+			panic("diskos: disk inbox rejected front-end chunk")
+		}
+	}
+}
+
+// RelayedBytes reports the volume relayed through the front-end (zero in
+// the direct architecture).
+func (fe *FrontEnd) RelayedBytes() int64 { return fe.relayedBytes }
+
+// ReceivedBytes reports the result volume delivered to the front-end.
+func (fe *FrontEnd) ReceivedBytes() int64 { return fe.receivedBytes }
+
+// Inbox exposes the front-end's chunk stream (for coordinator logic).
+func (fe *FrontEnd) Inbox() *sim.Mailbox { return fe.inbox }

@@ -1,0 +1,95 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: Table 1 (cost evolution), Table 2 (datasets), Figure 1
+// (architecture comparison), Figure 2 (interconnect bandwidth), Figure 3
+// (sort breakdown), Figure 4 (disk memory) and Figure 5 (communication
+// architecture). Each driver runs the needed simulations (in parallel —
+// every run owns its kernel) and renders the result as text.
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"howsim/internal/arch"
+	"howsim/internal/tasks"
+	"howsim/internal/workload"
+)
+
+// Options controls experiment scale and parallelism.
+type Options struct {
+	// Scale multiplies the Table 2 dataset sizes (1.0 = full scale;
+	// tests use small fractions).
+	Scale float64
+	// Sizes are the configuration sizes to sweep (default 16/32/64/128).
+	Sizes []int
+	// Parallel bounds concurrent simulations (default GOMAXPROCS).
+	Parallel int
+}
+
+// Default returns full-scale options over the paper's sizes.
+func Default() Options {
+	return Options{Scale: 1.0, Sizes: arch.StudiedSizes()}
+}
+
+// Quick returns reduced options for tests: 1/256-scale datasets on
+// 4- and 8-disk configurations.
+func Quick() Options {
+	return Options{Scale: 1.0 / 256, Sizes: []int{4, 8}}
+}
+
+func (o Options) sizes() []int {
+	if len(o.Sizes) == 0 {
+		return arch.StudiedSizes()
+	}
+	return o.Sizes
+}
+
+func (o Options) parallel() int {
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// dataset returns the (possibly scaled) dataset for a task.
+func (o Options) dataset(task workload.TaskID) workload.Dataset {
+	ds := workload.ForTask(task)
+	if o.Scale > 0 && o.Scale < 1 {
+		ds = ds.Scaled(int64(float64(ds.TotalBytes) * o.Scale))
+	}
+	return ds
+}
+
+// job is one simulation to run.
+type job struct {
+	cfg  arch.Config
+	task workload.TaskID
+	out  **tasks.Result
+}
+
+// runAll executes jobs with bounded parallelism. Each simulation is
+// fully independent (own kernel), so results are deterministic
+// regardless of scheduling.
+func (o Options) runAll(jobs []job) {
+	sem := make(chan struct{}, o.parallel())
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		j := j
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			*j.out = tasks.RunDataset(j.cfg, j.task, o.dataset(j.task))
+		}()
+	}
+	wg.Wait()
+}
+
+// AllTasks is the presentation order used by the paper's figures.
+func AllTasks() []workload.TaskID {
+	return []workload.TaskID{
+		workload.Aggregate, workload.GroupBy, workload.Select, workload.Sort,
+		workload.Join, workload.DataCube, workload.DataMine, workload.MView,
+	}
+}

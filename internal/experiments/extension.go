@@ -1,0 +1,289 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"howsim/internal/arch"
+	"howsim/internal/stats"
+	"howsim/internal/tasks"
+	"howsim/internal/workload"
+)
+
+// ExtensionFibreSwitch evaluates the paper's future-work recommendation:
+// "To scale to configurations larger than the ones examined in this
+// paper, we recommend a more aggressive interconnect (e.g., multiple
+// Fibre Channel loops connected by a FibreSwitch)." It runs the
+// communication-intensive tasks on large Active Disk farms with the
+// baseline single dual loop and with 4- and 8-loop FibreSwitch fabrics.
+type ExtensionFibreSwitch struct {
+	Sizes   []int
+	Tasks   []workload.TaskID
+	Fabrics []int // switched loop counts; 1 = baseline
+	Results map[int]map[workload.TaskID]map[int]*tasks.Result
+}
+
+// RunExtensionFibreSwitch executes the interconnect-scaling study on
+// 128- and 256-disk farms (the latter beyond the paper's range).
+func RunExtensionFibreSwitch(o Options) *ExtensionFibreSwitch {
+	sizes := []int{128, 256}
+	if o.sizes()[len(o.sizes())-1] < 64 {
+		// Test-scale runs use the caller's (small) sizes.
+		sizes = o.sizes()
+	}
+	f := &ExtensionFibreSwitch{
+		Sizes:   sizes,
+		Tasks:   []workload.TaskID{workload.Sort, workload.Join, workload.MView},
+		Fabrics: []int{1, 4, 8},
+		Results: map[int]map[workload.TaskID]map[int]*tasks.Result{},
+	}
+	var jobs []job
+	var refs []func()
+	for _, n := range f.Sizes {
+		f.Results[n] = map[workload.TaskID]map[int]*tasks.Result{}
+		for _, t := range f.Tasks {
+			f.Results[n][t] = map[int]*tasks.Result{}
+			for _, loops := range f.Fabrics {
+				cfg := arch.ActiveDisks(n)
+				if loops > 1 {
+					cfg = cfg.WithFibreSwitch(loops)
+				}
+				h := new(*tasks.Result)
+				jobs = append(jobs, job{cfg: cfg, task: t, out: h})
+				n, t, loops := n, t, loops
+				refs = append(refs, func() { f.Results[n][t][loops] = *h })
+			}
+		}
+	}
+	o.runAll(jobs)
+	for _, fn := range refs {
+		fn()
+	}
+	return f
+}
+
+// Speedup returns baseline time / switched time for one cell.
+func (f *ExtensionFibreSwitch) Speedup(size int, t workload.TaskID, loops int) float64 {
+	return f.Results[size][t][1].Elapsed.Seconds() / f.Results[size][t][loops].Elapsed.Seconds()
+}
+
+// ExtensionFrontEnd evaluates the paper's second configuration variant:
+// scaling "the speed of the processor in the front-end host to 1 GHz".
+// It runs the tasks whose critical path touches the front-end (group-by
+// merging, data-mining candidate reductions, select result delivery) at
+// both front-end clocks.
+type ExtensionFrontEnd struct {
+	Sizes  []int
+	Tasks  []workload.TaskID
+	Base   map[int]map[workload.TaskID]*tasks.Result // 450 MHz
+	Faster map[int]map[workload.TaskID]*tasks.Result // 1 GHz
+}
+
+// RunExtensionFrontEnd executes the front-end clock sweep.
+func RunExtensionFrontEnd(o Options) *ExtensionFrontEnd {
+	f := &ExtensionFrontEnd{
+		Sizes:  o.sizes(),
+		Tasks:  []workload.TaskID{workload.Select, workload.GroupBy, workload.DataMine},
+		Base:   map[int]map[workload.TaskID]*tasks.Result{},
+		Faster: map[int]map[workload.TaskID]*tasks.Result{},
+	}
+	var jobs []job
+	var refs []func()
+	for _, n := range f.Sizes {
+		f.Base[n] = map[workload.TaskID]*tasks.Result{}
+		f.Faster[n] = map[workload.TaskID]*tasks.Result{}
+		for _, t := range f.Tasks {
+			hb := new(*tasks.Result)
+			hf := new(*tasks.Result)
+			jobs = append(jobs,
+				job{cfg: arch.ActiveDisks(n), task: t, out: hb},
+				job{cfg: arch.ActiveDisks(n).WithFrontEnd(1e9), task: t, out: hf})
+			n, t := n, t
+			refs = append(refs, func() { f.Base[n][t] = *hb; f.Faster[n][t] = *hf })
+		}
+	}
+	o.runAll(jobs)
+	for _, fn := range refs {
+		fn()
+	}
+	return f
+}
+
+// ImprovementPct returns the percentage improvement from the 1 GHz
+// front-end.
+func (f *ExtensionFrontEnd) ImprovementPct(size int, t workload.TaskID) float64 {
+	b := f.Base[size][t].Elapsed.Seconds()
+	g := f.Faster[size][t].Elapsed.Seconds()
+	return (b - g) / b * 100
+}
+
+// Render prints the front-end scaling study.
+func (f *ExtensionFrontEnd) Render() string {
+	tb := &stats.Table{
+		Title: "Extension: 1 GHz front-end host (% improvement over 450 MHz)",
+		Cols:  []string{"Task", "Disks", "450 MHz", "1 GHz", "Improvement"},
+	}
+	for _, t := range f.Tasks {
+		for _, n := range f.Sizes {
+			tb.AddRow(strings.ToUpper(t.String()), fmt.Sprintf("%d", n),
+				fmt.Sprintf("%.1fs", f.Base[n][t].Elapsed.Seconds()),
+				fmt.Sprintf("%.1fs", f.Faster[n][t].Elapsed.Seconds()),
+				fmt.Sprintf("%.1f%%", f.ImprovementPct(n, t)))
+		}
+	}
+	return tb.String()
+}
+
+// Render prints the scaling study.
+func (f *ExtensionFibreSwitch) Render() string {
+	tb := &stats.Table{
+		Title: "Extension: FibreSwitch interconnects for large Active Disk farms (seconds; speedup vs single loop)",
+		Cols:  []string{"Task", "Disks", "1 loop", "4 loops", "8 loops"},
+	}
+	for _, t := range f.Tasks {
+		for _, n := range f.Sizes {
+			row := []string{strings.ToUpper(t.String()), fmt.Sprintf("%d", n),
+				fmt.Sprintf("%.1fs", f.Results[n][t][1].Elapsed.Seconds())}
+			for _, loops := range f.Fabrics[1:] {
+				row = append(row, fmt.Sprintf("%.1fs (%.2fx)",
+					f.Results[n][t][loops].Elapsed.Seconds(), f.Speedup(n, t, loops)))
+			}
+			tb.AddRow(row...)
+		}
+	}
+	return tb.String()
+}
+
+// ExtensionEmbeddedCPU evaluates the paper's core premise that Active
+// Disk "processing power will evolve as the disk drives evolve": it
+// scales the embedded processor from 200 MHz to 400 and 600 MHz on the
+// compute-heaviest tasks at small configurations (where the embedded
+// CPU, not I/O, is the constraint).
+type ExtensionEmbeddedCPU struct {
+	Sizes   []int
+	Tasks   []workload.TaskID
+	Clocks  []float64
+	Results map[int]map[workload.TaskID]map[float64]*tasks.Result
+}
+
+// RunExtensionEmbeddedCPU executes the embedded-clock sweep.
+func RunExtensionEmbeddedCPU(o Options) *ExtensionEmbeddedCPU {
+	sizes := o.sizes()
+	if len(sizes) > 2 {
+		sizes = sizes[:2] // CPU-bound at small farms; 16 and 32 disks
+	}
+	f := &ExtensionEmbeddedCPU{
+		Sizes:   sizes,
+		Tasks:   []workload.TaskID{workload.Sort, workload.DataCube, workload.DataMine},
+		Clocks:  []float64{200e6, 400e6, 600e6},
+		Results: map[int]map[workload.TaskID]map[float64]*tasks.Result{},
+	}
+	var jobs []job
+	var refs []func()
+	for _, n := range f.Sizes {
+		f.Results[n] = map[workload.TaskID]map[float64]*tasks.Result{}
+		for _, t := range f.Tasks {
+			f.Results[n][t] = map[float64]*tasks.Result{}
+			for _, hz := range f.Clocks {
+				h := new(*tasks.Result)
+				jobs = append(jobs, job{cfg: arch.ActiveDisks(n).WithEmbeddedCPU(hz), task: t, out: h})
+				n, t, hz := n, t, hz
+				refs = append(refs, func() { f.Results[n][t][hz] = *h })
+			}
+		}
+	}
+	o.runAll(jobs)
+	for _, fn := range refs {
+		fn()
+	}
+	return f
+}
+
+// Speedup returns the 200 MHz time divided by the time at hz.
+func (f *ExtensionEmbeddedCPU) Speedup(size int, t workload.TaskID, hz float64) float64 {
+	return f.Results[size][t][200e6].Elapsed.Seconds() / f.Results[size][t][hz].Elapsed.Seconds()
+}
+
+// Render prints the embedded-clock study.
+func (f *ExtensionEmbeddedCPU) Render() string {
+	tb := &stats.Table{
+		Title: "Extension: embedded processor evolution (speedup vs 200 MHz Cyrix)",
+		Cols:  []string{"Task", "Disks", "200 MHz", "400 MHz", "600 MHz"},
+	}
+	for _, t := range f.Tasks {
+		for _, n := range f.Sizes {
+			tb.AddRow(strings.ToUpper(t.String()), fmt.Sprintf("%d", n),
+				fmt.Sprintf("%.1fs", f.Results[n][t][200e6].Elapsed.Seconds()),
+				fmt.Sprintf("%.1fs (%.2fx)", f.Results[n][t][400e6].Elapsed.Seconds(), f.Speedup(n, t, 400e6)),
+				fmt.Sprintf("%.1fs (%.2fx)", f.Results[n][t][600e6].Elapsed.Seconds(), f.Speedup(n, t, 600e6)))
+		}
+	}
+	return tb.String()
+}
+
+// ExtensionStraggler is a failure-injection study: one drive in the
+// farm is derated to half speed. Architectures that statically
+// partition work across disks (Active Disks, cluster) are bound by the
+// straggler; the SMP's shared self-scheduling block queue absorbs it.
+type ExtensionStraggler struct {
+	Size    int
+	Tasks   []workload.TaskID
+	Healthy map[workload.TaskID]map[arch.Kind]*tasks.Result
+	Injured map[workload.TaskID]map[arch.Kind]*tasks.Result
+}
+
+// RunExtensionStraggler executes the degraded-disk study at the largest
+// configured size.
+func RunExtensionStraggler(o Options) *ExtensionStraggler {
+	size := o.sizes()[len(o.sizes())-1]
+	f := &ExtensionStraggler{
+		Size:    size,
+		Tasks:   []workload.TaskID{workload.Select, workload.Sort},
+		Healthy: map[workload.TaskID]map[arch.Kind]*tasks.Result{},
+		Injured: map[workload.TaskID]map[arch.Kind]*tasks.Result{},
+	}
+	var jobs []job
+	var refs []func()
+	for _, t := range f.Tasks {
+		f.Healthy[t] = map[arch.Kind]*tasks.Result{}
+		f.Injured[t] = map[arch.Kind]*tasks.Result{}
+		for _, base := range []arch.Config{arch.ActiveDisks(size), arch.Cluster(size), arch.SMP(size)} {
+			hh := new(*tasks.Result)
+			hi := new(*tasks.Result)
+			jobs = append(jobs,
+				job{cfg: base, task: t, out: hh},
+				job{cfg: base.WithDegradedDisks(1, 0.5), task: t, out: hi})
+			t, kind := t, base.Kind
+			refs = append(refs, func() { f.Healthy[t][kind] = *hh; f.Injured[t][kind] = *hi })
+		}
+	}
+	o.runAll(jobs)
+	for _, fn := range refs {
+		fn()
+	}
+	return f
+}
+
+// SlowdownPct returns the percentage slowdown one straggler causes.
+func (f *ExtensionStraggler) SlowdownPct(t workload.TaskID, k arch.Kind) float64 {
+	h := f.Healthy[t][k].Elapsed.Seconds()
+	i := f.Injured[t][k].Elapsed.Seconds()
+	return (i - h) / h * 100
+}
+
+// Render prints the straggler study.
+func (f *ExtensionStraggler) Render() string {
+	tb := &stats.Table{
+		Title: fmt.Sprintf("Extension: one half-speed drive in a %d-disk farm (%% slowdown)", f.Size),
+		Cols:  []string{"Task", "Architecture", "healthy", "1 straggler", "slowdown"},
+	}
+	for _, t := range f.Tasks {
+		for _, k := range []arch.Kind{arch.KindActiveDisk, arch.KindCluster, arch.KindSMP} {
+			tb.AddRow(strings.ToUpper(t.String()), k.String(),
+				fmt.Sprintf("%.1fs", f.Healthy[t][k].Elapsed.Seconds()),
+				fmt.Sprintf("%.1fs", f.Injured[t][k].Elapsed.Seconds()),
+				fmt.Sprintf("%.1f%%", f.SlowdownPct(t, k)))
+		}
+	}
+	return tb.String()
+}

@@ -1,0 +1,369 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"howsim/internal/arch"
+	"howsim/internal/stats"
+	"howsim/internal/tasks"
+	"howsim/internal/workload"
+)
+
+// Figure1 compares the three architectures on all eight tasks at every
+// configuration size; results are normalized to the Active Disk time of
+// the same size, exactly as in the paper's Figure 1.
+type Figure1 struct {
+	Sizes   []int
+	Tasks   []workload.TaskID
+	Results map[int]map[workload.TaskID]map[arch.Kind]*tasks.Result
+}
+
+// RunFigure1 executes the 8 tasks x 3 architectures x sizes matrix.
+func RunFigure1(o Options) *Figure1 {
+	f := &Figure1{Sizes: o.sizes(), Tasks: AllTasks(),
+		Results: map[int]map[workload.TaskID]map[arch.Kind]*tasks.Result{}}
+	var jobs []job
+	var refs []func()
+	for _, n := range f.Sizes {
+		f.Results[n] = map[workload.TaskID]map[arch.Kind]*tasks.Result{}
+		for _, t := range f.Tasks {
+			f.Results[n][t] = map[arch.Kind]*tasks.Result{}
+			for _, cfg := range []arch.Config{arch.ActiveDisks(n), arch.Cluster(n), arch.SMP(n)} {
+				h := new(*tasks.Result)
+				jobs = append(jobs, job{cfg: cfg, task: t, out: h})
+				n, t, kind := n, t, cfg.Kind
+				refs = append(refs, func() { f.Results[n][t][kind] = *h })
+			}
+		}
+	}
+	o.runAll(jobs)
+	for _, fn := range refs {
+		fn()
+	}
+	return f
+}
+
+// Normalized returns, for one size, the execution times of each task on
+// each architecture divided by the Active Disk time.
+func (f *Figure1) Normalized(size int) (groups []string, series []string, vals [][]float64) {
+	series = []string{"Active", "Cluster", "SMP"}
+	for _, t := range f.Tasks {
+		groups = append(groups, strings.ToUpper(t.String()))
+		base := f.Results[size][t][arch.KindActiveDisk].Elapsed.Seconds()
+		row := []float64{
+			1.0,
+			f.Results[size][t][arch.KindCluster].Elapsed.Seconds() / base,
+			f.Results[size][t][arch.KindSMP].Elapsed.Seconds() / base,
+		}
+		vals = append(vals, row)
+	}
+	return groups, series, vals
+}
+
+// Render prints one grouped bar chart per configuration size.
+func (f *Figure1) Render() string {
+	var sb strings.Builder
+	for _, n := range f.Sizes {
+		groups, series, vals := f.Normalized(n)
+		ch := &stats.BarChart{
+			Title:  fmt.Sprintf("Figure 1: normalized execution time, %d-disk configurations (Active = 1.0)", n),
+			Series: series, Groups: groups, Values: vals, Unit: "x",
+		}
+		sb.WriteString(ch.String())
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Figure2 varies the serial I/O interconnect (200 vs 400 MB/s) for
+// Active Disk and SMP configurations at 64 and 128 disks; values are
+// normalized to the 200 MB/s Active Disk time of the same size.
+type Figure2 struct {
+	Sizes   []int
+	Tasks   []workload.TaskID
+	Results map[int]map[workload.TaskID]map[string]*tasks.Result
+}
+
+// Figure2Variants are the four configurations of Figure 2's legend.
+var Figure2Variants = []string{"200MB(A)", "400MB(A)", "200MB(S)", "400MB(S)"}
+
+// RunFigure2 executes the interconnect sweep.
+func RunFigure2(o Options) *Figure2 {
+	sizes := o.sizes()
+	if len(sizes) > 2 {
+		sizes = sizes[len(sizes)-2:] // the paper shows 64 and 128 disks
+	}
+	f := &Figure2{Sizes: sizes, Tasks: AllTasks(),
+		Results: map[int]map[workload.TaskID]map[string]*tasks.Result{}}
+	var jobs []job
+	var refs []func()
+	for _, n := range sizes {
+		f.Results[n] = map[workload.TaskID]map[string]*tasks.Result{}
+		for _, t := range f.Tasks {
+			f.Results[n][t] = map[string]*tasks.Result{}
+			variants := map[string]arch.Config{
+				"200MB(A)": arch.ActiveDisks(n),
+				"400MB(A)": arch.ActiveDisks(n).WithFastIO(),
+				"200MB(S)": arch.SMP(n),
+				"400MB(S)": arch.SMP(n).WithFastIO(),
+			}
+			for name, cfg := range variants {
+				h := new(*tasks.Result)
+				jobs = append(jobs, job{cfg: cfg, task: t, out: h})
+				n, t, name := n, t, name
+				refs = append(refs, func() { f.Results[n][t][name] = *h })
+			}
+		}
+	}
+	o.runAll(jobs)
+	for _, fn := range refs {
+		fn()
+	}
+	return f
+}
+
+// Normalized returns the four variants' times divided by the 200 MB/s
+// Active Disk time, per task, for one size.
+func (f *Figure2) Normalized(size int) (groups []string, series []string, vals [][]float64) {
+	series = Figure2Variants
+	for _, t := range f.Tasks {
+		groups = append(groups, strings.ToUpper(t.String()))
+		base := f.Results[size][t]["200MB(A)"].Elapsed.Seconds()
+		var row []float64
+		for _, v := range series {
+			row = append(row, f.Results[size][t][v].Elapsed.Seconds()/base)
+		}
+		vals = append(vals, row)
+	}
+	return groups, series, vals
+}
+
+// Render prints one chart per size.
+func (f *Figure2) Render() string {
+	var sb strings.Builder
+	for _, n := range f.Sizes {
+		groups, series, vals := f.Normalized(n)
+		ch := &stats.BarChart{
+			Title:  fmt.Sprintf("Figure 2: impact of I/O interconnect bandwidth, %d disks (200MB(A) = 1.0)", n),
+			Series: series, Groups: groups, Values: vals, Unit: "x",
+		}
+		sb.WriteString(ch.String())
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Figure3 is the sort execution-time breakdown on Active Disk
+// configurations: base, Fast Disk (Hitachi) and Fast I/O (400 MB/s)
+// variants at every size.
+type Figure3 struct {
+	Sizes    []int
+	Variants []string
+	Results  map[int]map[string]*tasks.Result
+}
+
+// Figure3Variants matches the figure's bar labels.
+var Figure3Variants = []string{"base", "Fast Disk", "Fast I/O"}
+
+// RunFigure3 executes the sort breakdown sweep.
+func RunFigure3(o Options) *Figure3 {
+	f := &Figure3{Sizes: o.sizes(), Variants: Figure3Variants,
+		Results: map[int]map[string]*tasks.Result{}}
+	var jobs []job
+	var refs []func()
+	for _, n := range f.Sizes {
+		f.Results[n] = map[string]*tasks.Result{}
+		variants := map[string]arch.Config{
+			"base":      arch.ActiveDisks(n),
+			"Fast Disk": arch.ActiveDisks(n).WithFastDisk(),
+			"Fast I/O":  arch.ActiveDisks(n).WithFastIO(),
+		}
+		for name, cfg := range variants {
+			h := new(*tasks.Result)
+			jobs = append(jobs, job{cfg: cfg, task: workload.Sort, out: h})
+			n, name := n, name
+			refs = append(refs, func() { f.Results[n][name] = *h })
+		}
+	}
+	o.runAll(jobs)
+	for _, fn := range refs {
+		fn()
+	}
+	return f
+}
+
+// Buckets is Figure 3(b)'s legend order.
+var figure3Buckets = []string{"P1:Partitioner", "P1:Append", "P1:Sort", "P1:Idle", "P2:Merge", "P2:Idle"}
+
+// Fractions returns each bucket's share of elapsed time for one
+// size/variant.
+func (f *Figure3) Fractions(size int, variant string) []float64 {
+	res := f.Results[size][variant]
+	out := make([]float64, len(figure3Buckets))
+	for i, b := range figure3Buckets {
+		out[i] = res.Breakdown.Fraction(b)
+	}
+	return out
+}
+
+// Render prints the stacked breakdown bars.
+func (f *Figure3) Render() string {
+	sb := &strings.Builder{}
+	chart := &stats.StackedBars{
+		Title:   "Figure 3: breakdown of sort on Active Disk configurations (% of elapsed time)",
+		Buckets: figure3Buckets,
+	}
+	for _, n := range f.Sizes {
+		for _, v := range f.Variants {
+			chart.Groups = append(chart.Groups, fmt.Sprintf("%d disks / %s", n, v))
+			chart.Fractions = append(chart.Fractions, f.Fractions(n, v))
+		}
+	}
+	chart.Render(sb)
+	for _, n := range f.Sizes {
+		for _, v := range f.Variants {
+			r := f.Results[n][v]
+			fmt.Fprintf(sb, "%3d disks / %-9s elapsed %8.1fs (P1 %.1fs, P2 %.1fs, %.0f runs)\n",
+				n, v, r.Elapsed.Seconds(), r.Details["p1_seconds"], r.Details["p2_seconds"], r.Details["runs"])
+		}
+	}
+	return sb.String()
+}
+
+// Figure4 measures the improvement from growing Active Disk memory from
+// 32 MB to 64 MB for the memory-sensitive tasks.
+type Figure4 struct {
+	Sizes  []int
+	Tasks  []workload.TaskID
+	Base   map[int]map[workload.TaskID]*tasks.Result // 32 MB
+	Bigger map[int]map[workload.TaskID]*tasks.Result // 64 MB
+}
+
+// Figure4Tasks matches the figure's x-axis.
+func Figure4Tasks() []workload.TaskID {
+	return []workload.TaskID{workload.Select, workload.Sort, workload.Join, workload.DataCube, workload.MView}
+}
+
+// RunFigure4 executes the memory sweep.
+func RunFigure4(o Options) *Figure4 {
+	f := &Figure4{Sizes: o.sizes(), Tasks: Figure4Tasks(),
+		Base:   map[int]map[workload.TaskID]*tasks.Result{},
+		Bigger: map[int]map[workload.TaskID]*tasks.Result{}}
+	var jobs []job
+	var refs []func()
+	for _, n := range f.Sizes {
+		f.Base[n] = map[workload.TaskID]*tasks.Result{}
+		f.Bigger[n] = map[workload.TaskID]*tasks.Result{}
+		for _, t := range f.Tasks {
+			hb := new(*tasks.Result)
+			hB := new(*tasks.Result)
+			jobs = append(jobs,
+				job{cfg: arch.ActiveDisks(n), task: t, out: hb},
+				job{cfg: arch.ActiveDisks(n).WithDiskMemory(64 << 20), task: t, out: hB})
+			n, t := n, t
+			refs = append(refs, func() { f.Base[n][t] = *hb; f.Bigger[n][t] = *hB })
+		}
+	}
+	o.runAll(jobs)
+	for _, fn := range refs {
+		fn()
+	}
+	return f
+}
+
+// ImprovementPct returns the percentage improvement of 64 MB over 32 MB.
+func (f *Figure4) ImprovementPct(size int, t workload.TaskID) float64 {
+	b := f.Base[size][t].Elapsed.Seconds()
+	g := f.Bigger[size][t].Elapsed.Seconds()
+	return (b - g) / b * 100
+}
+
+// Render prints the improvement chart.
+func (f *Figure4) Render() string {
+	ch := &stats.BarChart{
+		Title: "Figure 4: % improvement in execution time with 64 MB (vs 32 MB) per Active Disk",
+		Unit:  "%",
+	}
+	for _, n := range f.Sizes {
+		ch.Series = append(ch.Series, fmt.Sprintf("%d disks", n))
+	}
+	for _, t := range f.Tasks {
+		ch.Groups = append(ch.Groups, strings.ToUpper(t.String()))
+		var row []float64
+		for _, n := range f.Sizes {
+			v := f.ImprovementPct(n, t)
+			if v < 0 {
+				v = 0 // clamp sub-noise regressions, as a bar chart cannot show them
+			}
+			row = append(row, v)
+		}
+		ch.Values = append(ch.Values, row)
+	}
+	return ch.String()
+}
+
+// Figure5 restricts Active Disks to front-end-relayed communication and
+// reports slowdowns relative to the direct architecture.
+type Figure5 struct {
+	Sizes      []int
+	Tasks      []workload.TaskID
+	Direct     map[int]map[workload.TaskID]*tasks.Result
+	Restricted map[int]map[workload.TaskID]*tasks.Result
+}
+
+// RunFigure5 executes the communication-architecture sweep.
+func RunFigure5(o Options) *Figure5 {
+	sizes := o.sizes()
+	if len(sizes) > 3 {
+		sizes = sizes[len(sizes)-3:] // the paper shows 32/64/128 disks
+	}
+	f := &Figure5{Sizes: sizes, Tasks: AllTasks(),
+		Direct:     map[int]map[workload.TaskID]*tasks.Result{},
+		Restricted: map[int]map[workload.TaskID]*tasks.Result{}}
+	var jobs []job
+	var refs []func()
+	for _, n := range sizes {
+		f.Direct[n] = map[workload.TaskID]*tasks.Result{}
+		f.Restricted[n] = map[workload.TaskID]*tasks.Result{}
+		for _, t := range f.Tasks {
+			hd := new(*tasks.Result)
+			hr := new(*tasks.Result)
+			jobs = append(jobs,
+				job{cfg: arch.ActiveDisks(n), task: t, out: hd},
+				job{cfg: arch.ActiveDisks(n).WithFrontEndOnly(), task: t, out: hr})
+			n, t := n, t
+			refs = append(refs, func() { f.Direct[n][t] = *hd; f.Restricted[n][t] = *hr })
+		}
+	}
+	o.runAll(jobs)
+	for _, fn := range refs {
+		fn()
+	}
+	return f
+}
+
+// Slowdown returns restricted/direct time for one size and task.
+func (f *Figure5) Slowdown(size int, t workload.TaskID) float64 {
+	return f.Restricted[size][t].Elapsed.Seconds() / f.Direct[size][t].Elapsed.Seconds()
+}
+
+// Render prints the slowdown chart.
+func (f *Figure5) Render() string {
+	ch := &stats.BarChart{
+		Title: "Figure 5: slowdown with front-end-only communication (direct = 1.0)",
+		Unit:  "x",
+	}
+	for _, n := range f.Sizes {
+		ch.Series = append(ch.Series, fmt.Sprintf("%d disks", n))
+	}
+	for _, t := range f.Tasks {
+		ch.Groups = append(ch.Groups, strings.ToUpper(t.String()))
+		var row []float64
+		for _, n := range f.Sizes {
+			row = append(row, f.Slowdown(n, t))
+		}
+		ch.Values = append(ch.Values, row)
+	}
+	return ch.String()
+}

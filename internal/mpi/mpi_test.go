@@ -1,0 +1,269 @@
+package mpi
+
+import (
+	"testing"
+
+	"howsim/internal/cpu"
+	"howsim/internal/netsim"
+	"howsim/internal/osmodel"
+	"howsim/internal/sim"
+)
+
+func buildWorld(t *testing.T, nodes int) (*sim.Kernel, *World) {
+	t.Helper()
+	k := sim.NewKernel()
+	n := netsim.New(k, 0)
+	ft := netsim.NewFatTree(n, nodes, netsim.DefaultFatTreeConfig())
+	n.SetTopology(ft)
+	cpus := make([]*cpu.CPU, nodes)
+	for i := range cpus {
+		cpus[i] = cpu.New(k, "cpu", 300e6)
+	}
+	return k, NewWorld(n, cpus, osmodel.FullFunctionOS())
+}
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	k, w := buildWorld(t, 4)
+	var got *netsim.Message
+	k.Spawn("recv", func(p *sim.Proc) {
+		got = w.Rank(1).Recv(p, 0, 7)
+	})
+	k.Spawn("send", func(p *sim.Proc) {
+		w.Rank(0).Send(p, 1, 7, 4096, "hello")
+	})
+	k.Run()
+	if got == nil || got.Payload.(string) != "hello" || got.Bytes != 4096 {
+		t.Fatalf("Recv returned %+v", got)
+	}
+}
+
+func TestRecvMatchingByTagAndSource(t *testing.T) {
+	k, w := buildWorld(t, 4)
+	var tags []int
+	k.Spawn("recv", func(p *sim.Proc) {
+		// Receive tag 2 first even though tag 1 arrives first.
+		m2 := w.Rank(3).Recv(p, AnySource, 2)
+		m1 := w.Rank(3).Recv(p, AnySource, 1)
+		tags = append(tags, m2.Tag, m1.Tag)
+	})
+	k.Spawn("send", func(p *sim.Proc) {
+		w.Rank(0).Send(p, 3, 1, 100, nil)
+		w.Rank(0).Send(p, 3, 2, 100, nil)
+	})
+	k.Run()
+	if len(tags) != 2 || tags[0] != 2 || tags[1] != 1 {
+		t.Errorf("matched tags = %v, want [2 1]", tags)
+	}
+}
+
+func TestRecvBySourceFilter(t *testing.T) {
+	k, w := buildWorld(t, 4)
+	var from int
+	k.Spawn("recv", func(p *sim.Proc) {
+		m := w.Rank(0).Recv(p, 2, AnyTag)
+		from = m.Src
+	})
+	k.Spawn("send1", func(p *sim.Proc) {
+		w.Rank(1).Send(p, 0, 0, 50, nil)
+	})
+	k.Spawn("send2", func(p *sim.Proc) {
+		p.Delay(sim.Millisecond)
+		w.Rank(2).Send(p, 0, 0, 50, nil)
+	})
+	k.Run()
+	if from != 2 {
+		t.Errorf("Recv(src=2) matched message from %d", from)
+	}
+}
+
+func TestIsendOverlap(t *testing.T) {
+	// 16 posted async sends to distinct peers should overlap: total time
+	// well under 16x a single send.
+	k, w := buildWorld(t, 17)
+	const bytes = 1_170_000 // 0.1s of NIC time
+	var single, batch sim.Time
+	k.Spawn("single", func(p *sim.Proc) {
+		w.Rank(0).Send(p, 1, 99, bytes, nil)
+		single = p.Now()
+	})
+	k.Run()
+
+	k2, w2 := buildWorld(t, 17)
+	for i := 1; i <= 16; i++ {
+		i := i
+		k2.Spawn("recv", func(p *sim.Proc) {
+			w2.Rank(i).Recv(p, 0, AnyTag)
+		})
+	}
+	k2.Spawn("send", func(p *sim.Proc) {
+		var hs []*Handle
+		for i := 1; i <= 16; i++ {
+			hs = append(hs, w2.Rank(0).Isend(p, i, 0, bytes, nil))
+		}
+		for _, h := range hs {
+			h.Wait(p)
+		}
+		batch = p.Now()
+	})
+	k2.Run()
+	// All 16 sends share rank 0's single NIC: total ~16x the wire time of
+	// one message, but the receives all overlap. The point is batch is
+	// NIC-bound, not latency-bound: it must beat 16 sequential round trips
+	// yet exceed the NIC serialization floor.
+	floor := sim.Time(16 * 0.1 * float64(sim.Second))
+	if batch < floor {
+		t.Errorf("batch of 16 finished at %v, below NIC serialization floor %v", batch, floor)
+	}
+	if batch > floor+floor/4 {
+		t.Errorf("batch of 16 took %v, want close to NIC floor %v (pipelined)", batch, floor)
+	}
+	_ = single
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	k, w := buildWorld(t, 8)
+	g := w.NewGroup("g", []int{0, 1, 2, 3, 4, 5, 6, 7})
+	var times []sim.Time
+	for i := 0; i < 8; i++ {
+		i := i
+		k.Spawn("w", func(p *sim.Proc) {
+			p.Delay(sim.Time(i) * sim.Millisecond)
+			g.Barrier(p)
+			times = append(times, p.Now())
+		})
+	}
+	k.Run()
+	for _, tt := range times {
+		if tt < 7*sim.Millisecond {
+			t.Errorf("rank released at %v before last arrival at 7ms", tt)
+		}
+	}
+}
+
+func TestAllReduceSum(t *testing.T) {
+	k, w := buildWorld(t, 4)
+	g := w.NewGroup("g", []int{0, 1, 2, 3})
+	results := make([]float64, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		k.Spawn("w", func(p *sim.Proc) {
+			results[i] = g.AllReduceSum(p, i, float64(i+1))
+		})
+	}
+	k.Run()
+	for i, r := range results {
+		if r != 10 {
+			t.Errorf("rank %d reduced to %v, want 10", i, r)
+		}
+	}
+}
+
+func TestAllReduceMax(t *testing.T) {
+	k, w := buildWorld(t, 3)
+	g := w.NewGroup("g", []int{0, 1, 2})
+	results := make([]float64, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		k.Spawn("w", func(p *sim.Proc) {
+			results[i] = g.AllReduceMax(p, i, float64(10-i))
+		})
+	}
+	k.Run()
+	for i, r := range results {
+		if r != 10 {
+			t.Errorf("rank %d max = %v, want 10", i, r)
+		}
+	}
+}
+
+func TestAllReduceReusable(t *testing.T) {
+	k, w := buildWorld(t, 2)
+	g := w.NewGroup("g", []int{0, 1})
+	sums := make([][]float64, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		k.Spawn("w", func(p *sim.Proc) {
+			for round := 0; round < 3; round++ {
+				sums[i] = append(sums[i], g.AllReduceSum(p, i, float64(round)))
+			}
+		})
+	}
+	k.Run()
+	for i := 0; i < 2; i++ {
+		want := []float64{0, 2, 4}
+		for r, v := range sums[i] {
+			if v != want[r] {
+				t.Errorf("rank %d round %d = %v, want %v", i, r, v, want[r])
+			}
+		}
+	}
+}
+
+func TestMessagingChargesCPU(t *testing.T) {
+	k, w := buildWorld(t, 2)
+	k.Spawn("recv", func(p *sim.Proc) {
+		w.Rank(1).Recv(p, AnySource, AnyTag)
+	})
+	k.Spawn("send", func(p *sim.Proc) {
+		w.Rank(0).Send(p, 1, 0, 1<<20, nil)
+	})
+	k.Run()
+	s, r, b := w.Rank(0).Stats()
+	if s != 1 || b != 1<<20 {
+		t.Errorf("sender stats = (%d msgs, %d bytes), want (1, 1MB)", s, b)
+	}
+	_, r1, _ := w.Rank(1).Stats()
+	if r != 0 || r1 != 1 {
+		t.Errorf("receive counts: rank0=%d rank1=%d, want 0 and 1", r, r1)
+	}
+}
+
+func TestIrecvPostedBeforeArrival(t *testing.T) {
+	k, w := buildWorld(t, 4)
+	var got []*netsim.Message
+	k.Spawn("recv", func(p *sim.Proc) {
+		// Post 3 receives up front (the paper's posted-receive pattern).
+		var hs []*Handle
+		for i := 0; i < 3; i++ {
+			hs = append(hs, w.Rank(1).Irecv(AnySource, AnyTag))
+		}
+		for _, h := range hs {
+			got = append(got, w.Rank(1).WaitRecv(p, h))
+		}
+	})
+	k.Spawn("send", func(p *sim.Proc) {
+		p.Delay(sim.Millisecond)
+		for i := 0; i < 3; i++ {
+			w.Rank(0).Send(p, 1, i, 1000, i)
+		}
+	})
+	k.Run()
+	if len(got) != 3 {
+		t.Fatalf("posted receives returned %d messages", len(got))
+	}
+	for i, m := range got {
+		if m.Payload.(int) != i {
+			t.Errorf("message %d payload %v (same-peer order must hold)", i, m.Payload)
+		}
+	}
+}
+
+func TestIrecvMatchesAlreadyArrived(t *testing.T) {
+	k, w := buildWorld(t, 2)
+	var msg *netsim.Message
+	k.Spawn("send", func(p *sim.Proc) {
+		w.Rank(0).Send(p, 1, 5, 100, "early")
+	})
+	k.Spawn("recv", func(p *sim.Proc) {
+		p.Delay(10 * sim.Millisecond) // message is already in the unexpected queue
+		h := w.Rank(1).Irecv(0, 5)
+		if !h.Done() {
+			t.Error("Irecv of an arrived message should complete immediately")
+		}
+		msg = w.Rank(1).WaitRecv(p, h)
+	})
+	k.Run()
+	if msg == nil || msg.Payload.(string) != "early" {
+		t.Fatalf("got %+v", msg)
+	}
+}

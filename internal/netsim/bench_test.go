@@ -1,0 +1,101 @@
+package netsim
+
+import (
+	"testing"
+
+	"howsim/internal/sim"
+)
+
+// Validation microbenchmarks, in the spirit of the paper's "Netsim has
+// been validated using a set of microbenchmarks": they report the
+// model's point-to-point latency, point-to-point bandwidth, and
+// all-to-all aggregate bandwidth as benchmark metrics.
+
+func benchNet(nodes int) (*sim.Kernel, *Network) {
+	k := sim.NewKernel()
+	n := New(k, 0)
+	ft := NewFatTree(n, nodes, DefaultFatTreeConfig())
+	n.SetTopology(ft)
+	return k, n
+}
+
+// BenchmarkP2PLatency measures the one-way latency of a 1 KB message
+// across the switch.
+func BenchmarkP2PLatency(b *testing.B) {
+	var lat sim.Time
+	for i := 0; i < b.N; i++ {
+		k, n := benchNet(4)
+		var m *Message
+		k.Spawn("s", func(p *sim.Proc) {
+			m = n.Send(p, 0, 1, 0, 1024, nil)
+			m.Wait(p)
+		})
+		k.Run()
+		lat = m.DeliveredAt - m.SentAt
+	}
+	b.ReportMetric(float64(lat)/1000, "latency-us")
+}
+
+// BenchmarkP2PBandwidth measures sustained point-to-point throughput
+// for a 64 MB transfer.
+func BenchmarkP2PBandwidth(b *testing.B) {
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		k, n := benchNet(4)
+		const bytes = 64 << 20
+		var m *Message
+		k.Spawn("s", func(p *sim.Proc) {
+			m = n.Send(p, 0, 1, 0, bytes, nil)
+			m.Wait(p)
+		})
+		k.Run()
+		rate = float64(bytes) / (m.DeliveredAt - m.SentAt).Seconds() / 1e6
+	}
+	b.ReportMetric(rate, "MB/s")
+}
+
+// BenchmarkAllToAll measures aggregate bandwidth of a 24-node all-to-all
+// (the repartition pattern of sort/join).
+func BenchmarkAllToAll(b *testing.B) {
+	var agg float64
+	for i := 0; i < b.N; i++ {
+		const nodes = 24
+		const perPeer = 1 << 20
+		k, n := benchNet(nodes)
+		var last sim.Time
+		for s := 0; s < nodes; s++ {
+			s := s
+			k.Spawn("send", func(p *sim.Proc) {
+				var ms []*Message
+				for d := 0; d < nodes; d++ {
+					if d == s {
+						continue
+					}
+					ms = append(ms, n.Send(p, s, d, 0, perPeer, nil))
+				}
+				for _, m := range ms {
+					m.Wait(p)
+				}
+				if p.Now() > last {
+					last = p.Now()
+				}
+			})
+		}
+		k.Run()
+		total := float64(nodes * (nodes - 1) * perPeer)
+		agg = total / last.Seconds() / 1e6
+	}
+	b.ReportMetric(agg, "aggregate-MB/s")
+}
+
+// BenchmarkFrameThroughput measures the simulator's event-processing
+// cost: wall time per simulated frame hop.
+func BenchmarkFrameThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k, n := benchNet(8)
+		k.Spawn("s", func(p *sim.Proc) {
+			n.Send(p, 0, 7, 0, 32<<20, nil).Wait(p) // 512 frames, 2 hops
+		})
+		k.Run()
+	}
+}

@@ -1,0 +1,243 @@
+// Package netsim is the switched-network substrate, reimplementing the
+// role Netsim plays in Howsim: "Netsim models switched networks and an
+// efficient user-space message-passing and global synchronization
+// library with an MPI-like interface".
+//
+// The model is store-and-forward at frame granularity. A message is cut
+// into frames; each frame traverses a path of links. Every link has a
+// bounded input queue and one transmit server per physical channel, so
+// contention, head-of-line blocking and backpressure all emerge from
+// queueing rather than being approximated analytically. The message
+// layer with matching semantics lives in package mpi; this package only
+// moves bytes.
+package netsim
+
+import (
+	"fmt"
+
+	"howsim/internal/sim"
+)
+
+// DefaultFrameBytes is the segmentation granularity for messages.
+const DefaultFrameBytes = 64 << 10
+
+// Message is one network transfer. Delivery is signaled when the final
+// frame reaches the destination.
+type Message struct {
+	ID      int64
+	Src     int
+	Dst     int
+	Tag     int
+	Bytes   int64
+	Payload any
+
+	SentAt      sim.Time
+	DeliveredAt sim.Time
+
+	framesLeft int
+	done       *sim.Signal
+}
+
+// Wait blocks p until the message has been fully delivered.
+func (m *Message) Wait(p *sim.Proc) { m.done.Wait(p) }
+
+// Delivered reports whether the message has fully arrived.
+func (m *Message) Delivered() bool { return m.done.Fired() }
+
+// frame is one store-and-forward unit of a message.
+type frame struct {
+	bytes int64
+	path  []*Link // links still to traverse (path[0] is next)
+	msg   *Message
+}
+
+// Link is a unidirectional transmission link with a bounded queue and
+// one transmit server per channel.
+type Link struct {
+	name  string
+	queue *sim.Mailbox
+	pipe  *sim.Pipe
+	net   *Network
+
+	bytesMoved int64
+	frames     int64
+}
+
+// LinkConfig parameterizes a link.
+type LinkConfig struct {
+	Channels    int      // parallel physical channels (e.g. 2 GigE uplinks)
+	BytesPerSec float64  // per-channel rate
+	Latency     sim.Time // per-frame startup (propagation + switch cut-in)
+	QueueFrames int      // bounded input queue depth (backpressure)
+}
+
+// NewLink creates a link and spawns its transmit servers.
+func (n *Network) NewLink(name string, cfg LinkConfig) *Link {
+	if cfg.Channels <= 0 {
+		cfg.Channels = 1
+	}
+	if cfg.QueueFrames <= 0 {
+		cfg.QueueFrames = 8
+	}
+	l := &Link{
+		name:  name,
+		queue: sim.NewMailbox(n.k, name+".q", cfg.QueueFrames),
+		pipe:  sim.NewPipe(n.k, name, cfg.Channels, cfg.BytesPerSec, cfg.Latency),
+		net:   n,
+	}
+	for i := 0; i < cfg.Channels; i++ {
+		n.k.Spawn(fmt.Sprintf("%s.tx%d", name, i), l.transmit)
+	}
+	return l
+}
+
+// Name returns the link's name.
+func (l *Link) Name() string { return l.name }
+
+// BytesMoved returns the total payload bytes transmitted on this link.
+func (l *Link) BytesMoved() int64 { return l.bytesMoved }
+
+// Utilization returns the fraction of channel-time in use.
+func (l *Link) Utilization() float64 { return l.pipe.Utilization() }
+
+// transmit is one channel's server loop: pull a frame, serialize it onto
+// the wire, then hand it to the next hop (blocking if that hop's queue
+// is full — backpressure) or deliver it.
+func (l *Link) transmit(p *sim.Proc) {
+	for {
+		v, ok := l.queue.Get(p)
+		if !ok {
+			return
+		}
+		f := v.(*frame)
+		l.pipe.Transfer(p, f.bytes)
+		l.bytesMoved += f.bytes
+		l.frames++
+		f.path = f.path[1:]
+		if len(f.path) > 0 {
+			f.path[0].queue.Put(p, f)
+			continue
+		}
+		l.net.deliver(p, f)
+	}
+}
+
+// Topology computes the link path between nodes.
+type Topology interface {
+	// Nodes returns the number of addressable endpoints.
+	Nodes() int
+	// Path returns the ordered links a message crosses from src to dst.
+	// src == dst is never passed (loopback is handled by the Network).
+	Path(src, dst int) []*Link
+}
+
+// Network moves messages across a topology and delivers them to
+// per-node inboxes.
+type Network struct {
+	k          *sim.Kernel
+	topo       Topology
+	inboxes    []*sim.Mailbox
+	FrameBytes int64
+	// LoopbackTime is charged for self-addressed messages (local memcpy
+	// is modeled by the message layer; this is just scheduling latency).
+	LoopbackTime sim.Time
+
+	msgSeq         int64
+	bytesDelivered int64
+	msgsDelivered  int64
+}
+
+// New creates a network. Attach a topology with SetTopology before
+// sending.
+func New(k *sim.Kernel, frameBytes int64) *Network {
+	if frameBytes <= 0 {
+		frameBytes = DefaultFrameBytes
+	}
+	return &Network{k: k, FrameBytes: frameBytes, LoopbackTime: sim.Microsecond}
+}
+
+// Kernel returns the kernel the network runs on.
+func (n *Network) Kernel() *sim.Kernel { return n.k }
+
+// SetTopology installs the topology and creates one inbox per node.
+func (n *Network) SetTopology(t Topology) {
+	n.topo = t
+	n.inboxes = make([]*sim.Mailbox, t.Nodes())
+	for i := range n.inboxes {
+		n.inboxes[i] = sim.NewMailbox(n.k, fmt.Sprintf("node%d.inbox", i), 0)
+	}
+}
+
+// Nodes returns the number of endpoints.
+func (n *Network) Nodes() int { return n.topo.Nodes() }
+
+// Inbox returns the mailbox where node's fully received *Message values
+// appear. The message layer drains it.
+func (n *Network) Inbox(node int) *sim.Mailbox { return n.inboxes[node] }
+
+// BytesDelivered returns the total payload bytes fully delivered.
+func (n *Network) BytesDelivered() int64 { return n.bytesDelivered }
+
+// MessagesDelivered returns the count of fully delivered messages.
+func (n *Network) MessagesDelivered() int64 { return n.msgsDelivered }
+
+// Send injects a message. It blocks p only while the first hop's queue
+// is full (socket-buffer-style backpressure); it returns once the last
+// frame has been injected. Wait on the returned message for delivery.
+func (n *Network) Send(p *sim.Proc, src, dst, tag int, bytes int64, payload any) *Message {
+	if dst < 0 || dst >= n.Nodes() {
+		panic(fmt.Sprintf("netsim: destination %d out of range", dst))
+	}
+	n.msgSeq++
+	m := &Message{
+		ID: n.msgSeq, Src: src, Dst: dst, Tag: tag, Bytes: bytes,
+		Payload: payload, SentAt: p.Now(), done: sim.NewSignal(),
+	}
+	if src == dst {
+		m.framesLeft = 1
+		n.k.After(n.LoopbackTime, func() {
+			m.DeliveredAt = n.k.Now()
+			m.done.Fire()
+			n.bytesDelivered += m.Bytes
+			n.msgsDelivered++
+			n.inboxes[dst].TryPut(m)
+		})
+		return m
+	}
+	path := n.topo.Path(src, dst)
+	if len(path) == 0 {
+		panic(fmt.Sprintf("netsim: no path from %d to %d", src, dst))
+	}
+	nframes := int((bytes + n.FrameBytes - 1) / n.FrameBytes)
+	if nframes == 0 {
+		nframes = 1 // zero-byte control message still occupies one frame slot
+	}
+	m.framesLeft = nframes
+	remaining := bytes
+	for i := 0; i < nframes; i++ {
+		fb := n.FrameBytes
+		if remaining < fb {
+			fb = remaining
+		}
+		remaining -= fb
+		f := &frame{bytes: fb, path: path, msg: m}
+		path[0].queue.Put(p, f)
+	}
+	return m
+}
+
+// deliver finalizes a frame's arrival at its destination.
+func (n *Network) deliver(p *sim.Proc, f *frame) {
+	m := f.msg
+	m.framesLeft--
+	if m.framesLeft > 0 {
+		return
+	}
+	m.DeliveredAt = p.Now()
+	m.done.Fire()
+	n.bytesDelivered += m.Bytes
+	n.msgsDelivered++
+	if !n.inboxes[m.Dst].TryPut(m) {
+		panic("netsim: inbox rejected message")
+	}
+}

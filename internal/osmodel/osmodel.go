@@ -1,0 +1,86 @@
+// Package osmodel captures per-operation operating-system costs, the
+// way Howsim models "operating system behavior on hosts ... parameters
+// that represent the time taken for individual operations of interest".
+// The numbers for full-function operating systems come from the paper:
+// lmbench on a 300 MHz Pentium II running Linux measured 10 us
+// read/write system calls and a 103 us context switch; a fixed 16 us is
+// charged to queue an I/O request in the device driver.
+package osmodel
+
+import "howsim/internal/sim"
+
+// Costs parameterizes a host operating system.
+type Costs struct {
+	// ReadWriteCall is the entry/exit cost of a read or write system call.
+	ReadWriteCall sim.Time
+	// ContextSwitch is the cost of switching between processes.
+	ContextSwitch sim.Time
+	// DriverQueue is the cost to queue one I/O request in the device driver.
+	DriverQueue sim.Time
+	// Interrupt is the cost to field one I/O completion interrupt.
+	Interrupt sim.Time
+	// MessageSend is the host-side cost to hand one message to the NIC
+	// (user-space messaging library with pinned buffers).
+	MessageSend sim.Time
+	// MessageRecv is the host-side cost to receive one message,
+	// including the completion interrupt.
+	MessageRecv sim.Time
+	// MemoryCopyBytesPerSec is the host memory-copy bandwidth used when
+	// data must be staged through host memory.
+	MemoryCopyBytesPerSec float64
+	// ReferenceHz is the clock of the machine the times were measured
+	// on; scale by actualHz/ReferenceHz when modeling other clocks.
+	ReferenceHz float64
+	// UsableMemoryBytes is the memory left for user processes after the
+	// kernel's footprint (e.g. 104 MB of 128 MB under Solaris).
+	UsableMemoryBytes int64
+}
+
+// FullFunctionOS returns the cost model for a standard full-function OS
+// (Solaris/IRIX/Linux class) on a 300 MHz Pentium II host with 128 MB:
+// the paper's cluster node. 24 MB of kernel footprint leaves 104 MB for
+// user processes.
+func FullFunctionOS() Costs {
+	return Costs{
+		ReadWriteCall:         10 * sim.Microsecond,
+		ContextSwitch:         103 * sim.Microsecond,
+		DriverQueue:           16 * sim.Microsecond,
+		Interrupt:             15 * sim.Microsecond,
+		MessageSend:           20 * sim.Microsecond,
+		MessageRecv:           35 * sim.Microsecond,
+		MemoryCopyBytesPerSec: 160e6,
+		ReferenceHz:           300e6,
+		UsableMemoryBytes:     104 << 20,
+	}
+}
+
+// FrontEndOS returns the cost model for the Active Disk front-end host
+// (450 MHz Pentium II, 1 GB RAM). Per-operation times scale with the
+// faster clock; nearly all memory is available since the host runs only
+// the coordination process.
+func FrontEndOS() Costs {
+	c := FullFunctionOS()
+	c.scale(450e6)
+	c.UsableMemoryBytes = 1000 << 20
+	return c
+}
+
+// ScaledTo returns a copy of c with all CPU-bound costs rescaled to a
+// host clocked at hz (used for the 1 GHz front-end variant).
+func (c Costs) ScaledTo(hz float64) Costs {
+	c.scale(hz)
+	return c
+}
+
+func (c *Costs) scale(hz float64) {
+	f := c.ReferenceHz / hz
+	mul := func(t sim.Time) sim.Time { return sim.Time(float64(t) * f) }
+	c.ReadWriteCall = mul(c.ReadWriteCall)
+	c.ContextSwitch = mul(c.ContextSwitch)
+	c.DriverQueue = mul(c.DriverQueue)
+	c.Interrupt = mul(c.Interrupt)
+	c.MessageSend = mul(c.MessageSend)
+	c.MessageRecv = mul(c.MessageRecv)
+	c.MemoryCopyBytesPerSec = c.MemoryCopyBytesPerSec / f
+	c.ReferenceHz = hz
+}

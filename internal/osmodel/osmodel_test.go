@@ -1,0 +1,55 @@
+package osmodel
+
+import (
+	"testing"
+
+	"howsim/internal/sim"
+)
+
+func TestFullFunctionOSPaperNumbers(t *testing.T) {
+	c := FullFunctionOS()
+	if c.ReadWriteCall != 10*sim.Microsecond {
+		t.Errorf("ReadWriteCall = %v, want 10us (lmbench)", c.ReadWriteCall)
+	}
+	if c.ContextSwitch != 103*sim.Microsecond {
+		t.Errorf("ContextSwitch = %v, want 103us (lmbench)", c.ContextSwitch)
+	}
+	if c.DriverQueue != 16*sim.Microsecond {
+		t.Errorf("DriverQueue = %v, want 16us", c.DriverQueue)
+	}
+	if c.UsableMemoryBytes != 104<<20 {
+		t.Errorf("UsableMemoryBytes = %d, want 104 MB", c.UsableMemoryBytes)
+	}
+}
+
+func TestScaledToFasterClock(t *testing.T) {
+	base := FullFunctionOS()
+	twice := base.ScaledTo(600e6)
+	if twice.ReadWriteCall != base.ReadWriteCall/2 {
+		t.Errorf("scaled syscall = %v, want half of %v", twice.ReadWriteCall, base.ReadWriteCall)
+	}
+	if twice.MemoryCopyBytesPerSec != base.MemoryCopyBytesPerSec*2 {
+		t.Errorf("scaled copy rate = %v, want double %v", twice.MemoryCopyBytesPerSec, base.MemoryCopyBytesPerSec)
+	}
+	if twice.ReferenceHz != 600e6 {
+		t.Errorf("ReferenceHz = %v, want 600e6", twice.ReferenceHz)
+	}
+	// Scaling does not touch memory size.
+	if twice.UsableMemoryBytes != base.UsableMemoryBytes {
+		t.Error("scaling should not change memory size")
+	}
+}
+
+func TestFrontEndOS(t *testing.T) {
+	fe := FrontEndOS()
+	if fe.ReferenceHz != 450e6 {
+		t.Errorf("front-end clock = %v, want 450 MHz", fe.ReferenceHz)
+	}
+	base := FullFunctionOS()
+	if fe.ReadWriteCall >= base.ReadWriteCall {
+		t.Error("450 MHz front-end should have cheaper syscalls than 300 MHz node")
+	}
+	if fe.UsableMemoryBytes != 1000<<20 {
+		t.Errorf("front-end memory = %d, want ~1 GB", fe.UsableMemoryBytes)
+	}
+}

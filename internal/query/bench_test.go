@@ -1,0 +1,66 @@
+package query
+
+import (
+	"testing"
+
+	"howsim/internal/relational"
+	"howsim/internal/storage"
+	"howsim/internal/workload"
+)
+
+func benchTable(b *testing.B, n int64) *storage.Table {
+	b.Helper()
+	return storage.LoadRecords("t", workload.GenRecords(n, 1000, 1))
+}
+
+func BenchmarkTableScan(b *testing.B) {
+	t := benchTable(b, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		it := Scan(t).Iterate()
+		for {
+			if _, ok := it.Next(); !ok {
+				break
+			}
+			n++
+		}
+		if n != 100_000 {
+			b.Fatal("short scan")
+		}
+	}
+}
+
+func BenchmarkFilterPipeline(b *testing.B) {
+	t := benchTable(b, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Scan(t).Filter("1%", func(r workload.Record) bool { return r.Attr < 0.01 }).Run()
+	}
+}
+
+func BenchmarkHashAggregate(b *testing.B) {
+	t := benchTable(b, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Scan(t).GroupBy(relational.AggSum).Run()
+	}
+}
+
+func BenchmarkExternalSortOperator(b *testing.B) {
+	t := benchTable(b, 50_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Scan(t).OrderByKey(4_000).Run()
+	}
+}
+
+func BenchmarkHashJoinOperator(b *testing.B) {
+	r, s := workload.GenJoin(10_000, 50_000, 2)
+	rt := storage.LoadRecords("r", r)
+	st := storage.LoadRecords("s", s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Scan(rt).Join(Scan(st)).Run()
+	}
+}

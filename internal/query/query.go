@@ -1,0 +1,334 @@
+// Package query is a small volcano-style query executor over the paged
+// storage engine: table scans, filters, hash aggregation with HAVING,
+// external sort (spilling runs to pages), hash join, and limit, behind
+// a fluent plan builder with EXPLAIN output. It is the decision-support
+// engine the simulated workloads are abstractions of: the same
+// operators whose structural costs the simulation replays can be
+// executed for real on scaled data.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"howsim/internal/relational"
+	"howsim/internal/storage"
+	"howsim/internal/workload"
+)
+
+// Iterator produces records one at a time.
+type Iterator interface {
+	Next() (workload.Record, bool)
+}
+
+// --- Operators ---------------------------------------------------------------
+
+// scanOp reads a table through a cursor.
+type scanOp struct{ c *storage.Cursor }
+
+func (s *scanOp) Next() (workload.Record, bool) {
+	b, ok := s.c.Next()
+	if !ok {
+		return workload.Record{}, false
+	}
+	return storage.DecodeRecord(b), true
+}
+
+// filterOp drops records failing the predicate.
+type filterOp struct {
+	in   Iterator
+	pred func(workload.Record) bool
+}
+
+func (f *filterOp) Next() (workload.Record, bool) {
+	for {
+		r, ok := f.in.Next()
+		if !ok {
+			return workload.Record{}, false
+		}
+		if f.pred(r) {
+			return r, true
+		}
+	}
+}
+
+// aggregateOp performs hash aggregation by Key, emitting one record per
+// group with Value = the evaluated aggregate, in ascending key order.
+type aggregateOp struct {
+	in     Iterator
+	fn     relational.AggFunc
+	having func(float64) bool
+	out    []workload.Record
+	pos    int
+	built  bool
+}
+
+func (a *aggregateOp) build() {
+	groups := map[uint64]relational.Accumulator{}
+	for {
+		r, ok := a.in.Next()
+		if !ok {
+			break
+		}
+		acc, ok := groups[r.Key]
+		if !ok {
+			acc = relational.NewAccumulator()
+		}
+		acc.Add(r.Value)
+		groups[r.Key] = acc
+	}
+	for k, acc := range groups {
+		v := acc.Result(a.fn)
+		if a.having != nil && !a.having(v) {
+			continue
+		}
+		a.out = append(a.out, workload.Record{Key: k, Value: v})
+	}
+	sort.Slice(a.out, func(i, j int) bool { return a.out[i].Key < a.out[j].Key })
+	a.built = true
+}
+
+func (a *aggregateOp) Next() (workload.Record, bool) {
+	if !a.built {
+		a.build()
+	}
+	if a.pos >= len(a.out) {
+		return workload.Record{}, false
+	}
+	r := a.out[a.pos]
+	a.pos++
+	return r, true
+}
+
+// sortOp is an external merge sort by Key: run formation bounded by
+// memTuples records, runs spilled to storage tables, then a k-way merge.
+type sortOp struct {
+	in        Iterator
+	memTuples int
+	runs      []*storage.Cursor
+	heads     []*workload.Record
+	built     bool
+	// SpilledRuns is exposed for tests: the number of run tables formed.
+	spilledRuns int
+}
+
+func (s *sortOp) build() {
+	mem := s.memTuples
+	if mem <= 0 {
+		mem = 1 << 20
+	}
+	var buf []workload.Record
+	flush := func() {
+		if len(buf) == 0 {
+			return
+		}
+		sort.Slice(buf, func(i, j int) bool { return buf[i].Key < buf[j].Key })
+		run := storage.NewTable(fmt.Sprintf("run%d", s.spilledRuns))
+		for _, r := range buf {
+			run.Append(storage.EncodeRecord(r))
+		}
+		s.runs = append(s.runs, run.Cursor())
+		s.spilledRuns++
+		buf = buf[:0]
+	}
+	for {
+		r, ok := s.in.Next()
+		if !ok {
+			break
+		}
+		buf = append(buf, r)
+		if len(buf) >= mem {
+			flush()
+		}
+	}
+	flush()
+	// Prime the merge heads.
+	s.heads = make([]*workload.Record, len(s.runs))
+	for i := range s.runs {
+		s.advance(i)
+	}
+	s.built = true
+}
+
+func (s *sortOp) advance(i int) {
+	b, ok := s.runs[i].Next()
+	if !ok {
+		s.heads[i] = nil
+		return
+	}
+	r := storage.DecodeRecord(b)
+	s.heads[i] = &r
+}
+
+func (s *sortOp) Next() (workload.Record, bool) {
+	if !s.built {
+		s.build()
+	}
+	best := -1
+	for i, h := range s.heads {
+		if h == nil {
+			continue
+		}
+		if best < 0 || h.Key < s.heads[best].Key {
+			best = i
+		}
+	}
+	if best < 0 {
+		return workload.Record{}, false
+	}
+	r := *s.heads[best]
+	s.advance(best)
+	return r, true
+}
+
+// joinOp is a hash equi-join on Key: the build side is drained into a
+// table keyed by Key, then the probe side streams through. Output
+// records carry Key, the build Value in Value and the probe Value in
+// Attr.
+type joinOp struct {
+	build, probe Iterator
+	table        map[uint64][]float64
+	pendKey      uint64
+	pendAttr     float64
+	pending      []float64
+	built        bool
+}
+
+func (j *joinOp) Next() (workload.Record, bool) {
+	if !j.built {
+		j.table = map[uint64][]float64{}
+		for {
+			r, ok := j.build.Next()
+			if !ok {
+				break
+			}
+			j.table[r.Key] = append(j.table[r.Key], r.Value)
+		}
+		j.built = true
+	}
+	for {
+		if len(j.pending) > 0 {
+			v := j.pending[0]
+			j.pending = j.pending[1:]
+			return workload.Record{Key: j.pendKey, Value: v, Attr: j.pendAttr}, true
+		}
+		r, ok := j.probe.Next()
+		if !ok {
+			return workload.Record{}, false
+		}
+		if matches := j.table[r.Key]; len(matches) > 0 {
+			j.pendKey, j.pendAttr = r.Key, r.Value
+			j.pending = matches
+		}
+	}
+}
+
+// limitOp passes through at most n records.
+type limitOp struct {
+	in   Iterator
+	left int
+}
+
+func (l *limitOp) Next() (workload.Record, bool) {
+	if l.left <= 0 {
+		return workload.Record{}, false
+	}
+	r, ok := l.in.Next()
+	if !ok {
+		return workload.Record{}, false
+	}
+	l.left--
+	return r, true
+}
+
+// --- Plan builder ------------------------------------------------------------
+
+// Plan is a composable query plan. Build one with Scan and the chaining
+// methods; execute with Run or Iterate.
+type Plan struct {
+	open func() Iterator
+	desc string
+	kids []*Plan
+}
+
+func node(desc string, open func() Iterator, kids ...*Plan) *Plan {
+	return &Plan{open: open, desc: desc, kids: kids}
+}
+
+// Scan starts a plan from a heap table of encoded records.
+func Scan(t *storage.Table) *Plan {
+	return node(fmt.Sprintf("Scan(%s: %d records, %d pages)", t.Name, t.Records(), t.Pages()),
+		func() Iterator { return &scanOp{c: t.Cursor()} })
+}
+
+// Filter keeps records satisfying pred.
+func (p *Plan) Filter(name string, pred func(workload.Record) bool) *Plan {
+	return node(fmt.Sprintf("Filter(%s)", name),
+		func() Iterator { return &filterOp{in: p.open(), pred: pred} }, p)
+}
+
+// GroupBy hash-aggregates by Key under the given function.
+func (p *Plan) GroupBy(fn relational.AggFunc) *Plan {
+	return node(fmt.Sprintf("GroupBy(%v)", fn),
+		func() Iterator { return &aggregateOp{in: p.open(), fn: fn} }, p)
+}
+
+// GroupByHaving hash-aggregates and filters groups by the evaluated
+// aggregate.
+func (p *Plan) GroupByHaving(fn relational.AggFunc, name string, having func(float64) bool) *Plan {
+	return node(fmt.Sprintf("GroupBy(%v) Having(%s)", fn, name),
+		func() Iterator { return &aggregateOp{in: p.open(), fn: fn, having: having} }, p)
+}
+
+// OrderByKey sorts by Key with an external merge sort bounded by
+// memTuples records of run-formation memory.
+func (p *Plan) OrderByKey(memTuples int) *Plan {
+	return node(fmt.Sprintf("OrderByKey(mem=%d tuples)", memTuples),
+		func() Iterator { return &sortOp{in: p.open(), memTuples: memTuples} }, p)
+}
+
+// Join hash-joins this plan (as the build side) with right (the probe
+// side) on Key.
+func (p *Plan) Join(right *Plan) *Plan {
+	return node("HashJoin(Key)",
+		func() Iterator { return &joinOp{build: p.open(), probe: right.open()} }, p, right)
+}
+
+// Limit truncates the output to n records.
+func (p *Plan) Limit(n int) *Plan {
+	return node(fmt.Sprintf("Limit(%d)", n),
+		func() Iterator { return &limitOp{in: p.open(), left: n} }, p)
+}
+
+// Iterate opens the plan and returns its iterator.
+func (p *Plan) Iterate() Iterator { return p.open() }
+
+// Run executes the plan to completion.
+func (p *Plan) Run() []workload.Record {
+	var out []workload.Record
+	it := p.open()
+	for {
+		r, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}
+
+// Explain renders the operator tree.
+func (p *Plan) Explain() string {
+	var sb strings.Builder
+	p.explain(&sb, 0)
+	return sb.String()
+}
+
+func (p *Plan) explain(sb *strings.Builder, depth int) {
+	sb.WriteString(strings.Repeat("  ", depth))
+	sb.WriteString(p.desc)
+	sb.WriteString("\n")
+	for _, k := range p.kids {
+		k.explain(sb, depth+1)
+	}
+}

@@ -1,0 +1,248 @@
+package query
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"howsim/internal/relational"
+	"howsim/internal/storage"
+	"howsim/internal/workload"
+)
+
+func table(n int64, distinct int64, seed uint64) (*storage.Table, []workload.Record) {
+	recs := workload.GenRecords(n, distinct, seed)
+	return storage.LoadRecords("t", recs), recs
+}
+
+func TestScanReturnsEverything(t *testing.T) {
+	tb, recs := table(5_000, 100, 1)
+	got := Scan(tb).Run()
+	if len(got) != len(recs) {
+		t.Fatalf("scan returned %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestFilterMatchesRelationalSelect(t *testing.T) {
+	tb, recs := table(20_000, 100, 2)
+	got := Scan(tb).Filter("attr < 1%", func(r workload.Record) bool { return r.Attr < 0.01 }).Run()
+	want := relational.Select(recs, 0.01)
+	if len(got) != len(want) {
+		t.Fatalf("filter returned %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestGroupByMatchesRelational(t *testing.T) {
+	tb, recs := table(10_000, 64, 3)
+	got := Scan(tb).GroupBy(relational.AggSum).Run()
+	want := relational.GroupBySum(recs)
+	if len(got) != len(want) {
+		t.Fatalf("%d groups, want %d", len(got), len(want))
+	}
+	for i, r := range got {
+		w := want[r.Key]
+		if math.Abs(r.Value-w.Sum) > 1e-9 {
+			t.Fatalf("group %d sum %v, want %v", r.Key, r.Value, w.Sum)
+		}
+		if i > 0 && got[i-1].Key >= r.Key {
+			t.Fatal("groups not in key order")
+		}
+	}
+}
+
+func TestGroupByHaving(t *testing.T) {
+	tb, _ := table(10_000, 20, 4)
+	got := Scan(tb).GroupByHaving(relational.AggCount, "count>=510", func(v float64) bool { return v >= 510 }).Run()
+	for _, r := range got {
+		if r.Value < 510 {
+			t.Fatalf("group %d passed HAVING with count %v", r.Key, r.Value)
+		}
+	}
+	all := Scan(tb).GroupBy(relational.AggCount).Run()
+	kept := 0
+	for _, r := range all {
+		if r.Value >= 510 {
+			kept++
+		}
+	}
+	if kept != len(got) {
+		t.Errorf("HAVING kept %d groups, want %d", len(got), kept)
+	}
+}
+
+func TestOrderByKeyExternalSort(t *testing.T) {
+	tb, recs := table(8_000, 0, 5) // unique keys
+	op := &sortOp{in: Scan(tb).Iterate(), memTuples: 500}
+	var got []workload.Record
+	for {
+		r, ok := op.Next()
+		if !ok {
+			break
+		}
+		got = append(got, r)
+	}
+	if op.spilledRuns != 16 {
+		t.Errorf("spilled %d runs, want 16 (8000/500)", op.spilledRuns)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("sort returned %d records, want %d", len(got), len(recs))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Key > got[i].Key {
+			t.Fatal("output not sorted")
+		}
+	}
+}
+
+func TestOrderByKeyPermutationProperty(t *testing.T) {
+	f := func(seed uint64, mem uint8) bool {
+		tb, recs := table(600, 50, seed)
+		got := Scan(tb).OrderByKey(int(mem)%97 + 3).Run()
+		if len(got) != len(recs) {
+			return false
+		}
+		want := append([]workload.Record(nil), recs...)
+		sort.SliceStable(want, func(i, j int) bool { return want[i].Key < want[j].Key })
+		counts := map[workload.Record]int{}
+		for _, r := range got {
+			counts[r]++
+		}
+		for _, r := range want {
+			counts[r]--
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i-1].Key > got[i].Key {
+				return false
+			}
+		}
+		for _, c := range counts {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoinMatchesRelationalGraceJoin(t *testing.T) {
+	r, s := workload.GenJoin(300, 1_500, 6)
+	rt := storage.LoadRecords("r", r)
+	st := storage.LoadRecords("s", s)
+	got := Scan(rt).Join(Scan(st)).Run()
+	want := relational.GraceJoin(r, s, 64)
+	if len(got) != len(want) {
+		t.Fatalf("join returned %d rows, want %d", len(got), len(want))
+	}
+	// Compare as multisets of (key, build value, probe value).
+	type row struct {
+		k    uint64
+		b, p float64
+	}
+	counts := map[row]int{}
+	for _, g := range got {
+		counts[row{g.Key, g.Value, g.Attr}]++
+	}
+	for _, w := range want {
+		counts[row{w.Key, w.RValue, w.SValue}]--
+	}
+	for r, c := range counts {
+		if c != 0 {
+			t.Fatalf("row %+v count off by %d", r, c)
+		}
+	}
+}
+
+func TestLimit(t *testing.T) {
+	tb, _ := table(1_000, 10, 7)
+	got := Scan(tb).Limit(25).Run()
+	if len(got) != 25 {
+		t.Errorf("limit returned %d records", len(got))
+	}
+	if got2 := Scan(tb).Limit(0).Run(); len(got2) != 0 {
+		t.Errorf("limit 0 returned %d records", len(got2))
+	}
+}
+
+func TestComposedPipeline(t *testing.T) {
+	// SELECT key, SUM(value) FROM t WHERE attr < 0.5 GROUP BY key
+	// HAVING SUM >= s ORDER BY key LIMIT 5 — against a hand computation.
+	tb, recs := table(20_000, 40, 8)
+	plan := Scan(tb).
+		Filter("attr<0.5", func(r workload.Record) bool { return r.Attr < 0.5 }).
+		GroupByHaving(relational.AggSum, "sum>=10000", func(v float64) bool { return v >= 10_000 }).
+		OrderByKey(100).
+		Limit(5)
+	got := plan.Run()
+
+	sums := map[uint64]float64{}
+	for _, r := range recs {
+		if r.Attr < 0.5 {
+			sums[r.Key] += r.Value
+		}
+	}
+	var keys []uint64
+	for k, s := range sums {
+		if s >= 10_000 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	if len(keys) > 5 {
+		keys = keys[:5]
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("pipeline returned %d rows, want %d", len(got), len(keys))
+	}
+	for i, k := range keys {
+		if got[i].Key != k || math.Abs(got[i].Value-sums[k]) > 1e-6 {
+			t.Fatalf("row %d = %+v, want key %d sum %v", i, got[i], k, sums[k])
+		}
+	}
+}
+
+func TestExplainShowsTree(t *testing.T) {
+	tb, _ := table(100, 10, 9)
+	plan := Scan(tb).Filter("p", nil).GroupBy(relational.AggAvg).Limit(3)
+	out := plan.Explain()
+	for _, want := range []string{"Limit(3)", "GroupBy(AVG)", "Filter(p)", "Scan(t"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q:\n%s", want, out)
+		}
+	}
+	// Indentation increases down the tree.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("explain has %d lines:\n%s", len(lines), out)
+	}
+	for i := 1; i < len(lines); i++ {
+		if len(lines[i])-len(strings.TrimLeft(lines[i], " ")) <=
+			len(lines[i-1])-len(strings.TrimLeft(lines[i-1], " ")) {
+			t.Errorf("explain indentation not increasing:\n%s", out)
+		}
+	}
+}
+
+func TestPlanReusable(t *testing.T) {
+	tb, _ := table(500, 10, 11)
+	plan := Scan(tb).GroupBy(relational.AggCount)
+	a := plan.Run()
+	b := plan.Run()
+	if len(a) != len(b) {
+		t.Errorf("second run returned %d rows, first %d; plans must be reusable", len(b), len(a))
+	}
+}

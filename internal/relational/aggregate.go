@@ -1,0 +1,148 @@
+package relational
+
+import (
+	"fmt"
+	"math"
+
+	"howsim/internal/workload"
+)
+
+// AggFunc identifies an aggregate function.
+type AggFunc int
+
+// The SQL aggregate functions supported by the engine.
+const (
+	AggSum AggFunc = iota
+	AggCount
+	AggMin
+	AggMax
+	AggAvg
+)
+
+// String returns the SQL name.
+func (f AggFunc) String() string {
+	switch f {
+	case AggSum:
+		return "SUM"
+	case AggCount:
+		return "COUNT"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	case AggAvg:
+		return "AVG"
+	default:
+		return fmt.Sprintf("agg(%d)", int(f))
+	}
+}
+
+// Accumulator is the mergeable state of one aggregate over one group.
+// It carries enough state for every AggFunc, so partial accumulators
+// computed on different nodes merge exactly — the property the
+// distributed implementations depend on.
+type Accumulator struct {
+	Sum   float64
+	Count int64
+	Min   float64
+	Max   float64
+}
+
+// NewAccumulator returns an empty accumulator.
+func NewAccumulator() Accumulator {
+	return Accumulator{Min: math.Inf(1), Max: math.Inf(-1)}
+}
+
+// Add folds one value in.
+func (a *Accumulator) Add(v float64) {
+	a.Sum += v
+	a.Count++
+	if v < a.Min {
+		a.Min = v
+	}
+	if v > a.Max {
+		a.Max = v
+	}
+}
+
+// Merge folds another accumulator in.
+func (a *Accumulator) Merge(b Accumulator) {
+	a.Sum += b.Sum
+	a.Count += b.Count
+	if b.Min < a.Min {
+		a.Min = b.Min
+	}
+	if b.Max > a.Max {
+		a.Max = b.Max
+	}
+}
+
+// Result evaluates the accumulator under an aggregate function. AVG of
+// an empty group is NaN, as in SQL's NULL.
+func (a Accumulator) Result(f AggFunc) float64 {
+	switch f {
+	case AggSum:
+		return a.Sum
+	case AggCount:
+		return float64(a.Count)
+	case AggMin:
+		return a.Min
+	case AggMax:
+		return a.Max
+	case AggAvg:
+		if a.Count == 0 {
+			return math.NaN()
+		}
+		return a.Sum / float64(a.Count)
+	default:
+		panic("relational: unknown aggregate function")
+	}
+}
+
+// Aggregate computes one aggregate function over all records.
+func Aggregate(recs []workload.Record, f AggFunc) float64 {
+	acc := NewAccumulator()
+	for _, r := range recs {
+		acc.Add(r.Value)
+	}
+	return acc.Result(f)
+}
+
+// GroupByAgg computes a full accumulator per group, from which any
+// aggregate function can be read.
+func GroupByAgg(recs []workload.Record) map[uint64]Accumulator {
+	m := make(map[uint64]Accumulator)
+	for _, r := range recs {
+		acc, ok := m[r.Key]
+		if !ok {
+			acc = NewAccumulator()
+		}
+		acc.Add(r.Value)
+		m[r.Key] = acc
+	}
+	return m
+}
+
+// MergeAgg folds partial per-group accumulators into dst.
+func MergeAgg(dst, src map[uint64]Accumulator) {
+	for k, b := range src {
+		a, ok := dst[k]
+		if !ok {
+			a = NewAccumulator()
+		}
+		a.Merge(b)
+		dst[k] = a
+	}
+}
+
+// Having filters grouped accumulators by a predicate on the evaluated
+// aggregate (SQL's HAVING clause).
+func Having(groups map[uint64]Accumulator, f AggFunc, pred func(float64) bool) map[uint64]Accumulator {
+	out := make(map[uint64]Accumulator)
+	for k, a := range groups {
+		if pred(a.Result(f)) {
+			out[k] = a
+		}
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package relational
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"howsim/internal/workload"
+)
+
+func TestAggregateFunctions(t *testing.T) {
+	recs := []workload.Record{
+		{Key: 1, Value: 4}, {Key: 1, Value: 10}, {Key: 2, Value: -2},
+	}
+	cases := []struct {
+		f    AggFunc
+		want float64
+	}{
+		{AggSum, 12}, {AggCount, 3}, {AggMin, -2}, {AggMax, 10}, {AggAvg, 4},
+	}
+	for _, c := range cases {
+		if got := Aggregate(recs, c.f); got != c.want {
+			t.Errorf("%v = %v, want %v", c.f, got, c.want)
+		}
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	if got := Aggregate(nil, AggCount); got != 0 {
+		t.Errorf("COUNT of nothing = %v", got)
+	}
+	if got := Aggregate(nil, AggAvg); !math.IsNaN(got) {
+		t.Errorf("AVG of nothing = %v, want NaN", got)
+	}
+	if got := Aggregate(nil, AggMin); !math.IsInf(got, 1) {
+		t.Errorf("MIN of nothing = %v, want +Inf", got)
+	}
+}
+
+func TestGroupByAggMatchesGroupBySum(t *testing.T) {
+	recs := workload.GenRecords(10_000, 64, 5)
+	full := GroupByAgg(recs)
+	sums := GroupBySum(recs)
+	if len(full) != len(sums) {
+		t.Fatalf("%d vs %d groups", len(full), len(sums))
+	}
+	for k, g := range sums {
+		a := full[k]
+		if math.Abs(a.Sum-g.Sum) > 1e-9 || a.Count != g.Count {
+			t.Fatalf("group %d: %+v vs %+v", k, a, g)
+		}
+	}
+}
+
+func TestMergeAggEqualsGlobalProperty(t *testing.T) {
+	// Property: for any split point and any aggregate function, merging
+	// partial accumulators equals the global computation.
+	f := func(seed uint64, cut uint16, fn uint8) bool {
+		recs := workload.GenRecords(2000, 50, seed)
+		c := int(cut) % len(recs)
+		agg := AggFunc(fn % 5)
+		merged := GroupByAgg(recs[:c])
+		MergeAgg(merged, GroupByAgg(recs[c:]))
+		global := GroupByAgg(recs)
+		if len(merged) != len(global) {
+			return false
+		}
+		for k, g := range global {
+			m := merged[k]
+			a, b := m.Result(agg), g.Result(agg)
+			if math.Abs(a-b) > 1e-6*(1+math.Abs(b)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHaving(t *testing.T) {
+	recs := workload.GenRecords(5000, 20, 9)
+	groups := GroupByAgg(recs)
+	big := Having(groups, AggCount, func(v float64) bool { return v >= 250 })
+	for k, a := range big {
+		if a.Count < 250 {
+			t.Fatalf("group %d passed HAVING with count %d", k, a.Count)
+		}
+	}
+	// Every excluded group really fails the predicate.
+	for k, a := range groups {
+		if _, kept := big[k]; !kept && a.Count >= 250 {
+			t.Fatalf("group %d wrongly excluded (count %d)", k, a.Count)
+		}
+	}
+}
+
+func TestAccumulatorMergeIdentity(t *testing.T) {
+	a := NewAccumulator()
+	a.Add(5)
+	a.Add(7)
+	empty := NewAccumulator()
+	before := a
+	a.Merge(empty)
+	if a != before {
+		t.Error("merging an empty accumulator must be the identity")
+	}
+}
+
+func TestAggFuncStrings(t *testing.T) {
+	want := map[AggFunc]string{AggSum: "SUM", AggCount: "COUNT", AggMin: "MIN", AggMax: "MAX", AggAvg: "AVG"}
+	for f, s := range want {
+		if f.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(f), f.String(), s)
+		}
+	}
+}

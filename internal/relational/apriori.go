@@ -1,0 +1,210 @@
+package relational
+
+import (
+	"sort"
+
+	"howsim/internal/workload"
+)
+
+// Itemset is a sorted set of item IDs.
+type Itemset []uint32
+
+// key encodes an itemset for map storage.
+func (is Itemset) key() string {
+	b := make([]byte, 0, len(is)*4)
+	for _, it := range is {
+		b = append(b, byte(it), byte(it>>8), byte(it>>16), byte(it>>24))
+	}
+	return string(b)
+}
+
+// FrequentItemset is one mining result: an itemset and its support
+// count.
+type FrequentItemset struct {
+	Items   Itemset
+	Support int64
+}
+
+// MiningResult summarizes an Apriori run: the frequent itemsets plus the
+// structural parameters the simulation replays (number of passes over
+// the data and candidate-counter memory per pass).
+type MiningResult struct {
+	Frequent []FrequentItemset
+	// Passes is the number of full scans of the transactions (the
+	// largest itemset size that still had candidates).
+	Passes int
+	// MaxCandidates is the peak number of candidate counters held in
+	// memory across passes (5.4 MB of counters per disk in the paper's
+	// configuration).
+	MaxCandidates int
+}
+
+// Apriori mines frequent itemsets with the classic level-wise algorithm
+// of Agrawal et al.: L1 from item counts, then candidate generation by
+// self-join of L(k-1), pruning, and one counting pass per level. maxK
+// bounds itemset size (0 means unbounded).
+func Apriori(txns []workload.Txn, minSupport float64, maxK int) MiningResult {
+	res := MiningResult{}
+	minCount := int64(minSupport * float64(len(txns)))
+	if minCount < 1 {
+		minCount = 1
+	}
+
+	// Pass 1: count single items.
+	counts := map[uint32]int64{}
+	for _, t := range txns {
+		seen := map[uint32]bool{}
+		for _, it := range t {
+			if !seen[it] {
+				seen[it] = true
+				counts[it]++
+			}
+		}
+	}
+	res.Passes = 1
+	if len(counts) > res.MaxCandidates {
+		res.MaxCandidates = len(counts)
+	}
+	var frequent []Itemset
+	for it, c := range counts {
+		if c >= minCount {
+			frequent = append(frequent, Itemset{it})
+			res.Frequent = append(res.Frequent, FrequentItemset{Items: Itemset{it}, Support: c})
+		}
+	}
+	sortItemsets(frequent)
+
+	k := 2
+	for len(frequent) > 0 && (maxK == 0 || k <= maxK) {
+		candidates := generateCandidates(frequent, k)
+		if len(candidates) == 0 {
+			break
+		}
+		if len(candidates) > res.MaxCandidates {
+			res.MaxCandidates = len(candidates)
+		}
+		// Counting pass k, via the candidate hash tree.
+		res.Passes++
+		counts := countSupport(txns, candidates, k)
+		frequent = frequent[:0]
+		for i, c := range counts {
+			if c >= minCount {
+				is := candidates[i]
+				frequent = append(frequent, is)
+				res.Frequent = append(res.Frequent, FrequentItemset{Items: is, Support: c})
+			}
+		}
+		sortItemsets(frequent)
+		k++
+	}
+	sort.Slice(res.Frequent, func(i, j int) bool {
+		a, b := res.Frequent[i].Items, res.Frequent[j].Items
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return a.key() < b.key()
+	})
+	return res
+}
+
+// generateCandidates self-joins L(k-1) on their first k-2 items and
+// prunes candidates with any infrequent (k-1)-subset.
+func generateCandidates(prev []Itemset, k int) []Itemset {
+	prevSet := make(map[string]bool, len(prev))
+	for _, is := range prev {
+		prevSet[is.key()] = true
+	}
+	var out []Itemset
+	for i := 0; i < len(prev); i++ {
+		for j := i + 1; j < len(prev); j++ {
+			a, b := prev[i], prev[j]
+			if !samePrefix(a, b, k-2) {
+				break // prev is sorted, so later j cannot share the prefix
+			}
+			cand := make(Itemset, k)
+			copy(cand, a)
+			cand[k-1] = b[k-2]
+			if cand[k-2] >= cand[k-1] {
+				continue
+			}
+			if prunedBySubsets(cand, prevSet) {
+				continue
+			}
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+func samePrefix(a, b Itemset, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// prunedBySubsets reports whether any (k-1)-subset of cand is not in the
+// frequent set.
+func prunedBySubsets(cand Itemset, prevSet map[string]bool) bool {
+	sub := make(Itemset, 0, len(cand)-1)
+	for skip := range cand {
+		sub = sub[:0]
+		for i, it := range cand {
+			if i != skip {
+				sub = append(sub, it)
+			}
+		}
+		if !prevSet[sub.key()] {
+			return true
+		}
+	}
+	return false
+}
+
+// uniqueSorted returns the transaction's items deduplicated and sorted.
+func uniqueSorted(t workload.Txn) Itemset {
+	out := make(Itemset, len(t))
+	copy(out, t)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	w := 0
+	for i, it := range out {
+		if i == 0 || it != out[w-1] {
+			out[w] = it
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// forEachSubset enumerates the size-k subsets of items.
+func forEachSubset(items Itemset, k int, fn func(Itemset)) {
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	sub := make(Itemset, k)
+	for {
+		for i, ix := range idx {
+			sub[i] = items[ix]
+		}
+		fn(sub)
+		// Advance combination indices.
+		i := k - 1
+		for i >= 0 && idx[i] == len(items)-k+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+func sortItemsets(sets []Itemset) {
+	sort.Slice(sets, func(i, j int) bool { return sets[i].key() < sets[j].key() })
+}

@@ -1,0 +1,151 @@
+package relational
+
+import (
+	"testing"
+
+	"howsim/internal/workload"
+)
+
+// naiveSupport counts transactions containing all items of is.
+func naiveSupport(txns []workload.Txn, is Itemset) int64 {
+	var n int64
+	for _, t := range txns {
+		have := map[uint32]bool{}
+		for _, it := range t {
+			have[it] = true
+		}
+		all := true
+		for _, it := range is {
+			if !have[it] {
+				all = false
+				break
+			}
+		}
+		if all {
+			n++
+		}
+	}
+	return n
+}
+
+func TestAprioriHandConstructed(t *testing.T) {
+	// Classic textbook example.
+	txns := []workload.Txn{
+		{1, 2, 5},
+		{2, 4},
+		{2, 3},
+		{1, 2, 4},
+		{1, 3},
+		{2, 3},
+		{1, 3},
+		{1, 2, 3, 5},
+		{1, 2, 3},
+	}
+	res := Apriori(txns, 2.0/9.0, 0)
+	want := map[string]int64{
+		"1": 6, "2": 7, "3": 6, "4": 2, "5": 2,
+		"1,2": 4, "1,3": 4, "1,5": 2, "2,3": 4, "2,4": 2, "2,5": 2,
+		"1,2,3": 2, "1,2,5": 2,
+	}
+	got := map[string]int64{}
+	for _, f := range res.Frequent {
+		key := ""
+		for i, it := range f.Items {
+			if i > 0 {
+				key += ","
+			}
+			key += string(rune('0' + it))
+		}
+		got[key] = f.Support
+	}
+	if len(got) != len(want) {
+		t.Fatalf("found %d frequent itemsets %v, want %d", len(got), got, len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("itemset {%s}: support %d, want %d", k, got[k], v)
+		}
+	}
+	if res.Passes != 3 {
+		t.Errorf("passes = %d, want 3 (largest frequent itemset has 3 items)", res.Passes)
+	}
+}
+
+func TestAprioriSupportsMatchNaive(t *testing.T) {
+	txns := workload.GenTxns(2000, 50, 4, 7)
+	res := Apriori(txns, 0.05, 3)
+	if len(res.Frequent) == 0 {
+		t.Fatal("expected some frequent itemsets on skewed data")
+	}
+	for _, f := range res.Frequent {
+		if got := naiveSupport(txns, f.Items); got != f.Support {
+			t.Errorf("itemset %v: support %d, naive %d", f.Items, f.Support, got)
+		}
+	}
+}
+
+func TestAprioriDownwardClosure(t *testing.T) {
+	// Every subset of a frequent itemset must itself be frequent.
+	txns := workload.GenTxns(1500, 40, 4, 9)
+	res := Apriori(txns, 0.04, 0)
+	freq := map[string]bool{}
+	for _, f := range res.Frequent {
+		freq[f.Items.key()] = true
+	}
+	for _, f := range res.Frequent {
+		if len(f.Items) < 2 {
+			continue
+		}
+		sub := make(Itemset, 0, len(f.Items)-1)
+		for skip := range f.Items {
+			sub = sub[:0]
+			for i, it := range f.Items {
+				if i != skip {
+					sub = append(sub, it)
+				}
+			}
+			if !freq[sub.key()] {
+				t.Fatalf("frequent itemset %v has infrequent subset %v", f.Items, sub)
+			}
+		}
+	}
+}
+
+func TestAprioriMinSupportFilters(t *testing.T) {
+	txns := workload.GenTxns(1000, 30, 4, 11)
+	lo := Apriori(txns, 0.02, 0)
+	hi := Apriori(txns, 0.2, 0)
+	if len(hi.Frequent) >= len(lo.Frequent) {
+		t.Errorf("higher support found %d itemsets, lower found %d", len(hi.Frequent), len(lo.Frequent))
+	}
+	min := int64(0.2 * 1000)
+	for _, f := range hi.Frequent {
+		if f.Support < min {
+			t.Errorf("itemset %v below min support: %d < %d", f.Items, f.Support, min)
+		}
+	}
+}
+
+func TestAprioriDuplicateItemsInTxn(t *testing.T) {
+	txns := []workload.Txn{{1, 1, 2}, {1, 2, 2}, {1}}
+	res := Apriori(txns, 0.5, 0)
+	for _, f := range res.Frequent {
+		if len(f.Items) == 1 && f.Items[0] == 1 && f.Support != 3 {
+			t.Errorf("item 1 support = %d, want 3 (duplicates within a txn count once)", f.Support)
+		}
+		if len(f.Items) == 2 && f.Support != 2 {
+			t.Errorf("itemset {1,2} support = %d, want 2", f.Support)
+		}
+	}
+}
+
+func TestAprioriMaxCandidatesTracksMemory(t *testing.T) {
+	txns := workload.GenTxns(2000, 100, 4, 13)
+	res := Apriori(txns, 0.01, 0)
+	if res.MaxCandidates <= 0 {
+		t.Error("MaxCandidates must be positive")
+	}
+	if res.Passes < 1 {
+		t.Error("at least one pass is required")
+	}
+}

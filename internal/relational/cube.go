@@ -1,0 +1,181 @@
+package relational
+
+import (
+	"math/bits"
+	"sort"
+
+	"howsim/internal/workload"
+)
+
+// CubeKey identifies a group in one group-by of the cube: the dimension
+// values, with dimensions outside the group-by masked to ^0.
+type CubeKey [4]uint32
+
+const maskedDim = ^uint32(0)
+
+// maskKey projects a tuple's dimensions onto a group-by (a bitmask over
+// dimensions; bit d set means dimension d participates).
+func maskKey(t workload.CubeTuple, groupBy int) CubeKey {
+	var k CubeKey
+	for d := 0; d < 4; d++ {
+		if groupBy&(1<<d) != 0 {
+			k[d] = t.Dims[d]
+		} else {
+			k[d] = maskedDim
+		}
+	}
+	return k
+}
+
+// reMask projects an already-aggregated key of a superset group-by onto
+// a subset group-by.
+func reMask(k CubeKey, groupBy int) CubeKey {
+	for d := 0; d < 4; d++ {
+		if groupBy&(1<<d) == 0 {
+			k[d] = maskedDim
+		}
+	}
+	return k
+}
+
+// Cube holds the result of the datacube operation: for every non-empty
+// subset of the dimensions, the SUM(Measure) per group.
+type Cube struct {
+	Dims     int
+	GroupBys map[int]map[CubeKey]float64 // group-by mask -> groups
+	// ComputedFrom records each group-by's input in the PipeHash plan:
+	// either another group-by mask or -1 for the raw data.
+	ComputedFrom map[int]int
+}
+
+// ComputeCube evaluates the full datacube over dims dimensions (1-4)
+// using the PipeHash strategy of Agarwal et al.: each group-by is
+// computed from its smallest already-computed superset rather than from
+// the raw data, ordered so supersets are available first.
+func ComputeCube(tuples []workload.CubeTuple, dims int) *Cube {
+	if dims < 1 || dims > 4 {
+		panic("relational: cube dims must be 1..4")
+	}
+	full := 1<<dims - 1
+	c := &Cube{Dims: dims, GroupBys: map[int]map[CubeKey]float64{}, ComputedFrom: map[int]int{}}
+
+	// The top of the lattice comes from the raw data.
+	top := make(map[CubeKey]float64)
+	for _, t := range tuples {
+		top[maskKey(t, full)] += t.Measure
+	}
+	c.GroupBys[full] = top
+	c.ComputedFrom[full] = -1
+
+	// Remaining group-bys in decreasing dimensionality, each from its
+	// smallest computed superset.
+	var masks []int
+	for m := 1; m < full; m++ {
+		masks = append(masks, m)
+	}
+	sort.Slice(masks, func(i, j int) bool {
+		ci, cj := bits.OnesCount(uint(masks[i])), bits.OnesCount(uint(masks[j]))
+		if ci != cj {
+			return ci > cj
+		}
+		return masks[i] < masks[j]
+	})
+	for _, m := range masks {
+		parent := c.smallestSuperset(m, full)
+		agg := make(map[CubeKey]float64)
+		for pk, v := range c.GroupBys[parent] {
+			agg[reMask(pk, m)] += v
+		}
+		c.GroupBys[m] = agg
+		c.ComputedFrom[m] = parent
+	}
+	return c
+}
+
+// smallestSuperset returns the computed group-by with the fewest groups
+// that contains all of m's dimensions.
+func (c *Cube) smallestSuperset(m, full int) int {
+	best, bestSize := full, len(c.GroupBys[full])
+	for parent, groups := range c.GroupBys {
+		if parent&m == m && parent != m && len(groups) < bestSize {
+			best, bestSize = parent, len(groups)
+		}
+	}
+	return best
+}
+
+// Groups returns the groups of one group-by (mask over dimensions).
+func (c *Cube) Groups(mask int) map[CubeKey]float64 { return c.GroupBys[mask] }
+
+// NumGroupBys returns the number of group-bys in the cube (2^d - 1).
+func (c *Cube) NumGroupBys() int { return len(c.GroupBys) }
+
+// --- Paper-scale plan shape -------------------------------------------------
+
+// PipeHashShape carries the structural constants of the paper's dcube
+// workload: 15 group-bys over the 4-d, 536M-tuple dataset. The paper
+// reports the largest group-by's hash table at 695 MB and that the other
+// 14 group-bys merge into a single scan given 2.3 GB at the disks. The
+// per-table split of that 2.3 GB is not published; the descending sizes
+// below are calibrated to sum to it.
+type PipeHashShape struct {
+	LargestTableBytes int64
+	OtherTablesBytes  []int64 // descending
+}
+
+// PaperCubeShape returns the Table 2 dcube plan constants.
+func PaperCubeShape() PipeHashShape {
+	mb := int64(1) << 20
+	others := []int64{600, 400, 300, 250, 200, 150, 120, 90, 70, 50, 30, 20, 12, 8}
+	sizes := make([]int64, len(others))
+	for i, s := range others {
+		sizes[i] = s * mb
+	}
+	return PipeHashShape{LargestTableBytes: 695 * mb, OtherTablesBytes: sizes}
+}
+
+// CubePlan is the pass/spill structure PipeHash produces for a machine
+// configuration. Hash tables are partitioned across the disks, so each
+// disk holds a 1/disks share of every table in the active pipeline.
+type CubePlan struct {
+	// Passes is the number of scans: one for the largest group-by plus
+	// one per bin of the remaining group-bys.
+	Passes int
+	// SpillBytes is the volume of partially computed hash tables
+	// forwarded to the front-end host because the largest group-by's
+	// share exceeds per-disk memory (zero when it fits).
+	SpillBytes int64
+}
+
+// Plan bin-packs the group-by hash tables into scans given disks drives
+// with perDiskBytes of memory each, reserving reserveBytes per disk for
+// I/O and communication buffers.
+func (s PipeHashShape) Plan(disks int, perDiskBytes, reserveBytes int64) CubePlan {
+	capacity := perDiskBytes - reserveBytes
+	if capacity < 1 {
+		capacity = 1
+	}
+	var plan CubePlan
+	plan.Passes = 1 // the largest group-by's scan
+	if s.LargestTableBytes/int64(disks) > capacity {
+		plan.SpillBytes = s.LargestTableBytes
+	}
+	// First-fit decreasing over the remaining tables' per-disk shares.
+	var bins []int64
+	for _, t := range s.OtherTablesBytes {
+		share := t / int64(disks)
+		placed := false
+		for i := range bins {
+			if bins[i]+share <= capacity {
+				bins[i] += share
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			bins = append(bins, share)
+		}
+	}
+	plan.Passes += len(bins)
+	return plan
+}

@@ -1,0 +1,162 @@
+package relational
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+
+	"howsim/internal/workload"
+)
+
+// naiveGroupBy computes one group-by directly from the raw tuples.
+func naiveGroupBy(tuples []workload.CubeTuple, mask int) map[CubeKey]float64 {
+	out := map[CubeKey]float64{}
+	for _, t := range tuples {
+		out[maskKey(t, mask)] += t.Measure
+	}
+	return out
+}
+
+func TestComputeCubeMatchesNaive(t *testing.T) {
+	tuples := workload.GenCube(5000, []float64{0.01, 0.004, 0.002, 0.001}, 1)
+	c := ComputeCube(tuples, 4)
+	if c.NumGroupBys() != 15 {
+		t.Fatalf("4-d cube has %d group-bys, want 15", c.NumGroupBys())
+	}
+	for mask := 1; mask <= 15; mask++ {
+		want := naiveGroupBy(tuples, mask)
+		got := c.Groups(mask)
+		if len(got) != len(want) {
+			t.Fatalf("group-by %04b: %d groups, want %d", mask, len(got), len(want))
+		}
+		for k, v := range want {
+			if math.Abs(got[k]-v) > 1e-6 {
+				t.Fatalf("group-by %04b key %v: %v, want %v", mask, k, got[k], v)
+			}
+		}
+	}
+}
+
+func TestComputeCubeUsesParents(t *testing.T) {
+	tuples := workload.GenCube(2000, []float64{0.05, 0.01, 0.005, 0.002}, 2)
+	c := ComputeCube(tuples, 4)
+	if c.ComputedFrom[15] != -1 {
+		t.Error("the full group-by must come from the raw data")
+	}
+	fromRaw := 0
+	for mask, parent := range c.ComputedFrom {
+		if parent == -1 {
+			fromRaw++
+			continue
+		}
+		if parent&mask != mask {
+			t.Errorf("group-by %04b computed from non-superset %04b", mask, parent)
+		}
+		if bits.OnesCount(uint(parent)) <= bits.OnesCount(uint(mask)) {
+			t.Errorf("group-by %04b computed from same-or-lower level %04b", mask, parent)
+		}
+	}
+	if fromRaw != 1 {
+		t.Errorf("%d group-bys computed from raw data, want 1 (PipeHash reuses parents)", fromRaw)
+	}
+}
+
+func TestComputeCubeLowDims(t *testing.T) {
+	tuples := workload.GenCube(1000, []float64{0.1, 0.05}, 3)
+	c := ComputeCube(tuples, 2)
+	if c.NumGroupBys() != 3 {
+		t.Errorf("2-d cube has %d group-bys, want 3", c.NumGroupBys())
+	}
+	// Total over any group-by equals the grand total.
+	grand := 0.0
+	for _, tp := range tuples {
+		grand += tp.Measure
+	}
+	for mask := 1; mask <= 3; mask++ {
+		s := 0.0
+		for _, v := range c.Groups(mask) {
+			s += v
+		}
+		if math.Abs(s-grand) > 1e-6 {
+			t.Errorf("group-by %02b total %v, want %v", mask, s, grand)
+		}
+	}
+}
+
+func TestPaperCubeShapeConstants(t *testing.T) {
+	s := PaperCubeShape()
+	mb := int64(1) << 20
+	if s.LargestTableBytes != 695*mb {
+		t.Errorf("largest table = %d, want 695 MB", s.LargestTableBytes)
+	}
+	if len(s.OtherTablesBytes) != 14 {
+		t.Fatalf("%d other tables, want 14", len(s.OtherTablesBytes))
+	}
+	var sum int64
+	for i, b := range s.OtherTablesBytes {
+		sum += b
+		if i > 0 && b > s.OtherTablesBytes[i-1] {
+			t.Error("other tables must be descending")
+		}
+	}
+	if sum != 2300*mb {
+		t.Errorf("other tables total %d MB, want 2300 MB (paper: 2.3 GB for 14 group-bys)", sum/mb)
+	}
+}
+
+func TestCubePlanPaperThresholds(t *testing.T) {
+	s := PaperCubeShape()
+	mb := int64(1) << 20
+	const reserve = 6 // MB reserved for I/O+comm buffers
+
+	// 16 disks at 32 MB: largest group-by (695/16 = 43 MB/disk) cannot be
+	// held; partial tables spill to the front-end.
+	p := s.Plan(16, 32*mb, reserve*mb)
+	if p.SpillBytes == 0 {
+		t.Error("16 disks x 32 MB must spill the largest group-by")
+	}
+	// 16 disks at 64 MB: no spill.
+	p = s.Plan(16, 64*mb, reserve*mb)
+	if p.SpillBytes != 0 {
+		t.Error("16 disks x 64 MB should hold the largest group-by")
+	}
+
+	// 64 disks: 32 MB -> 3 passes, 64 MB -> 2 passes (the paper's
+	// "reduce the number of passes from three to two").
+	p32 := s.Plan(64, 32*mb, reserve*mb)
+	p64 := s.Plan(64, 64*mb, reserve*mb)
+	if p32.Passes != 3 {
+		t.Errorf("64 disks x 32 MB: %d passes, want 3", p32.Passes)
+	}
+	if p64.Passes != 2 {
+		t.Errorf("64 disks x 64 MB: %d passes, want 2", p64.Passes)
+	}
+	if p32.SpillBytes != 0 || p64.SpillBytes != 0 {
+		t.Error("64-disk configurations should not spill")
+	}
+
+	// 128 disks: already 2 passes at 32 MB, no gain from more memory.
+	p = s.Plan(128, 32*mb, reserve*mb)
+	if p.Passes != 2 || p.SpillBytes != 0 {
+		t.Errorf("128 disks x 32 MB: %+v, want 2 passes, no spill", p)
+	}
+}
+
+func TestCubePlanMonotoneInMemory(t *testing.T) {
+	s := PaperCubeShape()
+	mb := int64(1) << 20
+	for _, disks := range []int{16, 32, 64, 128} {
+		prevPasses := 1 << 30
+		prevSpill := int64(1) << 62
+		for _, mem := range []int64{32, 64, 128, 256} {
+			p := s.Plan(disks, mem*mb, 6*mb)
+			if p.Passes > prevPasses {
+				t.Errorf("disks=%d: passes increased with memory", disks)
+			}
+			if p.SpillBytes > prevSpill {
+				t.Errorf("disks=%d: spill increased with memory", disks)
+			}
+			prevPasses, prevSpill = p.Passes, p.SpillBytes
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package relational
+
+import "howsim/internal/workload"
+
+// hashTree is the candidate-counting structure of Agrawal et al.'s
+// Apriori: interior nodes hash the next item into buckets; leaves hold
+// small candidate lists. Counting a transaction walks the tree once per
+// item combination prefix instead of enumerating every k-subset against
+// a flat map — the "hash-tree probe" the simulation's MineCycles
+// constant abstracts.
+type hashTree struct {
+	k    int // itemset size
+	root *htNode
+	// candidates in insertion order; counts parallel them.
+	candidates []Itemset
+	counts     []int64
+}
+
+type htNode struct {
+	children map[uint32]*htNode
+	leaf     []int // candidate indices
+	depth    int
+}
+
+const (
+	htFanout  = 8
+	htMaxLeaf = 16
+)
+
+// newHashTree builds the tree over the level-k candidates.
+func newHashTree(candidates []Itemset, k int) *hashTree {
+	t := &hashTree{
+		k:          k,
+		root:       &htNode{},
+		candidates: candidates,
+		counts:     make([]int64, len(candidates)),
+	}
+	for i := range candidates {
+		t.insert(t.root, i)
+	}
+	return t
+}
+
+func htBucket(item uint32) uint32 { return item % htFanout }
+
+func (t *hashTree) insert(n *htNode, ci int) {
+	if n.children == nil && (len(n.leaf) < htMaxLeaf || n.depth >= t.k-1) {
+		n.leaf = append(n.leaf, ci)
+		return
+	}
+	if n.children == nil {
+		// Split the leaf.
+		n.children = map[uint32]*htNode{}
+		old := n.leaf
+		n.leaf = nil
+		for _, o := range old {
+			t.insertChild(n, o)
+		}
+	}
+	t.insertChild(n, ci)
+}
+
+func (t *hashTree) insertChild(n *htNode, ci int) {
+	b := htBucket(t.candidates[ci][n.depth])
+	child := n.children[b]
+	if child == nil {
+		child = &htNode{depth: n.depth + 1}
+		n.children[b] = child
+	}
+	t.insert(child, ci)
+}
+
+// countTxn walks the deduplicated, sorted transaction through the tree,
+// incrementing every contained candidate's count exactly once.
+func (t *hashTree) countTxn(items Itemset) {
+	if len(items) < t.k {
+		return
+	}
+	seen := map[int]bool{}
+	t.walk(t.root, items, 0, seen)
+	for ci := range seen {
+		t.counts[ci]++
+	}
+}
+
+// walk visits subtrees reachable from the remaining items. At a leaf it
+// verifies containment of each candidate against the full transaction.
+func (t *hashTree) walk(n *htNode, items Itemset, from int, seen map[int]bool) {
+	if n.children == nil {
+		for _, ci := range n.leaf {
+			if !seen[ci] && contains(items, t.candidates[ci]) {
+				seen[ci] = true
+			}
+		}
+		return
+	}
+	// Descend once per distinct bucket among the remaining items; the
+	// subtree at depth d is keyed by the candidate's d-th item.
+	visited := map[uint32]bool{}
+	for i := from; i <= len(items)-(t.k-n.depth); i++ {
+		b := htBucket(items[i])
+		if visited[b] {
+			continue
+		}
+		visited[b] = true
+		if child := n.children[b]; child != nil {
+			t.walk(child, items, from, seen)
+		}
+	}
+}
+
+// contains reports whether sorted transaction items cover the sorted
+// candidate.
+func contains(items, cand Itemset) bool {
+	i := 0
+	for _, c := range cand {
+		for i < len(items) && items[i] < c {
+			i++
+		}
+		if i >= len(items) || items[i] != c {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// countSupport counts each candidate's support over the transactions
+// using a hash tree, returning counts parallel to candidates.
+func countSupport(txns []workload.Txn, candidates []Itemset, k int) []int64 {
+	t := newHashTree(candidates, k)
+	for _, tx := range txns {
+		t.countTxn(uniqueSorted(tx))
+	}
+	return t.counts
+}

@@ -1,0 +1,152 @@
+package relational
+
+import (
+	"testing"
+	"testing/quick"
+
+	"howsim/internal/workload"
+)
+
+// naiveCounts counts candidate support by enumerating every k-subset.
+func naiveCounts(txns []workload.Txn, candidates []Itemset, k int) []int64 {
+	idx := map[string]int{}
+	for i, c := range candidates {
+		idx[c.key()] = i
+	}
+	counts := make([]int64, len(candidates))
+	for _, tx := range txns {
+		items := uniqueSorted(tx)
+		if len(items) < k {
+			continue
+		}
+		seen := map[int]bool{}
+		forEachSubset(items, k, func(sub Itemset) {
+			if i, ok := idx[sub.key()]; ok {
+				seen[i] = true
+			}
+		})
+		for i := range seen {
+			counts[i]++
+		}
+	}
+	return counts
+}
+
+func TestHashTreeMatchesNaiveCounting(t *testing.T) {
+	txns := workload.GenTxns(3_000, 40, 4, 17)
+	// Build level-2 candidates from frequent items.
+	res1 := Apriori(txns, 0.02, 1)
+	var items []Itemset
+	for _, f := range res1.Frequent {
+		items = append(items, f.Items)
+	}
+	sortItemsets(items)
+	candidates := generateCandidates(items, 2)
+	if len(candidates) < 10 {
+		t.Fatalf("only %d candidates; test needs a richer set", len(candidates))
+	}
+	got := countSupport(txns, candidates, 2)
+	want := naiveCounts(txns, candidates, 2)
+	for i := range candidates {
+		if got[i] != want[i] {
+			t.Fatalf("candidate %v: hash tree %d, naive %d", candidates[i], got[i], want[i])
+		}
+	}
+}
+
+func TestHashTreeThreeItemsets(t *testing.T) {
+	txns := []workload.Txn{
+		{1, 2, 3, 4},
+		{1, 2, 3},
+		{2, 3, 4},
+		{1, 3, 4},
+		{1, 2, 4},
+	}
+	candidates := []Itemset{{1, 2, 3}, {1, 2, 4}, {1, 3, 4}, {2, 3, 4}, {5, 6, 7}}
+	got := countSupport(txns, candidates, 3)
+	want := []int64{2, 2, 2, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("candidate %v: count %d, want %d", candidates[i], got[i], want[i])
+		}
+	}
+}
+
+func TestHashTreeLeafSplitting(t *testing.T) {
+	// More candidates than one leaf holds forces interior nodes.
+	var candidates []Itemset
+	for a := uint32(0); a < 12; a++ {
+		for b := a + 1; b < 12; b++ {
+			candidates = append(candidates, Itemset{a, b})
+		}
+	}
+	tree := newHashTree(candidates, 2)
+	if tree.root.children == nil {
+		t.Fatal("root should have split with 66 candidates")
+	}
+	// Every candidate contained in the full transaction is counted once.
+	full := make(workload.Txn, 12)
+	for i := range full {
+		full[i] = uint32(i)
+	}
+	counts := countSupport([]workload.Txn{full}, candidates, 2)
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("candidate %v counted %d times, want 1", candidates[i], c)
+		}
+	}
+}
+
+func TestHashTreeDuplicateItemsCountOnce(t *testing.T) {
+	txns := []workload.Txn{{1, 1, 2, 2}}
+	counts := countSupport(txns, []Itemset{{1, 2}}, 2)
+	if counts[0] != 1 {
+		t.Errorf("duplicate items inflated count to %d", counts[0])
+	}
+}
+
+func TestContains(t *testing.T) {
+	cases := []struct {
+		items, cand Itemset
+		want        bool
+	}{
+		{Itemset{1, 2, 3}, Itemset{1, 3}, true},
+		{Itemset{1, 2, 3}, Itemset{2}, true},
+		{Itemset{1, 2, 3}, Itemset{4}, false},
+		{Itemset{1, 3}, Itemset{1, 2}, false},
+		{Itemset{}, Itemset{1}, false},
+		{Itemset{5}, Itemset{}, true},
+	}
+	for _, c := range cases {
+		if got := contains(c.items, c.cand); got != c.want {
+			t.Errorf("contains(%v, %v) = %v", c.items, c.cand, got)
+		}
+	}
+}
+
+func TestHashTreePropertyAgainstNaive(t *testing.T) {
+	f := func(seed uint64) bool {
+		txns := workload.GenTxns(400, 20, 4, seed)
+		res1 := Apriori(txns, 0.05, 1)
+		var items []Itemset
+		for _, fr := range res1.Frequent {
+			items = append(items, fr.Items)
+		}
+		sortItemsets(items)
+		candidates := generateCandidates(items, 2)
+		if len(candidates) == 0 {
+			return true
+		}
+		got := countSupport(txns, candidates, 2)
+		want := naiveCounts(txns, candidates, 2)
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,73 @@
+package relational
+
+import "howsim/internal/workload"
+
+// JoinedRow is one output tuple of the project-join: both inputs are
+// projected down to key + one attribute before joining (the paper's
+// "32-byte tuples after projection").
+type JoinedRow struct {
+	Key    uint64
+	RValue float64
+	SValue float64
+}
+
+// JoinPlan is the structural shape of a Grace-style hash join.
+type JoinPlan struct {
+	BuildBytes  int64
+	MemoryBytes int64
+	Partitions  int // hash partitions so each build partition fits memory
+}
+
+// PlanGraceJoin returns the partition fan-out needed for the build side
+// to fit in memory partition-by-partition. One partition means a pure
+// in-memory hash join.
+func PlanGraceJoin(buildBytes, memoryBytes int64) JoinPlan {
+	p := JoinPlan{BuildBytes: buildBytes, MemoryBytes: memoryBytes, Partitions: 1}
+	if memoryBytes > 0 && buildBytes > memoryBytes {
+		p.Partitions = int((buildBytes + memoryBytes - 1) / memoryBytes)
+	}
+	return p
+}
+
+// hashKey spreads join keys across partitions.
+func hashKey(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	return k
+}
+
+// GraceJoin performs a projected equi-join of r and s on Key using the
+// Grace hash-join structure: partition both inputs by hash, then build a
+// hash table per R-partition and probe it with the matching S-partition.
+// memTuples bounds the build-side tuples held in memory at once (0 means
+// unbounded: a single-partition in-memory join).
+func GraceJoin(r, s []workload.Record, memTuples int) []JoinedRow {
+	parts := 1
+	if memTuples > 0 && len(r) > memTuples {
+		parts = (len(r) + memTuples - 1) / memTuples
+	}
+	rParts := make([][]workload.Record, parts)
+	sParts := make([][]workload.Record, parts)
+	for _, t := range r {
+		i := int(hashKey(t.Key) % uint64(parts))
+		rParts[i] = append(rParts[i], t)
+	}
+	for _, t := range s {
+		i := int(hashKey(t.Key) % uint64(parts))
+		sParts[i] = append(sParts[i], t)
+	}
+	var out []JoinedRow
+	for i := 0; i < parts; i++ {
+		build := make(map[uint64][]float64, len(rParts[i]))
+		for _, t := range rParts[i] {
+			build[t.Key] = append(build[t.Key], t.Value)
+		}
+		for _, t := range sParts[i] {
+			for _, rv := range build[t.Key] {
+				out = append(out, JoinedRow{Key: t.Key, RValue: rv, SValue: t.Value})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package relational
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"howsim/internal/workload"
+)
+
+// nestedLoopJoin is the reference implementation.
+func nestedLoopJoin(r, s []workload.Record) []JoinedRow {
+	var out []JoinedRow
+	for _, st := range s {
+		for _, rt := range r {
+			if rt.Key == st.Key {
+				out = append(out, JoinedRow{Key: st.Key, RValue: rt.Value, SValue: st.Value})
+			}
+		}
+	}
+	return out
+}
+
+func sortRows(rows []JoinedRow) {
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if a.Key != b.Key {
+			return a.Key < b.Key
+		}
+		if a.RValue != b.RValue {
+			return a.RValue < b.RValue
+		}
+		return a.SValue < b.SValue
+	})
+}
+
+func TestGraceJoinMatchesNestedLoop(t *testing.T) {
+	r, s := workload.GenJoin(200, 1000, 1)
+	got := GraceJoin(r, s, 64) // forces multiple partitions
+	want := nestedLoopJoin(r, s)
+	if len(got) != len(want) {
+		t.Fatalf("join produced %d rows, want %d", len(got), len(want))
+	}
+	sortRows(got)
+	sortRows(want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGraceJoinInMemoryPath(t *testing.T) {
+	r, s := workload.GenJoin(50, 200, 2)
+	got := GraceJoin(r, s, 0)
+	want := nestedLoopJoin(r, s)
+	if len(got) != len(want) {
+		t.Errorf("in-memory join produced %d rows, want %d", len(got), len(want))
+	}
+}
+
+func TestGraceJoinDuplicateBuildKeys(t *testing.T) {
+	r := []workload.Record{{Key: 1, Value: 10}, {Key: 1, Value: 20}, {Key: 2, Value: 30}}
+	s := []workload.Record{{Key: 1, Value: 100}, {Key: 3, Value: 300}}
+	got := GraceJoin(r, s, 2)
+	if len(got) != 2 {
+		t.Fatalf("join with duplicate build keys produced %d rows, want 2", len(got))
+	}
+}
+
+func TestGraceJoinEmptyInputs(t *testing.T) {
+	if got := GraceJoin(nil, nil, 10); len(got) != 0 {
+		t.Error("empty join should produce nothing")
+	}
+	r, _ := workload.GenJoin(10, 10, 3)
+	if got := GraceJoin(r, nil, 10); len(got) != 0 {
+		t.Error("join with empty probe should produce nothing")
+	}
+}
+
+func TestGraceJoinPartitionInvariance(t *testing.T) {
+	// Property: output cardinality is independent of the memory budget.
+	f := func(seed uint64, mem uint8) bool {
+		r, s := workload.GenJoin(100, 400, seed)
+		a := GraceJoin(r, s, 0)
+		b := GraceJoin(r, s, int(mem)+1)
+		return len(a) == len(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlanGraceJoin(t *testing.T) {
+	if p := PlanGraceJoin(100, 1000); p.Partitions != 1 {
+		t.Errorf("fitting build side => %d partitions, want 1", p.Partitions)
+	}
+	if p := PlanGraceJoin(1000, 100); p.Partitions != 10 {
+		t.Errorf("10x oversized build => %d partitions, want 10", p.Partitions)
+	}
+	if p := PlanGraceJoin(1001, 100); p.Partitions != 11 {
+		t.Errorf("ceil division => %d partitions, want 11", p.Partitions)
+	}
+}

@@ -1,0 +1,106 @@
+package relational
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"howsim/internal/workload"
+)
+
+func TestViewIncrementalEqualsRebuild(t *testing.T) {
+	base := workload.GenRecords(5000, 100, 1)
+	deltas := workload.GenDeltas(2000, 100, 2)
+
+	// Incremental: build from base, apply deltas.
+	v := BuildView(base)
+	v.ApplyDeltas(deltas)
+
+	// Rebuild: treat base rows as inserts and fold everything.
+	r := NewView()
+	asDeltas := make([]workload.Delta, 0, len(base)+len(deltas))
+	for _, b := range base {
+		asDeltas = append(asDeltas, workload.Delta{Key: b.Key, Value: b.Value, Insert: true})
+	}
+	asDeltas = append(asDeltas, deltas...)
+	r.ApplyDeltas(asDeltas)
+
+	if v.Len() != r.Len() {
+		t.Fatalf("incremental view has %d groups, rebuild has %d", v.Len(), r.Len())
+	}
+	for k, g := range r.Snapshot() {
+		got, ok := v.Get(k)
+		if !ok {
+			t.Fatalf("group %d missing from incremental view", k)
+		}
+		if got.Count != g.Count || math.Abs(got.Sum-g.Sum) > 1e-6 {
+			t.Fatalf("group %d: incremental %+v, rebuild %+v", k, got, g)
+		}
+	}
+}
+
+func TestViewInsertThenDeleteCancels(t *testing.T) {
+	v := NewView()
+	v.ApplyDeltas([]workload.Delta{
+		{Key: 7, Value: 3.5, Insert: true},
+		{Key: 7, Value: 3.5, Insert: false},
+	})
+	if v.Len() != 0 {
+		t.Errorf("insert+delete left %d groups, want 0", v.Len())
+	}
+}
+
+func TestViewAccumulates(t *testing.T) {
+	v := NewView()
+	v.ApplyDeltas([]workload.Delta{
+		{Key: 1, Value: 10, Insert: true},
+		{Key: 1, Value: 20, Insert: true},
+		{Key: 2, Value: 5, Insert: true},
+	})
+	g, ok := v.Get(1)
+	if !ok || g.Count != 2 || g.Sum != 30 {
+		t.Errorf("group 1 = %+v ok=%v, want {30 2}", g, ok)
+	}
+	if v.Len() != 2 {
+		t.Errorf("view has %d groups, want 2", v.Len())
+	}
+}
+
+func TestViewBatchSplitEquivalenceProperty(t *testing.T) {
+	// Property: applying a delta batch in two halves equals applying it
+	// at once — the invariant that lets nodes process delta partitions
+	// independently.
+	f := func(seed uint64, cut uint16) bool {
+		deltas := workload.GenDeltas(800, 50, seed)
+		c := int(cut) % len(deltas)
+		a := NewView()
+		a.ApplyDeltas(deltas)
+		b := NewView()
+		b.ApplyDeltas(deltas[:c])
+		b.ApplyDeltas(deltas[c:])
+		if a.Len() != b.Len() {
+			return false
+		}
+		for k, g := range a.Snapshot() {
+			h, ok := b.Get(k)
+			if !ok || h.Count != g.Count || math.Abs(h.Sum-g.Sum) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlanMView(t *testing.T) {
+	gb := int64(1) << 30
+	p := PlanMView(1*gb, 4*gb)
+	if p.DeltaBytes != gb || p.DerivedBytes != 4*gb {
+		t.Errorf("plan = %+v", p)
+	}
+	if p.TouchedDerivedBytes != 4*gb {
+		t.Errorf("uniform deltas should touch all derived partitions, got %d", p.TouchedDerivedBytes)
+	}
+}

@@ -1,0 +1,78 @@
+package relational
+
+import "sort"
+
+// Splitters are the range-partitioning boundaries a parallel external
+// sort distributes tuples with: tuple t goes to the partition p such
+// that splitters[p-1] <= key(t) < splitters[p]. NOW-sort (which the
+// paper's sort adaptations follow) derives them by sampling keys.
+type Splitters []uint64
+
+// SampleSplitters derives parts-1 boundaries from a deterministic
+// sample of the keys: every stride-th key is collected, sorted, and
+// boundaries are read off at equal quantiles.
+func SampleSplitters(keys []uint64, parts int, sampleSize int) Splitters {
+	if parts <= 1 {
+		return nil
+	}
+	if sampleSize <= parts {
+		sampleSize = parts * 128
+	}
+	stride := len(keys) / sampleSize
+	if stride < 1 {
+		stride = 1
+	}
+	sample := make([]uint64, 0, sampleSize+1)
+	for i := 0; i < len(keys); i += stride {
+		sample = append(sample, keys[i])
+	}
+	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	out := make(Splitters, parts-1)
+	for p := 1; p < parts; p++ {
+		out[p-1] = sample[len(sample)*p/parts]
+	}
+	return out
+}
+
+// Partition returns the index of the partition a key belongs to
+// (binary search over the boundaries).
+func (s Splitters) Partition(key uint64) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if key < s[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Histogram counts how many of the keys fall into each of the
+// len(s)+1 partitions.
+func (s Splitters) Histogram(keys []uint64) []int64 {
+	counts := make([]int64, len(s)+1)
+	for _, k := range keys {
+		counts[s.Partition(k)]++
+	}
+	return counts
+}
+
+// Imbalance returns max partition share / ideal share — 1.0 is a
+// perfect split. It quantifies how well the sampled splitters balance
+// the parallel sort.
+func (s Splitters) Imbalance(keys []uint64) float64 {
+	if len(keys) == 0 {
+		return 1
+	}
+	counts := s.Histogram(keys)
+	var max int64
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	ideal := float64(len(keys)) / float64(len(counts))
+	return float64(max) / ideal
+}

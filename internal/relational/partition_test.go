@@ -1,0 +1,99 @@
+package relational
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"howsim/internal/workload"
+)
+
+func TestSplittersPartitionOrderPreserving(t *testing.T) {
+	s := Splitters{100, 200, 300}
+	cases := []struct {
+		key  uint64
+		want int
+	}{
+		{0, 0}, {99, 0}, {100, 1}, {150, 1}, {199, 1},
+		{200, 2}, {299, 2}, {300, 3}, {1 << 40, 3},
+	}
+	for _, c := range cases {
+		if got := s.Partition(c.key); got != c.want {
+			t.Errorf("Partition(%d) = %d, want %d", c.key, got, c.want)
+		}
+	}
+}
+
+func TestSampleSplittersBalanceUniformKeys(t *testing.T) {
+	keys := workload.GenSortKeys(200_000, 1)
+	for _, parts := range []int{4, 16, 64} {
+		s := SampleSplitters(keys, parts, 0)
+		if len(s) != parts-1 {
+			t.Fatalf("%d parts gave %d splitters", parts, len(s))
+		}
+		if imb := s.Imbalance(keys); imb > 1.4 {
+			t.Errorf("%d-way split imbalance = %.2f, want near 1.0", parts, imb)
+		}
+	}
+}
+
+func TestSplittersSorted(t *testing.T) {
+	keys := workload.GenSortKeys(50_000, 2)
+	s := SampleSplitters(keys, 32, 0)
+	if !sort.SliceIsSorted(s, func(i, j int) bool { return s[i] < s[j] }) {
+		t.Error("splitters must be non-decreasing")
+	}
+}
+
+func TestSplittersHistogramConservation(t *testing.T) {
+	f := func(seed uint64, parts uint8) bool {
+		p := int(parts)%15 + 2
+		keys := workload.GenSortKeys(5_000, seed)
+		s := SampleSplitters(keys, p, 0)
+		counts := s.Histogram(keys)
+		var total int64
+		for _, c := range counts {
+			total += c
+		}
+		return total == int64(len(keys)) && len(counts) == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplittersRespectGlobalOrder(t *testing.T) {
+	// Property: concatenating the sorted partitions in partition order
+	// yields a globally sorted sequence.
+	keys := workload.GenSortKeys(20_000, 3)
+	s := SampleSplitters(keys, 8, 0)
+	parts := make([][]uint64, len(s)+1)
+	for _, k := range keys {
+		p := s.Partition(k)
+		parts[p] = append(parts[p], k)
+	}
+	var all []uint64
+	for _, ps := range parts {
+		sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+		all = append(all, ps...)
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1] > all[i] {
+			t.Fatal("partition-then-sort does not yield global order")
+		}
+	}
+}
+
+func TestSinglePartition(t *testing.T) {
+	keys := workload.GenSortKeys(100, 4)
+	if s := SampleSplitters(keys, 1, 0); s != nil {
+		t.Error("one partition needs no splitters")
+	}
+	var s Splitters
+	if got := s.Partition(42); got != 0 {
+		t.Errorf("nil splitters Partition = %d", got)
+	}
+	if imb := s.Imbalance(keys); imb != 1 {
+		t.Errorf("nil splitters imbalance = %v", imb)
+	}
+}

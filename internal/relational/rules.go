@@ -1,0 +1,110 @@
+package relational
+
+import "sort"
+
+// Rule is an association rule X => Y with its support and confidence —
+// the actual output of the paper's dmine task ("mining association
+// rules between sets of items", Agrawal et al.).
+type Rule struct {
+	Antecedent Itemset
+	Consequent Itemset
+	// Support is the fraction of transactions containing X ∪ Y.
+	Support float64
+	// Confidence is support(X ∪ Y) / support(X).
+	Confidence float64
+}
+
+// GenerateRules derives all association rules with confidence at least
+// minConfidence from the frequent itemsets of a mining run. For every
+// frequent itemset Z and every non-empty proper subset X of Z it emits
+// X => Z\X when the confidence threshold is met. Rules are returned in
+// descending confidence order (ties by support).
+func GenerateRules(res MiningResult, totalTxns int64, minConfidence float64) []Rule {
+	support := make(map[string]int64, len(res.Frequent))
+	for _, f := range res.Frequent {
+		support[f.Items.key()] = f.Support
+	}
+	var rules []Rule
+	for _, f := range res.Frequent {
+		if len(f.Items) < 2 {
+			continue
+		}
+		forEachProperSubset(f.Items, func(x, y Itemset) {
+			sx, ok := support[x.key()]
+			if !ok || sx == 0 {
+				return
+			}
+			conf := float64(f.Support) / float64(sx)
+			if conf < minConfidence {
+				return
+			}
+			rules = append(rules, Rule{
+				Antecedent: append(Itemset(nil), x...),
+				Consequent: append(Itemset(nil), y...),
+				Support:    float64(f.Support) / float64(totalTxns),
+				Confidence: conf,
+			})
+		})
+	}
+	sort.Slice(rules, func(i, j int) bool {
+		if rules[i].Confidence != rules[j].Confidence {
+			return rules[i].Confidence > rules[j].Confidence
+		}
+		if rules[i].Support != rules[j].Support {
+			return rules[i].Support > rules[j].Support
+		}
+		return rules[i].Antecedent.key() < rules[j].Antecedent.key()
+	})
+	return rules
+}
+
+// forEachProperSubset enumerates every non-empty proper subset x of
+// items (with complement y), both sorted.
+func forEachProperSubset(items Itemset, fn func(x, y Itemset)) {
+	n := len(items)
+	for mask := 1; mask < (1<<n)-1; mask++ {
+		var x, y Itemset
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				x = append(x, items[i])
+			} else {
+				y = append(y, items[i])
+			}
+		}
+		fn(x, y)
+	}
+}
+
+// --- Cube navigation ---------------------------------------------------------
+
+// RollUp aggregates one group-by of a computed cube up a dimension: the
+// result is the group-by with dim removed, derived from the given
+// mask's groups (the OLAP roll-up operation).
+func (c *Cube) RollUp(mask int, dim int) map[CubeKey]float64 {
+	if mask&(1<<dim) == 0 {
+		panic("relational: RollUp dimension not in the group-by")
+	}
+	target := mask &^ (1 << dim)
+	out := map[CubeKey]float64{}
+	for k, v := range c.GroupBys[mask] {
+		out[reMask(k, target)] += v
+	}
+	return out
+}
+
+// Slice restricts one group-by to the rows where dimension dim has the
+// given value, dropping that dimension from the key (the OLAP slice
+// operation).
+func (c *Cube) Slice(mask int, dim int, value uint32) map[CubeKey]float64 {
+	if mask&(1<<dim) == 0 {
+		panic("relational: Slice dimension not in the group-by")
+	}
+	target := mask &^ (1 << dim)
+	out := map[CubeKey]float64{}
+	for k, v := range c.GroupBys[mask] {
+		if k[dim] == value {
+			out[reMask(k, target)] += v
+		}
+	}
+	return out
+}

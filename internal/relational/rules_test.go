@@ -1,0 +1,148 @@
+package relational
+
+import (
+	"math"
+	"testing"
+
+	"howsim/internal/workload"
+)
+
+func TestGenerateRulesTextbook(t *testing.T) {
+	txns := []workload.Txn{
+		{1, 2, 5},
+		{2, 4},
+		{2, 3},
+		{1, 2, 4},
+		{1, 3},
+		{2, 3},
+		{1, 3},
+		{1, 2, 3, 5},
+		{1, 2, 3},
+	}
+	res := Apriori(txns, 2.0/9.0, 0)
+	rules := GenerateRules(res, int64(len(txns)), 1.0)
+	// Confidence-1.0 rules from {1,2,5} (support 2): {1,5}=>{2}, {2,5}=>{1},
+	// {5}=>{1,2}; from {1,5},{2,5}: {5}=>{1}, {5}=>{2}; from {2,4}: {4}=>{2}.
+	want := map[string]bool{
+		"1,5=>2": true, "2,5=>1": true, "5=>1,2": true,
+		"5=>1": true, "5=>2": true, "4=>2": true,
+	}
+	got := map[string]bool{}
+	for _, r := range rules {
+		if r.Confidence != 1.0 {
+			t.Errorf("rule %v=>%v has confidence %v under a 1.0 threshold",
+				r.Antecedent, r.Consequent, r.Confidence)
+		}
+		got[ruleKey(r)] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d distinct rules %v, want %d", len(got), got, len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Errorf("missing rule %s", k)
+		}
+	}
+}
+
+func ruleKey(r Rule) string {
+	s := ""
+	for i, it := range r.Antecedent {
+		if i > 0 {
+			s += ","
+		}
+		s += string(rune('0' + it))
+	}
+	s += "=>"
+	for i, it := range r.Consequent {
+		if i > 0 {
+			s += ","
+		}
+		s += string(rune('0' + it))
+	}
+	return s
+}
+
+func TestGenerateRulesConfidenceMath(t *testing.T) {
+	txns := workload.GenTxns(3_000, 30, 4, 21)
+	res := Apriori(txns, 0.05, 2)
+	rules := GenerateRules(res, int64(len(txns)), 0.3)
+	support := map[string]int64{}
+	for _, f := range res.Frequent {
+		support[f.Items.key()] = f.Support
+	}
+	for _, r := range rules {
+		union := append(append(Itemset{}, r.Antecedent...), r.Consequent...)
+		sortItemsets([]Itemset{union})
+		u := uniqueSorted(workload.Txn(union))
+		wantConf := float64(support[u.key()]) / float64(support[r.Antecedent.key()])
+		if math.Abs(r.Confidence-wantConf) > 1e-9 {
+			t.Fatalf("rule %v=>%v confidence %v, want %v", r.Antecedent, r.Consequent, r.Confidence, wantConf)
+		}
+		if r.Confidence < 0.3 {
+			t.Fatalf("rule below threshold: %v", r)
+		}
+		wantSup := float64(support[u.key()]) / 3_000
+		if math.Abs(r.Support-wantSup) > 1e-9 {
+			t.Fatalf("rule support %v, want %v", r.Support, wantSup)
+		}
+	}
+	// Descending confidence order.
+	for i := 1; i < len(rules); i++ {
+		if rules[i].Confidence > rules[i-1].Confidence {
+			t.Fatal("rules not sorted by confidence")
+		}
+	}
+}
+
+func TestCubeRollUp(t *testing.T) {
+	tuples := workload.GenCube(3_000, []float64{0.02, 0.01}, 5)
+	c := ComputeCube(tuples, 2)
+	rolled := c.RollUp(3, 1) // drop dim 1 from the (0,1) group-by
+	direct := c.Groups(1)    // group-by on dim 0 only
+	if len(rolled) != len(direct) {
+		t.Fatalf("rollup has %d groups, direct %d", len(rolled), len(direct))
+	}
+	for k, v := range direct {
+		if math.Abs(rolled[k]-v) > 1e-6 {
+			t.Fatalf("rollup group %v = %v, direct %v", k, rolled[k], v)
+		}
+	}
+}
+
+func TestCubeSlice(t *testing.T) {
+	tuples := workload.GenCube(2_000, []float64{0.01, 0.005}, 6)
+	c := ComputeCube(tuples, 2)
+	// Slicing on every value of dim 1 and summing must reproduce the
+	// dim-0 group-by.
+	sum := map[CubeKey]float64{}
+	seen := map[uint32]bool{}
+	for _, tp := range tuples {
+		seen[tp.Dims[1]] = true
+	}
+	for v := range seen {
+		for k, x := range c.Slice(3, 1, v) {
+			sum[k] += x
+		}
+	}
+	direct := c.Groups(1)
+	if len(sum) != len(direct) {
+		t.Fatalf("slices cover %d groups, direct %d", len(sum), len(direct))
+	}
+	for k, v := range direct {
+		if math.Abs(sum[k]-v) > 1e-6 {
+			t.Fatalf("slice-sum group %v = %v, direct %v", k, sum[k], v)
+		}
+	}
+}
+
+func TestRollUpBadDimensionPanics(t *testing.T) {
+	tuples := workload.GenCube(100, []float64{0.1, 0.1}, 7)
+	c := ComputeCube(tuples, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("RollUp on an absent dimension should panic")
+		}
+	}()
+	c.RollUp(1, 1) // mask 1 contains only dim 0
+}

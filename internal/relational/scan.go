@@ -1,0 +1,78 @@
+// Package relational contains real, executable implementations of the
+// eight decision-support algorithms the paper evaluates: SQL select,
+// aggregate and group-by, external merge sort, the PipeHash datacube,
+// Grace-style project-join, Apriori association-rule mining, and
+// incremental materialized-view maintenance.
+//
+// These implementations play the role of the paper's Alpha-2100 runs:
+// they validate algorithm structure and extract the structural
+// parameters (run counts, pass counts, hash-table and plan shapes as a
+// function of memory) that drive the trace-based simulation. They
+// operate on megabyte-scale instances of the Table 2 distributions
+// produced by package workload.
+package relational
+
+import "howsim/internal/workload"
+
+// Select returns the records whose Attr falls below selectivity — the
+// SQL select with the paper's "1% selectivity" predicate.
+func Select(recs []workload.Record, selectivity float64) []workload.Record {
+	var out []workload.Record
+	for _, r := range recs {
+		if r.Attr < selectivity {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// CountSelected reports how many records the predicate selects without
+// materializing them.
+func CountSelected(recs []workload.Record, selectivity float64) int64 {
+	var n int64
+	for _, r := range recs {
+		if r.Attr < selectivity {
+			n++
+		}
+	}
+	return n
+}
+
+// Sum computes the zero-dimensional SUM aggregate over Value.
+func Sum(recs []workload.Record) float64 {
+	s := 0.0
+	for _, r := range recs {
+		s += r.Value
+	}
+	return s
+}
+
+// GroupAgg is one group's running aggregate.
+type GroupAgg struct {
+	Sum   float64
+	Count int64
+}
+
+// GroupBySum computes the hash group-by: SUM(Value), COUNT(*) per Key.
+func GroupBySum(recs []workload.Record) map[uint64]GroupAgg {
+	m := make(map[uint64]GroupAgg)
+	for _, r := range recs {
+		g := m[r.Key]
+		g.Sum += r.Value
+		g.Count++
+		m[r.Key] = g
+	}
+	return m
+}
+
+// MergeGroups folds partial group-by results (e.g. computed per
+// partition/disk) into dst — the merge step the front-end or peer nodes
+// perform for distributed group-by.
+func MergeGroups(dst, src map[uint64]GroupAgg) {
+	for k, g := range src {
+		d := dst[k]
+		d.Sum += g.Sum
+		d.Count += g.Count
+		dst[k] = d
+	}
+}

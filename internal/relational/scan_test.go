@@ -1,0 +1,117 @@
+package relational
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"howsim/internal/workload"
+)
+
+func TestSelectMatchesCount(t *testing.T) {
+	recs := workload.GenRecords(50_000, 100, 1)
+	out := Select(recs, 0.01)
+	if int64(len(out)) != CountSelected(recs, 0.01) {
+		t.Errorf("Select returned %d rows, CountSelected says %d", len(out), CountSelected(recs, 0.01))
+	}
+	for _, r := range out {
+		if r.Attr >= 0.01 {
+			t.Fatalf("selected row violates predicate: Attr=%v", r.Attr)
+		}
+	}
+	// ~1% selectivity.
+	if len(out) < 300 || len(out) > 700 {
+		t.Errorf("selected %d of 50k at 1%%, want ~500", len(out))
+	}
+}
+
+func TestSelectEdgeSelectivities(t *testing.T) {
+	recs := workload.GenRecords(1000, 10, 2)
+	if got := Select(recs, 0); len(got) != 0 {
+		t.Errorf("0%% selectivity returned %d rows", len(got))
+	}
+	if got := Select(recs, 1.1); len(got) != 1000 {
+		t.Errorf(">100%% selectivity returned %d rows, want all", len(got))
+	}
+}
+
+func TestSumMatchesNaive(t *testing.T) {
+	recs := workload.GenRecords(10_000, 50, 3)
+	var want float64
+	for _, r := range recs {
+		want += r.Value
+	}
+	if got := Sum(recs); math.Abs(got-want) > 1e-6 {
+		t.Errorf("Sum = %v, want %v", got, want)
+	}
+}
+
+func TestGroupBySumInvariants(t *testing.T) {
+	recs := workload.GenRecords(20_000, 128, 4)
+	groups := GroupBySum(recs)
+	if len(groups) > 128 {
+		t.Errorf("%d groups for a 128-key domain", len(groups))
+	}
+	var totalCount int64
+	var totalSum float64
+	for _, g := range groups {
+		totalCount += g.Count
+		totalSum += g.Sum
+	}
+	if totalCount != 20_000 {
+		t.Errorf("group counts total %d, want 20000", totalCount)
+	}
+	if math.Abs(totalSum-Sum(recs)) > 1e-6 {
+		t.Errorf("group sums total %v, want %v", totalSum, Sum(recs))
+	}
+}
+
+func TestMergeGroupsEqualsGlobal(t *testing.T) {
+	// Partitioned group-by + merge == global group-by: the invariant the
+	// distributed implementations rely on.
+	recs := workload.GenRecords(30_000, 500, 5)
+	global := GroupBySum(recs)
+	merged := map[uint64]GroupAgg{}
+	for part := 0; part < 4; part++ {
+		var slice []workload.Record
+		for i, r := range recs {
+			if i%4 == part {
+				slice = append(slice, r)
+			}
+		}
+		MergeGroups(merged, GroupBySum(slice))
+	}
+	if len(merged) != len(global) {
+		t.Fatalf("merged has %d groups, global %d", len(merged), len(global))
+	}
+	for k, g := range global {
+		m := merged[k]
+		if m.Count != g.Count || math.Abs(m.Sum-g.Sum) > 1e-6 {
+			t.Fatalf("group %d: merged %+v, global %+v", k, m, g)
+		}
+	}
+}
+
+func TestMergeGroupsProperty(t *testing.T) {
+	// Property: merging any 2-way split equals the global group-by.
+	f := func(seed uint64, cut uint16) bool {
+		recs := workload.GenRecords(2000, 40, seed)
+		c := int(cut) % len(recs)
+		merged := GroupBySum(recs[:c])
+		MergeGroups(merged, GroupBySum(recs[c:]))
+		global := GroupBySum(recs)
+		if len(merged) != len(global) {
+			return false
+		}
+		for k, g := range global {
+			m := merged[k]
+			if m.Count != g.Count || math.Abs(m.Sum-g.Sum) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,123 @@
+package relational
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// SortPlan describes the structure of an external merge sort for a given
+// data volume and memory budget — the structural trace the simulation
+// replays. The paper's example: a 32 MB Active Disk sorting 1 GB uses 40
+// runs of 25 MB; at 64 MB it uses 20 runs of 50 MB.
+type SortPlan struct {
+	DataBytes   int64
+	MemoryBytes int64 // memory available for run formation
+	RunBytes    int64 // size of each sorted run
+	Runs        int
+	MergePasses int // merge passes after run formation (1 unless runs exceed fan-in)
+	FanIn       int
+}
+
+// PlanExternalSort computes the run/merge structure for sorting
+// dataBytes with memoryBytes of run-formation memory and a merge fan-in
+// limit (0 means a generous default of 512 streams).
+func PlanExternalSort(dataBytes, memoryBytes int64, fanIn int) SortPlan {
+	if fanIn <= 0 {
+		fanIn = 512
+	}
+	p := SortPlan{DataBytes: dataBytes, MemoryBytes: memoryBytes, FanIn: fanIn}
+	if memoryBytes <= 0 || dataBytes <= memoryBytes {
+		p.RunBytes = dataBytes
+		p.Runs = 1
+		p.MergePasses = 0
+		return p
+	}
+	p.RunBytes = memoryBytes
+	p.Runs = int((dataBytes + memoryBytes - 1) / memoryBytes)
+	runs := p.Runs
+	for runs > 1 {
+		p.MergePasses++
+		runs = (runs + fanIn - 1) / fanIn
+	}
+	return p
+}
+
+// ExternalSort sorts keys using at most memTuples keys of run-formation
+// memory and a k-way heap merge with the given fan-in, mirroring the
+// two-phase structure of the simulated task. It returns a new sorted
+// slice.
+func ExternalSort(keys []uint64, memTuples, fanIn int) []uint64 {
+	if memTuples <= 0 {
+		memTuples = len(keys)
+	}
+	if fanIn <= 1 {
+		fanIn = 2
+	}
+	// Phase 1: run formation.
+	var runs [][]uint64
+	for start := 0; start < len(keys); start += memTuples {
+		end := start + memTuples
+		if end > len(keys) {
+			end = len(keys)
+		}
+		run := append([]uint64(nil), keys[start:end]...)
+		sort.Slice(run, func(i, j int) bool { return run[i] < run[j] })
+		runs = append(runs, run)
+	}
+	if len(runs) == 0 {
+		return []uint64{}
+	}
+	// Phase 2: repeated fan-in-limited merges.
+	for len(runs) > 1 {
+		var next [][]uint64
+		for start := 0; start < len(runs); start += fanIn {
+			end := start + fanIn
+			if end > len(runs) {
+				end = len(runs)
+			}
+			next = append(next, mergeRuns(runs[start:end]))
+		}
+		runs = next
+	}
+	return runs[0]
+}
+
+// mergeItem is one stream head in the merge heap.
+type mergeItem struct {
+	key uint64
+	run int
+	pos int
+}
+
+type mergeHeap []mergeItem
+
+func (h mergeHeap) Len() int           { return len(h) }
+func (h mergeHeap) Less(i, j int) bool { return h[i].key < h[j].key }
+func (h mergeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)        { *h = append(*h, x.(mergeItem)) }
+func (h *mergeHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// mergeRuns performs one k-way merge of sorted runs.
+func mergeRuns(runs [][]uint64) []uint64 {
+	total := 0
+	h := make(mergeHeap, 0, len(runs))
+	for i, r := range runs {
+		total += len(r)
+		if len(r) > 0 {
+			h = append(h, mergeItem{key: r[0], run: i, pos: 0})
+		}
+	}
+	heap.Init(&h)
+	out := make([]uint64, 0, total)
+	for h.Len() > 0 {
+		it := h[0]
+		out = append(out, it.key)
+		if it.pos+1 < len(runs[it.run]) {
+			h[0] = mergeItem{key: runs[it.run][it.pos+1], run: it.run, pos: it.pos + 1}
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+	return out
+}

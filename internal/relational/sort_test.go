@@ -1,0 +1,123 @@
+package relational
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"howsim/internal/workload"
+)
+
+func TestExternalSortCorrect(t *testing.T) {
+	keys := workload.GenSortKeys(10_000, 1)
+	got := ExternalSort(keys, 700, 8) // 15 runs, 2 merge passes
+	want := append([]uint64(nil), keys...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("sorted length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mismatch at %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestExternalSortSingleRun(t *testing.T) {
+	keys := workload.GenSortKeys(100, 2)
+	got := ExternalSort(keys, 1000, 8)
+	for i := 1; i < len(got); i++ {
+		if got[i-1] > got[i] {
+			t.Fatal("in-memory path produced unsorted output")
+		}
+	}
+}
+
+func TestExternalSortEmpty(t *testing.T) {
+	if got := ExternalSort(nil, 10, 4); len(got) != 0 {
+		t.Errorf("sorting nothing returned %d keys", len(got))
+	}
+}
+
+func TestExternalSortProperty(t *testing.T) {
+	// Property: output is sorted and a permutation of the input, for any
+	// memory size and fan-in.
+	f := func(seed uint64, mem, fan uint8) bool {
+		keys := workload.GenSortKeys(500, seed)
+		got := ExternalSort(keys, int(mem)+1, int(fan)%6+2)
+		if len(got) != len(keys) {
+			return false
+		}
+		counts := map[uint64]int{}
+		for _, k := range keys {
+			counts[k]++
+		}
+		for i, k := range got {
+			if i > 0 && got[i-1] > k {
+				return false
+			}
+			counts[k]--
+		}
+		for _, c := range counts {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlanExternalSortPaperExample(t *testing.T) {
+	// "Switching from 40 runs of 25 MB each (used for 32 MB Active
+	// Disks) to 20 runs of 50 MB each (used for 64 MB Active Disks)":
+	// 1 GB of data per disk.
+	gb := int64(1) << 30
+	mb := int64(1) << 20
+	p32 := PlanExternalSort(gb, 25*mb, 0)
+	if p32.Runs != 41 { // 1 GiB / 25 MiB = 40.96 -> 41 runs
+		t.Errorf("32 MB plan: %d runs, want 41 (~40 in the paper's round numbers)", p32.Runs)
+	}
+	p64 := PlanExternalSort(gb, 50*mb, 0)
+	if p64.Runs != 21 {
+		t.Errorf("64 MB plan: %d runs, want 21 (~20)", p64.Runs)
+	}
+	if p32.MergePasses != 1 || p64.MergePasses != 1 {
+		t.Errorf("merge passes = %d/%d, want single-pass merges", p32.MergePasses, p64.MergePasses)
+	}
+}
+
+func TestPlanExternalSortFitsInMemory(t *testing.T) {
+	p := PlanExternalSort(100, 1000, 0)
+	if p.Runs != 1 || p.MergePasses != 0 {
+		t.Errorf("in-memory plan = %+v, want 1 run, 0 merge passes", p)
+	}
+}
+
+func TestPlanExternalSortMultiPass(t *testing.T) {
+	// 100 runs with fan-in 10 needs 2 merge passes.
+	p := PlanExternalSort(1000, 10, 10)
+	if p.Runs != 100 {
+		t.Fatalf("runs = %d, want 100", p.Runs)
+	}
+	if p.MergePasses != 2 {
+		t.Errorf("merge passes = %d, want 2", p.MergePasses)
+	}
+}
+
+func TestPlanRunsShrinkWithMemoryProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		m1, m2 := int64(a)+1, int64(b)+1
+		if m1 > m2 {
+			m1, m2 = m2, m1
+		}
+		p1 := PlanExternalSort(1<<20, m1*100, 0)
+		p2 := PlanExternalSort(1<<20, m2*100, 0)
+		return p1.Runs >= p2.Runs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled occurrence: either a kernel-context callback (fn)
+// or the resumption of a parked process (p). Events at equal times fire
+// in the order they were scheduled (seq breaks ties), which keeps the
+// simulation deterministic.
+type event struct {
+	t   Time
+	seq int64
+	fn  func()
+	p   *Proc
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+func (h eventHeap) peek() *event        { return h[0] }
+func (h *eventHeap) pushEvent(e *event) { heap.Push(h, e) }
+func (h *eventHeap) popEvent() *event   { return heap.Pop(h).(*event) }
+
+// Kernel is a discrete-event simulation scheduler. Create one with
+// NewKernel, spawn processes with Spawn, and advance virtual time with
+// Run (or RunUntil). A Kernel must not be shared across OS threads: all
+// interaction happens from the goroutine that calls Run and from the
+// process goroutines it schedules, exactly one of which is ever active.
+type Kernel struct {
+	now     Time
+	events  eventHeap
+	seq     int64
+	yield   chan struct{}
+	live    int // processes spawned and not yet finished
+	blocked int // processes parked without a pending wake event
+	limit   Time
+	stopped bool
+	procSeq int
+}
+
+// NewKernel returns an empty simulation kernel at time zero.
+func NewKernel() *Kernel {
+	return &Kernel{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Live reports the number of processes that have been spawned and have
+// not yet run to completion.
+func (k *Kernel) Live() int { return k.live }
+
+// Blocked reports the number of live processes that are parked waiting
+// on a resource, mailbox, barrier or condition (that is, with no pending
+// timer). A nonzero value after Run returns indicates a deadlock.
+func (k *Kernel) Blocked() int { return k.blocked }
+
+// At schedules fn to run in kernel context at absolute time t. Scheduling
+// in the past panics: the kernel never travels backwards.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	k.seq++
+	k.events.pushEvent(&event{t: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run in kernel context d from now.
+func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
+
+func (k *Kernel) scheduleProc(p *Proc, t Time) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling process %q at %v before now %v", p.name, t, k.now))
+	}
+	k.seq++
+	k.events.pushEvent(&event{t: t, seq: k.seq, p: p})
+}
+
+// Stop halts the simulation: Run returns after the currently running
+// event completes. Pending events remain queued.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events until the event queue drains, Stop is called, or
+// (if RunUntil set a limit) the limit is reached. It returns the final
+// virtual time.
+func (k *Kernel) Run() Time {
+	for len(k.events) > 0 && !k.stopped {
+		if k.limit > 0 && k.events.peek().t > k.limit {
+			k.now = k.limit
+			break
+		}
+		e := k.events.popEvent()
+		k.now = e.t
+		if e.fn != nil {
+			e.fn()
+			continue
+		}
+		if e.p.finished {
+			continue // stale wake for a process that already exited
+		}
+		k.activate(e.p)
+	}
+	return k.now
+}
+
+// RunUntil executes events with virtual time capped at limit and returns
+// the final time (at most limit).
+func (k *Kernel) RunUntil(limit Time) Time {
+	k.limit = limit
+	defer func() { k.limit = 0 }()
+	return k.Run()
+}
+
+// activate hands control to p and waits until p parks or finishes.
+func (k *Kernel) activate(p *Proc) {
+	p.resume <- struct{}{}
+	<-k.yield
+}
+
+// Proc is a simulation process: a goroutine whose execution is
+// interleaved with virtual time. Process bodies call the blocking
+// methods (Delay, Resource.Acquire, Mailbox.Get, ...) to advance the
+// clock; between those calls they execute instantaneously in simulation
+// time.
+type Proc struct {
+	name     string
+	id       int
+	k        *Kernel
+	resume   chan struct{}
+	finished bool
+}
+
+// Name returns the name the process was spawned with.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns a unique small integer identifying the process.
+func (p *Proc) ID() int { return p.id }
+
+// Kernel returns the kernel this process belongs to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Spawn creates a process running body and schedules it to start at the
+// current virtual time. It may be called before Run or from inside any
+// process or event callback.
+func (k *Kernel) Spawn(name string, body func(*Proc)) *Proc {
+	k.procSeq++
+	p := &Proc{name: name, id: k.procSeq, k: k, resume: make(chan struct{})}
+	k.live++
+	go func() {
+		<-p.resume
+		body(p)
+		p.finished = true
+		k.live--
+		k.yield <- struct{}{}
+	}()
+	k.scheduleProc(p, k.now)
+	return p
+}
+
+// park suspends the process until another event wakes it. The caller is
+// responsible for having arranged a wake-up (a timer or registration in
+// a waiter queue); parking with neither deadlocks that process.
+func (p *Proc) park() {
+	p.k.yield <- struct{}{}
+	<-p.resume
+}
+
+// parkBlocked is park for processes waiting on a condition rather than a
+// timer; it maintains the kernel's blocked count for deadlock reporting.
+func (p *Proc) parkBlocked() {
+	p.k.blocked++
+	p.park()
+	p.k.blocked--
+}
+
+// wake schedules p to resume at the current virtual time.
+func (p *Proc) wake() { p.k.scheduleProc(p, p.k.now) }
+
+// Delay advances this process's virtual time by d. A non-positive d
+// yields to other events scheduled at the current time.
+func (p *Proc) Delay(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.k.scheduleProc(p, p.k.now+d)
+	p.park()
+}
+
+// Yield lets every other event already scheduled at the current time run
+// before this process continues.
+func (p *Proc) Yield() { p.Delay(0) }

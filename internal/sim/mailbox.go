@@ -1,0 +1,235 @@
+package sim
+
+// Mailbox is a FIFO message queue between processes. With capacity 0 the
+// mailbox is unbounded and Put never blocks; with a positive capacity
+// Put blocks while the mailbox is full, providing backpressure (used to
+// model bounded buffer pools between pipeline stages).
+type Mailbox struct {
+	k        *Kernel
+	name     string
+	capacity int
+	items    []any
+	getters  []*Proc
+	putters  []*Proc
+	puts     int64
+	gets     int64
+	closed   bool
+}
+
+// NewMailbox creates a mailbox. capacity 0 means unbounded.
+func NewMailbox(k *Kernel, name string, capacity int) *Mailbox {
+	return &Mailbox{k: k, name: name, capacity: capacity}
+}
+
+// Name returns the mailbox's name.
+func (m *Mailbox) Name() string { return m.name }
+
+// Len returns the number of queued messages.
+func (m *Mailbox) Len() int { return len(m.items) }
+
+// Puts returns the total number of messages ever enqueued.
+func (m *Mailbox) Puts() int64 { return m.puts }
+
+// Gets returns the total number of messages ever dequeued.
+func (m *Mailbox) Gets() int64 { return m.gets }
+
+// Closed reports whether Close has been called.
+func (m *Mailbox) Closed() bool { return m.closed }
+
+func (m *Mailbox) wakeFirst(ws *[]*Proc) {
+	if len(*ws) > 0 {
+		p := (*ws)[0]
+		*ws = (*ws)[1:]
+		p.wake()
+	}
+}
+
+// Put enqueues v, blocking while a bounded mailbox is full. Putting to a
+// closed mailbox panics.
+func (m *Mailbox) Put(p *Proc, v any) {
+	for m.capacity > 0 && len(m.items) >= m.capacity && !m.closed {
+		m.putters = append(m.putters, p)
+		p.parkBlocked()
+	}
+	if m.closed {
+		panic("sim: put on closed mailbox " + m.name)
+	}
+	m.items = append(m.items, v)
+	m.puts++
+	m.wakeFirst(&m.getters)
+}
+
+// TryPut enqueues v if the mailbox has room, reporting success.
+func (m *Mailbox) TryPut(v any) bool {
+	if m.closed || (m.capacity > 0 && len(m.items) >= m.capacity) {
+		return false
+	}
+	m.items = append(m.items, v)
+	m.puts++
+	m.wakeFirst(&m.getters)
+	return true
+}
+
+// Get dequeues the oldest message, blocking while the mailbox is empty.
+// When the mailbox is closed and drained, Get returns (nil, false);
+// otherwise it returns (msg, true).
+func (m *Mailbox) Get(p *Proc) (any, bool) {
+	for len(m.items) == 0 && !m.closed {
+		m.getters = append(m.getters, p)
+		p.parkBlocked()
+	}
+	if len(m.items) == 0 {
+		return nil, false
+	}
+	v := m.items[0]
+	m.items[0] = nil
+	m.items = m.items[1:]
+	m.gets++
+	m.wakeFirst(&m.putters)
+	return v, true
+}
+
+// TryGet dequeues a message without blocking, reporting success.
+func (m *Mailbox) TryGet() (any, bool) {
+	if len(m.items) == 0 {
+		return nil, false
+	}
+	v := m.items[0]
+	m.items[0] = nil
+	m.items = m.items[1:]
+	m.gets++
+	m.wakeFirst(&m.putters)
+	return v, true
+}
+
+// Close marks the mailbox as closed. Blocked and future Gets drain the
+// remaining messages and then return ok=false. Close is idempotent.
+func (m *Mailbox) Close() {
+	if m.closed {
+		return
+	}
+	m.closed = true
+	for _, p := range m.getters {
+		p.wake()
+	}
+	m.getters = nil
+	for _, p := range m.putters {
+		p.wake()
+	}
+	m.putters = nil
+}
+
+// Barrier blocks a fixed-size group of processes until all have arrived,
+// then releases them together. It is reusable: after a release the next
+// Wait starts a new generation.
+type Barrier struct {
+	k       *Kernel
+	name    string
+	parties int
+	arrived int
+	gen     int64
+	waiters []*Proc
+	rounds  int64
+}
+
+// NewBarrier creates a barrier for parties processes.
+func NewBarrier(k *Kernel, name string, parties int) *Barrier {
+	if parties <= 0 {
+		panic("sim: barrier parties must be positive")
+	}
+	return &Barrier{k: k, name: name, parties: parties}
+}
+
+// Rounds returns how many times the barrier has released.
+func (b *Barrier) Rounds() int64 { return b.rounds }
+
+// Wait blocks p until all parties have called Wait for this generation.
+func (b *Barrier) Wait(p *Proc) {
+	gen := b.gen
+	b.arrived++
+	if b.arrived == b.parties {
+		b.arrived = 0
+		b.gen++
+		b.rounds++
+		for _, w := range b.waiters {
+			w.wake()
+		}
+		b.waiters = nil
+		return
+	}
+	b.waiters = append(b.waiters, p)
+	for b.gen == gen {
+		p.parkBlocked()
+	}
+}
+
+// Signal is a one-shot level-triggered event: processes that Wait before
+// Fire block; once fired, Wait returns immediately forever after.
+type Signal struct {
+	fired   bool
+	waiters []*Proc
+}
+
+// NewSignal creates an unfired signal.
+func NewSignal() *Signal { return &Signal{} }
+
+// Fired reports whether the signal has fired.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Fire releases all current and future waiters. Idempotent.
+func (s *Signal) Fire() {
+	if s.fired {
+		return
+	}
+	s.fired = true
+	for _, p := range s.waiters {
+		p.wake()
+	}
+	s.waiters = nil
+}
+
+// Wait blocks p until the signal fires.
+func (s *Signal) Wait(p *Proc) {
+	for !s.fired {
+		s.waiters = append(s.waiters, p)
+		p.parkBlocked()
+	}
+}
+
+// WaitGroup counts outstanding work items; Wait blocks until the count
+// reaches zero. The zero value is unusable — create with NewWaitGroup.
+type WaitGroup struct {
+	count   int
+	waiters []*Proc
+}
+
+// NewWaitGroup returns a wait group with an initial count.
+func NewWaitGroup(initial int) *WaitGroup { return &WaitGroup{count: initial} }
+
+// Add increments the count by n (n may be negative; Done is Add(-1)).
+func (wg *WaitGroup) Add(n int) {
+	wg.count += n
+	if wg.count < 0 {
+		panic("sim: negative waitgroup count")
+	}
+	if wg.count == 0 {
+		for _, p := range wg.waiters {
+			p.wake()
+		}
+		wg.waiters = nil
+	}
+}
+
+// Done decrements the count by one.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Count returns the current count.
+func (wg *WaitGroup) Count() int { return wg.count }
+
+// Wait blocks p until the count is zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	for wg.count > 0 {
+		wg.waiters = append(wg.waiters, p)
+		p.parkBlocked()
+	}
+}

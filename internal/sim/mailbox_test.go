@@ -1,0 +1,263 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMailboxFIFO(t *testing.T) {
+	k := NewKernel()
+	m := NewMailbox(k, "m", 0)
+	var got []int
+	k.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			m.Put(p, i)
+			p.Delay(Microsecond)
+		}
+		m.Close()
+	})
+	k.Spawn("consumer", func(p *Proc) {
+		for {
+			v, ok := m.Get(p)
+			if !ok {
+				return
+			}
+			got = append(got, v.(int))
+		}
+	})
+	k.Run()
+	if len(got) != 5 {
+		t.Fatalf("got %d messages, want 5", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Errorf("got[%d] = %d, want %d (FIFO)", i, v, i)
+		}
+	}
+}
+
+func TestMailboxBoundedBackpressure(t *testing.T) {
+	k := NewKernel()
+	m := NewMailbox(k, "m", 2)
+	var thirdPutAt Time
+	k.Spawn("producer", func(p *Proc) {
+		m.Put(p, 1)
+		m.Put(p, 2)
+		m.Put(p, 3) // blocks until the consumer drains one at t=1ms
+		thirdPutAt = p.Now()
+	})
+	k.Spawn("consumer", func(p *Proc) {
+		p.Delay(Millisecond)
+		m.Get(p)
+	})
+	k.Run()
+	if thirdPutAt != Millisecond {
+		t.Errorf("third Put completed at %v, want 1ms (backpressure)", thirdPutAt)
+	}
+}
+
+func TestMailboxGetBlocksUntilPut(t *testing.T) {
+	k := NewKernel()
+	m := NewMailbox(k, "m", 0)
+	var gotAt Time
+	k.Spawn("consumer", func(p *Proc) {
+		v, ok := m.Get(p)
+		if !ok || v.(string) != "x" {
+			t.Errorf("Get = (%v, %v), want (x, true)", v, ok)
+		}
+		gotAt = p.Now()
+	})
+	k.Spawn("producer", func(p *Proc) {
+		p.Delay(3 * Millisecond)
+		m.Put(p, "x")
+	})
+	k.Run()
+	if gotAt != 3*Millisecond {
+		t.Errorf("consumer woke at %v, want 3ms", gotAt)
+	}
+}
+
+func TestMailboxCloseDrains(t *testing.T) {
+	k := NewKernel()
+	m := NewMailbox(k, "m", 0)
+	var vals []int
+	var closedOK bool
+	k.Spawn("producer", func(p *Proc) {
+		m.Put(p, 1)
+		m.Put(p, 2)
+		m.Close()
+	})
+	k.Spawn("consumer", func(p *Proc) {
+		for {
+			v, ok := m.Get(p)
+			if !ok {
+				closedOK = true
+				return
+			}
+			vals = append(vals, v.(int))
+		}
+	})
+	k.Run()
+	if len(vals) != 2 || !closedOK {
+		t.Errorf("drained %v closedOK=%v, want [1 2] true", vals, closedOK)
+	}
+}
+
+func TestMailboxTryOps(t *testing.T) {
+	k := NewKernel()
+	m := NewMailbox(k, "m", 1)
+	k.Spawn("a", func(p *Proc) {
+		if _, ok := m.TryGet(); ok {
+			t.Error("TryGet on empty mailbox should fail")
+		}
+		if !m.TryPut(7) {
+			t.Error("TryPut on empty bounded mailbox should succeed")
+		}
+		if m.TryPut(8) {
+			t.Error("TryPut on full mailbox should fail")
+		}
+		v, ok := m.TryGet()
+		if !ok || v.(int) != 7 {
+			t.Errorf("TryGet = (%v, %v), want (7, true)", v, ok)
+		}
+	})
+	k.Run()
+}
+
+func TestBarrierReleasesTogether(t *testing.T) {
+	k := NewKernel()
+	b := NewBarrier(k, "b", 3)
+	var times []Time
+	for i := 0; i < 3; i++ {
+		i := i
+		k.Spawn("w", func(p *Proc) {
+			p.Delay(Time(i+1) * Millisecond)
+			b.Wait(p)
+			times = append(times, p.Now())
+		})
+	}
+	k.Run()
+	if len(times) != 3 {
+		t.Fatalf("%d processes passed the barrier, want 3", len(times))
+	}
+	for _, tt := range times {
+		if tt != 3*Millisecond {
+			t.Errorf("process passed barrier at %v, want 3ms (last arrival)", tt)
+		}
+	}
+	if b.Rounds() != 1 {
+		t.Errorf("Rounds() = %d, want 1", b.Rounds())
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	k := NewKernel()
+	b := NewBarrier(k, "b", 2)
+	count := 0
+	for i := 0; i < 2; i++ {
+		k.Spawn("w", func(p *Proc) {
+			for r := 0; r < 4; r++ {
+				p.Delay(Millisecond)
+				b.Wait(p)
+				count++
+			}
+		})
+	}
+	k.Run()
+	if count != 8 {
+		t.Errorf("total barrier passages = %d, want 8", count)
+	}
+	if b.Rounds() != 4 {
+		t.Errorf("Rounds() = %d, want 4", b.Rounds())
+	}
+}
+
+func TestSignal(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal()
+	var wokeAt Time
+	k.Spawn("waiter", func(p *Proc) {
+		s.Wait(p)
+		wokeAt = p.Now()
+		// Waiting on a fired signal returns immediately.
+		s.Wait(p)
+		if p.Now() != wokeAt {
+			t.Error("Wait on fired signal should not block")
+		}
+	})
+	k.Spawn("firer", func(p *Proc) {
+		p.Delay(2 * Millisecond)
+		s.Fire()
+		s.Fire() // idempotent
+	})
+	k.Run()
+	if wokeAt != 2*Millisecond {
+		t.Errorf("waiter woke at %v, want 2ms", wokeAt)
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	k := NewKernel()
+	wg := NewWaitGroup(3)
+	var doneAt Time
+	for i := 0; i < 3; i++ {
+		i := i
+		k.Spawn("worker", func(p *Proc) {
+			p.Delay(Time(i+1) * Millisecond)
+			wg.Done()
+		})
+	}
+	k.Spawn("waiter", func(p *Proc) {
+		wg.Wait(p)
+		doneAt = p.Now()
+	})
+	k.Run()
+	if doneAt != 3*Millisecond {
+		t.Errorf("waiter released at %v, want 3ms", doneAt)
+	}
+}
+
+func TestMailboxConservation(t *testing.T) {
+	// Property: every message put is eventually got exactly once, for any
+	// number of producers/consumers and any bound.
+	f := func(nprod, ncons, bound uint8, perProducer uint8) bool {
+		np := int(nprod%4) + 1
+		nc := int(ncons%4) + 1
+		b := int(bound % 8) // 0 = unbounded
+		per := int(perProducer % 16)
+		k := NewKernel()
+		m := NewMailbox(k, "m", b)
+		var produced, consumed int
+		live := np
+		for i := 0; i < np; i++ {
+			k.Spawn("prod", func(p *Proc) {
+				for j := 0; j < per; j++ {
+					m.Put(p, j)
+					produced++
+					p.Delay(Microsecond)
+				}
+				live--
+				if live == 0 {
+					m.Close()
+				}
+			})
+		}
+		for i := 0; i < nc; i++ {
+			k.Spawn("cons", func(p *Proc) {
+				for {
+					_, ok := m.Get(p)
+					if !ok {
+						return
+					}
+					consumed++
+					p.Delay(Microsecond)
+				}
+			})
+		}
+		k.Run()
+		return produced == consumed && produced == np*per && k.Blocked() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

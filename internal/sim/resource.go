@@ -1,0 +1,162 @@
+package sim
+
+import "fmt"
+
+// Resource is a counting semaphore with FIFO admission, used to model
+// anything with finite capacity: a bus that admits one transfer at a
+// time, a buffer pool with N fixed-size buffers, a disk arm. Waiters are
+// granted strictly in arrival order; a large request at the head of the
+// queue blocks smaller requests behind it (no barging), which mirrors
+// FIFO arbitration in the hardware being modeled.
+//
+// Resource also accumulates a time-weighted usage integral so that
+// utilization can be reported after a run.
+type Resource struct {
+	k        *Kernel
+	name     string
+	capacity int64
+	inUse    int64
+	waiters  []*resWaiter
+
+	lastChange Time
+	usageInt   float64 // integral of inUse over time, unit: units*ns
+	grants     int64
+}
+
+type resWaiter struct {
+	p      *Proc
+	amount int64
+	ready  bool
+}
+
+// NewResource creates a resource with the given capacity (units are
+// whatever the caller chooses: transfers, buffers, bytes).
+func NewResource(k *Kernel, name string, capacity int64) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{k: k, name: name, capacity: capacity}
+}
+
+// Name returns the resource's name.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the total capacity.
+func (r *Resource) Capacity() int64 { return r.capacity }
+
+// InUse returns the units currently held.
+func (r *Resource) InUse() int64 { return r.inUse }
+
+// QueueLen returns the number of processes waiting for the resource.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Grants returns the number of successful acquisitions so far.
+func (r *Resource) Grants() int64 { return r.grants }
+
+func (r *Resource) account() {
+	r.usageInt += float64(r.inUse) * float64(r.k.now-r.lastChange)
+	r.lastChange = r.k.now
+}
+
+// Utilization returns the mean fraction of capacity in use between time
+// zero and now. It is 0 before any time has elapsed.
+func (r *Resource) Utilization() float64 {
+	total := float64(r.k.now)
+	if total == 0 {
+		return 0
+	}
+	integral := r.usageInt + float64(r.inUse)*float64(r.k.now-r.lastChange)
+	return integral / (total * float64(r.capacity))
+}
+
+// Acquire blocks p until amount units are available and then claims
+// them. Requests exceeding total capacity panic, since they could never
+// be satisfied.
+func (r *Resource) Acquire(p *Proc, amount int64) {
+	if amount <= 0 {
+		return
+	}
+	if amount > r.capacity {
+		panic(fmt.Sprintf("sim: acquire %d exceeds capacity %d of %s", amount, r.capacity, r.name))
+	}
+	if len(r.waiters) == 0 && r.inUse+amount <= r.capacity {
+		r.account()
+		r.inUse += amount
+		r.grants++
+		return
+	}
+	w := &resWaiter{p: p, amount: amount}
+	r.waiters = append(r.waiters, w)
+	for !w.ready {
+		p.parkBlocked()
+	}
+}
+
+// TryAcquire claims amount units if they are immediately available and
+// no earlier waiter is queued; it reports whether it succeeded.
+func (r *Resource) TryAcquire(amount int64) bool {
+	if amount <= 0 {
+		return true
+	}
+	if len(r.waiters) > 0 || r.inUse+amount > r.capacity {
+		return false
+	}
+	r.account()
+	r.inUse += amount
+	r.grants++
+	return true
+}
+
+// Release returns amount units to the resource and admits as many queued
+// waiters (in FIFO order) as now fit.
+func (r *Resource) Release(amount int64) {
+	if amount <= 0 {
+		return
+	}
+	if amount > r.inUse {
+		panic(fmt.Sprintf("sim: release %d exceeds in-use %d of %s", amount, r.inUse, r.name))
+	}
+	r.account()
+	r.inUse -= amount
+	r.admit()
+}
+
+func (r *Resource) admit() {
+	for len(r.waiters) > 0 {
+		w := r.waiters[0]
+		if r.inUse+w.amount > r.capacity {
+			return
+		}
+		r.waiters = r.waiters[1:]
+		r.inUse += w.amount
+		r.grants++
+		w.ready = true
+		w.p.wake()
+	}
+}
+
+// Use acquires amount units, runs fn, and releases them. It is the
+// common "hold the resource for the duration of an operation" pattern.
+func (r *Resource) Use(p *Proc, amount int64, fn func()) {
+	r.Acquire(p, amount)
+	defer r.Release(amount)
+	fn()
+}
+
+// Mutex is a binary resource: a convenience wrapper for capacity-1
+// exclusive sections such as spin-locked critical regions.
+type Mutex struct{ r *Resource }
+
+// NewMutex creates an unlocked mutex.
+func NewMutex(k *Kernel, name string) *Mutex {
+	return &Mutex{r: NewResource(k, name, 1)}
+}
+
+// Lock blocks p until the mutex is free and then holds it.
+func (m *Mutex) Lock(p *Proc) { m.r.Acquire(p, 1) }
+
+// Unlock releases the mutex.
+func (m *Mutex) Unlock() { m.r.Release(1) }
+
+// With runs fn while holding the mutex.
+func (m *Mutex) With(p *Proc, fn func()) { m.r.Use(p, 1, fn) }

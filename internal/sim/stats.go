@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Breakdown accumulates named buckets of virtual time — the mechanism
+// behind per-phase execution-time breakdowns such as the paper's
+// Figure 3 (partitioner / append / sort / idle, merge / idle).
+type Breakdown struct {
+	buckets map[string]Time
+	order   []string
+}
+
+// NewBreakdown returns an empty breakdown.
+func NewBreakdown() *Breakdown {
+	return &Breakdown{buckets: make(map[string]Time)}
+}
+
+// Add accumulates d into the named bucket.
+func (b *Breakdown) Add(name string, d Time) {
+	if _, ok := b.buckets[name]; !ok {
+		b.order = append(b.order, name)
+	}
+	b.buckets[name] += d
+}
+
+// Get returns the accumulated time in a bucket (zero if absent).
+func (b *Breakdown) Get(name string) Time { return b.buckets[name] }
+
+// Total returns the sum over all buckets.
+func (b *Breakdown) Total() Time {
+	var t Time
+	for _, v := range b.buckets {
+		t += v
+	}
+	return t
+}
+
+// Names returns the bucket names in first-use order.
+func (b *Breakdown) Names() []string {
+	out := make([]string, len(b.order))
+	copy(out, b.order)
+	return out
+}
+
+// Fraction returns a bucket's share of the total (0 if the total is 0).
+func (b *Breakdown) Fraction(name string) float64 {
+	total := b.Total()
+	if total == 0 {
+		return 0
+	}
+	return float64(b.buckets[name]) / float64(total)
+}
+
+// Merge adds every bucket of other into b.
+func (b *Breakdown) Merge(other *Breakdown) {
+	for _, name := range other.order {
+		b.Add(name, other.buckets[name])
+	}
+}
+
+// Scale multiplies every bucket by f (used to average per-node
+// breakdowns).
+func (b *Breakdown) Scale(f float64) {
+	for name := range b.buckets {
+		b.buckets[name] = Time(float64(b.buckets[name]) * f)
+	}
+}
+
+// String renders the breakdown as "name=12.3% (4.56s)" terms sorted by
+// first use.
+func (b *Breakdown) String() string {
+	var sb strings.Builder
+	for i, name := range b.order {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s=%.1f%% (%v)", name, 100*b.Fraction(name), b.buckets[name])
+	}
+	return sb.String()
+}
+
+// Timer attributes a process's elapsed virtual time to breakdown
+// buckets. Between Mark calls, time accrues to the current bucket.
+type Timer struct {
+	p       *Proc
+	b       *Breakdown
+	current string
+	since   Time
+}
+
+// NewTimer starts attributing p's time to the named bucket of b.
+func NewTimer(p *Proc, b *Breakdown, bucket string) *Timer {
+	return &Timer{p: p, b: b, current: bucket, since: p.Now()}
+}
+
+// Mark closes the current bucket at the current time and switches
+// attribution to the named bucket.
+func (t *Timer) Mark(bucket string) {
+	now := t.p.Now()
+	t.b.Add(t.current, now-t.since)
+	t.current = bucket
+	t.since = now
+}
+
+// Stop closes the current bucket. The timer must not be used afterwards.
+func (t *Timer) Stop() {
+	t.b.Add(t.current, t.p.Now()-t.since)
+	t.current = ""
+}
+
+// Counter is a named monotonically increasing tally (bytes shipped,
+// requests issued, cache hits, ...).
+type Counter struct {
+	name string
+	n    int64
+}
+
+// NewCounter returns a zeroed counter.
+func NewCounter(name string) *Counter { return &Counter{name: name} }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.n += n }
+
+// Value returns the current tally.
+func (c *Counter) Value() int64 { return c.n }
+
+// Name returns the counter's name.
+func (c *Counter) Name() string { return c.name }
+
+// Gauge tracks a quantity that rises and falls, remembering its maximum
+// (e.g. peak memory use of a disklet's stream buffers).
+type Gauge struct {
+	name string
+	cur  int64
+	max  int64
+}
+
+// NewGauge returns a zeroed gauge.
+func NewGauge(name string) *Gauge { return &Gauge{name: name} }
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) {
+	g.cur += delta
+	if g.cur > g.max {
+		g.max = g.cur
+	}
+}
+
+// Current returns the present value.
+func (g *Gauge) Current() int64 { return g.cur }
+
+// Max returns the high-water mark.
+func (g *Gauge) Max() int64 { return g.max }
+
+// Name returns the gauge's name.
+func (g *Gauge) Name() string { return g.name }
+
+// SortedBuckets returns (name, time) pairs of a breakdown sorted by
+// descending time, for reporting.
+func (b *Breakdown) SortedBuckets() []struct {
+	Name string
+	T    Time
+} {
+	out := make([]struct {
+		Name string
+		T    Time
+	}, 0, len(b.order))
+	for _, name := range b.order {
+		out = append(out, struct {
+			Name string
+			T    Time
+		}{name, b.buckets[name]})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].T > out[j].T })
+	return out
+}

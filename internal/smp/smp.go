@@ -1,0 +1,269 @@
+// Package smp models the scalable shared-memory server the paper
+// compares against: an SGI-Origin-2000-class machine with two-processor
+// boards (250 MHz), 128 MB per board, a 1 us / 780 MB/s board
+// interconnect, a 521 MB/s block-transfer engine, a two-node XIO I/O
+// subsystem with 1.4 GB/s total bandwidth, and a single dual-loop Fibre
+// Channel interconnect (200 MB/s) shared by every disk in the farm —
+// the component the paper identifies as the bottleneck.
+//
+// The package also provides the software substrate the paper assumes:
+// one-way block transfers (shmemput/shmemget), remote queues, spin
+// locks, global barriers, a striping library (64 KB chunk per disk,
+// four 256 KB asynchronous requests per processor), and shared
+// self-scheduling block queues that keep the overall request sequence
+// close to the on-disk layout.
+package smp
+
+import (
+	"fmt"
+
+	"howsim/internal/bus"
+	"howsim/internal/cpu"
+	"howsim/internal/disk"
+	"howsim/internal/osmodel"
+	"howsim/internal/sim"
+)
+
+// Config parameterizes an SMP configuration.
+type Config struct {
+	Processors int
+	Disks      int
+	DiskSpec   *disk.Spec
+	CPUHz      float64
+	// BoardMemBytes is memory per two-processor board (128 MB); total
+	// memory scales with processor count as in the paper.
+	BoardMemBytes   int64
+	Loops           int     // FC loops to the disk farm (2)
+	LoopBytesPerSec float64 // per-loop rate (100 MB/s; 200 for the variant)
+	StripeChunk     int64   // bytes per disk per stripe (64 KB)
+	RequestBytes    int64   // application I/O request size (256 KB)
+	RequestDepth    int     // async requests outstanding per processor (4)
+	// SpecFor optionally overrides the drive specification per disk.
+	SpecFor func(i int) *disk.Spec
+}
+
+// DefaultConfig returns the paper's SMP configuration for n
+// processor/disk pairs.
+func DefaultConfig(n int) Config {
+	return Config{
+		Processors:      n,
+		Disks:           n,
+		DiskSpec:        disk.Cheetah9LP(),
+		CPUHz:           250e6,
+		BoardMemBytes:   128 << 20,
+		Loops:           2,
+		LoopBytesPerSec: 100e6,
+		StripeChunk:     64 << 10,
+		RequestBytes:    256 << 10,
+		RequestDepth:    4,
+	}
+}
+
+// Machine is a built SMP.
+type Machine struct {
+	K    *sim.Kernel
+	Cfg  Config
+	CPUs []*cpu.CPU
+	// Interconnect carries remote memory traffic between boards.
+	Interconnect *bus.Bus
+	// XIO carries all disk data between the FC adaptors and memory.
+	XIO *bus.Bus
+	// FC is the single dual-loop interconnect shared by all disks.
+	FC    *bus.Bus
+	Disks []*disk.Disk
+	OS    osmodel.Costs
+
+	blockXferBytes int64
+}
+
+// New builds an SMP machine on k.
+func New(k *sim.Kernel, cfg Config) *Machine {
+	boards := (cfg.Processors + 1) / 2
+	m := &Machine{
+		K:            k,
+		Cfg:          cfg,
+		Interconnect: bus.NewSMPInterconnect(k, "smp.ic", boards),
+		XIO:          bus.NewXIO(k, "smp.xio"),
+		FC:           bus.NewFCAL(k, "smp.fc", cfg.Loops, cfg.LoopBytesPerSec),
+		OS:           osmodel.FullFunctionOS().ScaledTo(cfg.CPUHz),
+	}
+	for i := 0; i < cfg.Processors; i++ {
+		m.CPUs = append(m.CPUs, cpu.New(k, fmt.Sprintf("smp.cpu%d", i), cfg.CPUHz))
+	}
+	for i := 0; i < cfg.Disks; i++ {
+		spec := cfg.DiskSpec
+		if cfg.SpecFor != nil {
+			if s := cfg.SpecFor(i); s != nil {
+				spec = s
+			}
+		}
+		m.Disks = append(m.Disks, disk.New(k, fmt.Sprintf("smp.d%d", i), spec))
+	}
+	return m
+}
+
+// TotalMemoryBytes returns the machine's aggregate memory (128 MB per
+// two-processor board: 4 GB at 64 processors, 8 GB at 128).
+func (m *Machine) TotalMemoryBytes() int64 {
+	boards := (m.Cfg.Processors + 1) / 2
+	return int64(boards) * m.Cfg.BoardMemBytes
+}
+
+// blockXferRate is the block-transfer engine's sustained rate.
+const blockXferRate = 521e6
+
+// BlockTransfer moves bytes between boards with the block-transfer
+// engine: it occupies one interconnect channel for bytes at 521 MB/s
+// sustained (the engine, not the 780 MB/s link, is the limit).
+func (m *Machine) BlockTransfer(p *sim.Proc, bytes int64) {
+	extra := sim.TransferTime(bytes, blockXferRate) - sim.TransferTime(bytes, 780e6)
+	m.Interconnect.Transfer(p, bytes)
+	if extra > 0 {
+		p.Delay(extra)
+	}
+	m.blockXferBytes += bytes
+}
+
+// BlockTransferred reports the total bytes moved by the engine.
+func (m *Machine) BlockTransferred() int64 { return m.blockXferBytes }
+
+// diskPath charges the full I/O data path for one request's payload:
+// the FC loop shared by all disks, then the XIO subsystem into memory.
+func (m *Machine) diskPath(p *sim.Proc, bytes int64) {
+	m.FC.Transfer(p, bytes)
+	m.XIO.Transfer(p, bytes)
+}
+
+// Stripe is a file striped over a group of disks with a fixed chunk per
+// disk, accessed through the raw-disk striping library.
+type Stripe struct {
+	m     *Machine
+	disks []int // indices into m.Disks
+	chunk int64
+	// baseOffset places this stripe's data on each member disk, letting
+	// several stripes (input, runs, output) coexist on one farm.
+	baseOffset int64
+}
+
+// NewStripe creates a striped layout over the given disk group starting
+// at baseOffset bytes into each member disk.
+func (m *Machine) NewStripe(diskIdx []int, baseOffset int64) *Stripe {
+	if len(diskIdx) == 0 {
+		panic("smp: stripe needs at least one disk")
+	}
+	return &Stripe{m: m, disks: append([]int(nil), diskIdx...), chunk: m.Cfg.StripeChunk, baseOffset: baseOffset}
+}
+
+// Disks returns the number of member disks.
+func (s *Stripe) Disks() int { return len(s.disks) }
+
+// rw performs one striped request of length bytes at logical offset,
+// fanning 64 KB chunks to the member disks and charging the shared I/O
+// path, the issuing processor's OS costs, and the device-driver queue.
+func (s *Stripe) rw(p *sim.Proc, c *cpu.CPU, offset, length int64, write bool) {
+	m := s.m
+	c.Busy(p, m.OS.ReadWriteCall)
+	nchunks := (length + s.chunk - 1) / s.chunk
+	reqs := make([]*disk.Request, 0, nchunks)
+	for i := int64(0); i < nchunks; i++ {
+		logical := offset + i*s.chunk
+		stripeRow := logical / (s.chunk * int64(len(s.disks)))
+		member := int(logical / s.chunk % int64(len(s.disks)))
+		diskOff := s.baseOffset + stripeRow*s.chunk
+		n := s.chunk
+		if rem := length - i*s.chunk; rem < n {
+			n = rem
+			// Keep requests sector-aligned.
+			if n%disk.SectorSize != 0 {
+				n += disk.SectorSize - n%disk.SectorSize
+			}
+		}
+		c.Busy(p, m.OS.DriverQueue)
+		reqs = append(reqs, m.Disks[s.disks[member]].Submit(&disk.Request{
+			Write: write, Offset: diskOff, Length: n,
+		}))
+	}
+	for _, r := range reqs {
+		r.Wait(p)
+	}
+	// Payload crosses the shared FC loop and XIO once.
+	m.diskPath(p, length)
+	c.Busy(p, m.OS.Interrupt)
+}
+
+// Read performs a striped read of length bytes at offset on behalf of
+// processor c.
+func (s *Stripe) Read(p *sim.Proc, c *cpu.CPU, offset, length int64) {
+	s.rw(p, c, offset, length, false)
+}
+
+// Write performs a striped write.
+func (s *Stripe) Write(p *sim.Proc, c *cpu.CPU, offset, length int64) {
+	s.rw(p, c, offset, length, true)
+}
+
+// BlockQueue is the shared self-scheduling work queue the paper uses
+// instead of a-priori partitioning: fixed-size blocks in on-disk layout
+// order; an idle processor locks the queue and grabs the next block.
+type BlockQueue struct {
+	mu        *sim.Mutex
+	next      int64
+	limit     int64
+	blockSize int64
+	lockCost  int64 // cycles to acquire/release the spin lock
+}
+
+// NewBlockQueue creates a queue over total bytes in blockSize blocks.
+func (m *Machine) NewBlockQueue(name string, total, blockSize int64) *BlockQueue {
+	return &BlockQueue{
+		mu:        sim.NewMutex(m.K, name),
+		limit:     total,
+		blockSize: blockSize,
+		lockCost:  120,
+	}
+}
+
+// Next returns the next block's (offset, length) in layout order, or
+// ok=false when the queue is drained. The caller's processor pays the
+// spin-lock cost.
+func (q *BlockQueue) Next(p *sim.Proc, c *cpu.CPU) (offset, length int64, ok bool) {
+	q.mu.Lock(p)
+	c.Compute(p, q.lockCost)
+	offset = q.next
+	if offset >= q.limit {
+		q.mu.Unlock()
+		return 0, 0, false
+	}
+	length = q.blockSize
+	if offset+length > q.limit {
+		length = q.limit - offset
+	}
+	q.next += length
+	q.mu.Unlock()
+	return offset, length, true
+}
+
+// RemoteQueue is the Brewer et al. remote-queue abstraction: a receiver-
+// resident message queue written with one-way block transfers.
+type RemoteQueue struct {
+	m  *Machine
+	mb *sim.Mailbox
+}
+
+// NewRemoteQueue creates a remote queue owned by one processor.
+func (m *Machine) NewRemoteQueue(name string, capacity int) *RemoteQueue {
+	return &RemoteQueue{m: m, mb: sim.NewMailbox(m.K, name, capacity)}
+}
+
+// Enqueue block-transfers bytes into the remote queue and deposits the
+// descriptor.
+func (q *RemoteQueue) Enqueue(p *sim.Proc, bytes int64, payload any) {
+	q.m.BlockTransfer(p, bytes)
+	q.mb.Put(p, payload)
+}
+
+// Dequeue blocks until a descriptor is available.
+func (q *RemoteQueue) Dequeue(p *sim.Proc) (any, bool) { return q.mb.Get(p) }
+
+// Close marks the queue finished.
+func (q *RemoteQueue) Close() { q.mb.Close() }

@@ -1,0 +1,193 @@
+// Package stats renders experiment results as aligned ASCII tables and
+// bar charts, so every table and figure of the paper can be regenerated
+// as text output by cmd/experiments and the benchmark harness.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title string
+	Cols  []string
+	Rows  [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintln(w, t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Cols)
+	sep := make([]string, len(t.Cols))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// BarChart renders grouped horizontal bars: one group per label, one bar
+// per series — the textual equivalent of the paper's grouped bar
+// figures. Values are scaled so the longest bar is width characters.
+type BarChart struct {
+	Title  string
+	Series []string    // bar names within each group (e.g. Active/Cluster/SMP)
+	Groups []string    // group labels (e.g. task names)
+	Values [][]float64 // [group][series]
+	Width  int
+	Unit   string
+}
+
+// Render writes the chart to w.
+func (b *BarChart) Render(w io.Writer) {
+	width := b.Width
+	if width <= 0 {
+		width = 50
+	}
+	max := 0.0
+	for _, g := range b.Values {
+		for _, v := range g {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	if b.Title != "" {
+		fmt.Fprintln(w, b.Title)
+	}
+	labelW := 0
+	for _, s := range b.Series {
+		if len(s) > labelW {
+			labelW = len(s)
+		}
+	}
+	for gi, g := range b.Groups {
+		fmt.Fprintf(w, "%s\n", g)
+		for si, s := range b.Series {
+			if gi >= len(b.Values) || si >= len(b.Values[gi]) {
+				continue
+			}
+			v := b.Values[gi][si]
+			n := int(v / max * float64(width))
+			if v > 0 && n == 0 {
+				n = 1
+			}
+			fmt.Fprintf(w, "  %s %s %.2f%s\n", pad(s, labelW), strings.Repeat("#", n), v, b.Unit)
+		}
+	}
+}
+
+// String renders the chart to a string.
+func (b *BarChart) String() string {
+	var sb strings.Builder
+	b.Render(&sb)
+	return sb.String()
+}
+
+// StackedBars renders 100%-stacked bars (the paper's Figure 3): each
+// group's buckets are shown as percentage segments.
+type StackedBars struct {
+	Title   string
+	Buckets []string
+	Groups  []string
+	// Fractions[group][bucket] sum to ~1 per group.
+	Fractions [][]float64
+	Width     int
+}
+
+// Render writes the stacked bars to w.
+func (s *StackedBars) Render(w io.Writer) {
+	width := s.Width
+	if width <= 0 {
+		width = 60
+	}
+	if s.Title != "" {
+		fmt.Fprintln(w, s.Title)
+	}
+	glyphs := []byte{'#', '=', '+', '.', '*', 'o', '-', '~'}
+	labelW := 0
+	for _, g := range s.Groups {
+		if len(g) > labelW {
+			labelW = len(g)
+		}
+	}
+	for gi, g := range s.Groups {
+		var bar strings.Builder
+		for bi := range s.Buckets {
+			if gi >= len(s.Fractions) || bi >= len(s.Fractions[gi]) {
+				continue
+			}
+			n := int(s.Fractions[gi][bi]*float64(width) + 0.5)
+			bar.Write(bytesRepeat(glyphs[bi%len(glyphs)], n))
+		}
+		fmt.Fprintf(w, "%s |%s|\n", pad(g, labelW), bar.String())
+	}
+	fmt.Fprint(w, "legend:")
+	for bi, b := range s.Buckets {
+		fmt.Fprintf(w, " %c=%s", glyphs[bi%len(glyphs)], b)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the stacked bars to a string.
+func (s *StackedBars) String() string {
+	var sb strings.Builder
+	s.Render(&sb)
+	return sb.String()
+}
+
+func bytesRepeat(b byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "Costs", Cols: []string{"Component", "8/98", "7/99"}}
+	tb.AddRow("Disk", "670", "470")
+	tb.AddRow("CPU", "32", "22")
+	out := tb.String()
+	if !strings.Contains(out, "Costs") || !strings.Contains(out, "Component") {
+		t.Errorf("missing header in:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	// Columns align: "8/98" must appear at the same offset in header and rows.
+	hdr := lines[1]
+	row := lines[3]
+	if strings.Index(hdr, "8/98") != strings.Index(row, "670") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestBarChartScalesToWidth(t *testing.T) {
+	b := &BarChart{
+		Title:  "Fig",
+		Series: []string{"Active", "SMP"},
+		Groups: []string{"select"},
+		Values: [][]float64{{1, 10}},
+		Width:  40,
+	}
+	out := b.String()
+	if c := strings.Count(out, "#"); c < 41 || c > 48 {
+		t.Errorf("bar glyph count = %d, want ~44 (4 for 1.0 + 40 for 10.0):\n%s", c, out)
+	}
+	if !strings.Contains(out, "10.00") {
+		t.Errorf("value missing:\n%s", out)
+	}
+}
+
+func TestBarChartTinyValuesVisible(t *testing.T) {
+	b := &BarChart{Series: []string{"a"}, Groups: []string{"g"},
+		Values: [][]float64{{0.001}}, Width: 10}
+	// A nonzero value must show at least one glyph... relative to max it
+	// IS the max, so it gets the full width.
+	if !strings.Contains(b.String(), "#") {
+		t.Error("nonzero bar invisible")
+	}
+}
+
+func TestStackedBarsSumToWidth(t *testing.T) {
+	s := &StackedBars{
+		Buckets:   []string{"cpu", "idle"},
+		Groups:    []string{"16 disks"},
+		Fractions: [][]float64{{0.25, 0.75}},
+		Width:     40,
+	}
+	out := s.String()
+	// Count glyphs inside the bar delimiters only (the legend also
+	// contains the glyph characters).
+	start := strings.Index(out, "|")
+	end := strings.LastIndex(out, "|")
+	bar := out[start : end+1]
+	if got := strings.Count(bar, "#"); got != 10 {
+		t.Errorf("first bucket rendered %d glyphs, want 10:\n%s", got, out)
+	}
+	if got := strings.Count(bar, "="); got != 30 {
+		t.Errorf("second bucket rendered %d glyphs, want 30:\n%s", got, out)
+	}
+	if !strings.Contains(out, "legend:") {
+		t.Error("legend missing")
+	}
+}
+
+func TestEmptyChartDoesNotPanic(t *testing.T) {
+	_ = (&BarChart{}).String()
+	_ = (&StackedBars{}).String()
+	_ = (&Table{Cols: []string{"a"}}).String()
+}

@@ -1,0 +1,54 @@
+package storage
+
+import (
+	"encoding/binary"
+	"math"
+
+	"howsim/internal/workload"
+)
+
+// RecordBytes is the encoded width of a workload.Record: key (8) +
+// value (8) + attr (8).
+const RecordBytes = 24
+
+// EncodeRecord serializes a record into a fixed 24-byte representation.
+func EncodeRecord(r workload.Record) []byte {
+	out := make([]byte, RecordBytes)
+	binary.LittleEndian.PutUint64(out[0:8], r.Key)
+	binary.LittleEndian.PutUint64(out[8:16], math.Float64bits(r.Value))
+	binary.LittleEndian.PutUint64(out[16:24], math.Float64bits(r.Attr))
+	return out
+}
+
+// DecodeRecord deserializes a 24-byte record.
+func DecodeRecord(b []byte) workload.Record {
+	return workload.Record{
+		Key:   binary.LittleEndian.Uint64(b[0:8]),
+		Value: math.Float64frombits(binary.LittleEndian.Uint64(b[8:16])),
+		Attr:  math.Float64frombits(binary.LittleEndian.Uint64(b[16:24])),
+	}
+}
+
+// LoadRecords builds a heap table from records.
+func LoadRecords(name string, recs []workload.Record) *Table {
+	t := NewTable(name)
+	for _, r := range recs {
+		t.Append(EncodeRecord(r))
+	}
+	return t
+}
+
+// ScanRecords iterates a table of encoded records.
+func ScanRecords(t *Table, fn func(workload.Record) bool) {
+	t.Scan(func(b []byte) bool { return fn(DecodeRecord(b)) })
+}
+
+// DumpRecords materializes a record table back into a slice.
+func DumpRecords(t *Table) []workload.Record {
+	out := make([]workload.Record, 0, t.Records())
+	ScanRecords(t, func(r workload.Record) bool {
+		out = append(out, r)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,183 @@
+// Package storage is a small paged storage engine: slotted 8 KB pages,
+// append-only heap tables, and fixed-width record codecs for the
+// workload's tuple types. The executable relational algorithms operate
+// on these tables (rather than bare slices) so that their external
+// structure — page counts, spill partitions, run files — is concrete
+// and testable, mirroring the raw-disk layouts the simulated tasks use.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageSize is the fixed page size in bytes.
+const PageSize = 8192
+
+// pageHeaderBytes holds the slot count (2) and free-space offset (2).
+const pageHeaderBytes = 4
+
+// slotBytes is one slot-directory entry: record offset (2) + length (2).
+const slotBytes = 4
+
+// Page is a slotted page: records grow from the front, the slot
+// directory grows from the back.
+type Page struct {
+	buf [PageSize]byte
+}
+
+// NewPage returns an empty page.
+func NewPage() *Page {
+	p := &Page{}
+	p.setFreeOff(pageHeaderBytes)
+	return p
+}
+
+func (p *Page) slotCount() int     { return int(binary.LittleEndian.Uint16(p.buf[0:2])) }
+func (p *Page) setSlotCount(n int) { binary.LittleEndian.PutUint16(p.buf[0:2], uint16(n)) }
+func (p *Page) freeOff() int       { return int(binary.LittleEndian.Uint16(p.buf[2:4])) }
+func (p *Page) setFreeOff(n int)   { binary.LittleEndian.PutUint16(p.buf[2:4], uint16(n)) }
+
+func (p *Page) slotPos(i int) int { return PageSize - (i+1)*slotBytes }
+
+// NumRecords returns the number of records stored in the page.
+func (p *Page) NumRecords() int { return p.slotCount() }
+
+// FreeBytes returns the space available for one more record (accounting
+// for its slot entry).
+func (p *Page) FreeBytes() int {
+	free := p.slotPos(p.slotCount()) - p.freeOff()
+	free -= slotBytes // room for the next slot entry
+	if free < 0 {
+		free = 0
+	}
+	return free
+}
+
+// Insert appends a record, returning its slot index, or ok=false if the
+// page is full. Records longer than a page are rejected outright.
+func (p *Page) Insert(rec []byte) (slot int, ok bool) {
+	if len(rec) == 0 || len(rec) > PageSize-pageHeaderBytes-slotBytes {
+		return 0, false
+	}
+	if p.FreeBytes() < len(rec) {
+		return 0, false
+	}
+	off := p.freeOff()
+	copy(p.buf[off:], rec)
+	slot = p.slotCount()
+	sp := p.slotPos(slot)
+	binary.LittleEndian.PutUint16(p.buf[sp:sp+2], uint16(off))
+	binary.LittleEndian.PutUint16(p.buf[sp+2:sp+4], uint16(len(rec)))
+	p.setSlotCount(slot + 1)
+	p.setFreeOff(off + len(rec))
+	return slot, true
+}
+
+// Get returns the record in a slot. The returned slice aliases the page
+// buffer; callers must copy if they retain it.
+func (p *Page) Get(slot int) []byte {
+	if slot < 0 || slot >= p.slotCount() {
+		panic(fmt.Sprintf("storage: slot %d out of range [0,%d)", slot, p.slotCount()))
+	}
+	sp := p.slotPos(slot)
+	off := int(binary.LittleEndian.Uint16(p.buf[sp : sp+2]))
+	n := int(binary.LittleEndian.Uint16(p.buf[sp+2 : sp+4]))
+	return p.buf[off : off+n]
+}
+
+// Scan calls fn for every record in slot order; returning false stops
+// the scan early.
+func (p *Page) Scan(fn func(rec []byte) bool) {
+	for i := 0; i < p.slotCount(); i++ {
+		if !fn(p.Get(i)) {
+			return
+		}
+	}
+}
+
+// Table is an append-only heap of pages.
+type Table struct {
+	Name    string
+	pages   []*Page
+	records int64
+}
+
+// NewTable creates an empty heap table.
+func NewTable(name string) *Table { return &Table{Name: name} }
+
+// Append inserts a record, allocating a new page when the current one
+// fills.
+func (t *Table) Append(rec []byte) {
+	if len(t.pages) == 0 {
+		t.pages = append(t.pages, NewPage())
+	}
+	last := t.pages[len(t.pages)-1]
+	if _, ok := last.Insert(rec); !ok {
+		page := NewPage()
+		if _, ok := page.Insert(rec); !ok {
+			panic(fmt.Sprintf("storage: record of %d bytes does not fit a page", len(rec)))
+		}
+		t.pages = append(t.pages, page)
+		t.records++
+		return
+	}
+	t.records++
+}
+
+// Pages returns the number of pages in the table.
+func (t *Table) Pages() int { return len(t.pages) }
+
+// Records returns the number of records in the table.
+func (t *Table) Records() int64 { return t.records }
+
+// Bytes returns the table's on-disk footprint (whole pages).
+func (t *Table) Bytes() int64 { return int64(len(t.pages)) * PageSize }
+
+// Scan calls fn for every record in insertion order; returning false
+// stops early.
+func (t *Table) Scan(fn func(rec []byte) bool) {
+	for _, p := range t.pages {
+		stop := false
+		p.Scan(func(rec []byte) bool {
+			if !fn(rec) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+// Page returns the i-th page (for page-granularity I/O accounting).
+func (t *Table) Page(i int) *Page { return t.pages[i] }
+
+// Cursor iterates a table's records without callbacks (the form query
+// operators consume).
+type Cursor struct {
+	t    *Table
+	page int
+	slot int
+}
+
+// Cursor returns a cursor positioned before the first record.
+func (t *Table) Cursor() *Cursor { return &Cursor{t: t} }
+
+// Next returns the next record and true, or nil and false at the end.
+// The slice aliases the page buffer.
+func (c *Cursor) Next() ([]byte, bool) {
+	for c.page < len(c.t.pages) {
+		p := c.t.pages[c.page]
+		if c.slot < p.slotCount() {
+			rec := p.Get(c.slot)
+			c.slot++
+			return rec, true
+		}
+		c.page++
+		c.slot = 0
+	}
+	return nil, false
+}

@@ -1,0 +1,168 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"howsim/internal/workload"
+)
+
+func TestPageInsertGetRoundTrip(t *testing.T) {
+	p := NewPage()
+	recs := [][]byte{[]byte("alpha"), []byte("b"), []byte("gamma-gamma")}
+	var slots []int
+	for _, r := range recs {
+		s, ok := p.Insert(r)
+		if !ok {
+			t.Fatalf("insert of %q failed", r)
+		}
+		slots = append(slots, s)
+	}
+	for i, s := range slots {
+		if got := p.Get(s); !bytes.Equal(got, recs[i]) {
+			t.Errorf("Get(%d) = %q, want %q", s, got, recs[i])
+		}
+	}
+	if p.NumRecords() != 3 {
+		t.Errorf("NumRecords = %d", p.NumRecords())
+	}
+}
+
+func TestPageFillsAndRejects(t *testing.T) {
+	p := NewPage()
+	rec := make([]byte, 100)
+	n := 0
+	for {
+		if _, ok := p.Insert(rec); !ok {
+			break
+		}
+		n++
+	}
+	// 8192 bytes / (100 data + 4 slot) ~ 78 records.
+	if n < 70 || n > 81 {
+		t.Errorf("page held %d 100-byte records, want ~78", n)
+	}
+	if p.FreeBytes() >= 100 {
+		t.Error("page reported room after rejecting an insert")
+	}
+}
+
+func TestPageRejectsOversizedAndEmpty(t *testing.T) {
+	p := NewPage()
+	if _, ok := p.Insert(make([]byte, PageSize)); ok {
+		t.Error("page-sized record must be rejected")
+	}
+	if _, ok := p.Insert(nil); ok {
+		t.Error("empty record must be rejected")
+	}
+}
+
+func TestPageGetOutOfRangePanics(t *testing.T) {
+	p := NewPage()
+	defer func() {
+		if recover() == nil {
+			t.Error("Get on empty page should panic")
+		}
+	}()
+	p.Get(0)
+}
+
+func TestTableAppendScanOrder(t *testing.T) {
+	tb := NewTable("t")
+	const n = 2000 // spans several pages at 24 bytes/record
+	for i := 0; i < n; i++ {
+		tb.Append(EncodeRecord(workload.Record{Key: uint64(i)}))
+	}
+	if tb.Records() != n {
+		t.Fatalf("Records = %d", tb.Records())
+	}
+	if tb.Pages() < 2 {
+		t.Fatalf("expected multiple pages, got %d", tb.Pages())
+	}
+	i := uint64(0)
+	ScanRecords(tb, func(r workload.Record) bool {
+		if r.Key != i {
+			t.Fatalf("scan out of order at %d: key %d", i, r.Key)
+		}
+		i++
+		return true
+	})
+	if i != n {
+		t.Fatalf("scan visited %d records", i)
+	}
+}
+
+func TestTableScanEarlyStop(t *testing.T) {
+	tb := NewTable("t")
+	for i := 0; i < 100; i++ {
+		tb.Append(EncodeRecord(workload.Record{Key: uint64(i)}))
+	}
+	seen := 0
+	tb.Scan(func([]byte) bool {
+		seen++
+		return seen < 10
+	})
+	if seen != 10 {
+		t.Errorf("early stop visited %d records, want 10", seen)
+	}
+}
+
+func TestRecordCodecRoundTrip(t *testing.T) {
+	f := func(key uint64, value, attr float64) bool {
+		r := workload.Record{Key: key, Value: value, Attr: attr}
+		got := DecodeRecord(EncodeRecord(r))
+		return got == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoadDumpRoundTrip(t *testing.T) {
+	recs := workload.GenRecords(5_000, 100, 3)
+	tb := LoadRecords("r", recs)
+	got := DumpRecords(tb)
+	if len(got) != len(recs) {
+		t.Fatalf("dumped %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+	// Footprint sanity: ~24 bytes + slot per record, page-rounded.
+	perPage := (PageSize - pageHeaderBytes) / (RecordBytes + slotBytes)
+	wantPages := (len(recs) + perPage - 1) / perPage
+	if tb.Pages() != wantPages {
+		t.Errorf("Pages = %d, want %d", tb.Pages(), wantPages)
+	}
+}
+
+func TestPagePropertyInsertions(t *testing.T) {
+	// Property: any sequence of variable-size inserts that the page
+	// accepts reads back verbatim, in order.
+	f := func(sizes []uint8) bool {
+		p := NewPage()
+		var kept [][]byte
+		for i, sz := range sizes {
+			n := int(sz)%64 + 1
+			rec := bytes.Repeat([]byte{byte(i)}, n)
+			if _, ok := p.Insert(rec); ok {
+				kept = append(kept, rec)
+			}
+		}
+		if p.NumRecords() != len(kept) {
+			return false
+		}
+		for i, want := range kept {
+			if !bytes.Equal(p.Get(i), want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,189 @@
+package tasks
+
+import (
+	"testing"
+
+	"howsim/internal/arch"
+	"howsim/internal/workload"
+)
+
+// scaled returns a small instance of a task's dataset for fast tests.
+func scaled(task workload.TaskID, bytes int64) workload.Dataset {
+	return workload.ForTask(task).Scaled(bytes)
+}
+
+func TestAllTasksAllArchitecturesComplete(t *testing.T) {
+	// Smoke test: every task runs to completion (no deadlock, positive
+	// elapsed time) on every architecture at a small scale.
+	for _, task := range workload.AllTasks() {
+		for _, cfg := range []arch.Config{arch.ActiveDisks(4), arch.Cluster(4), arch.SMP(4)} {
+			task, cfg := task, cfg
+			t.Run(task.String()+"/"+cfg.Name(), func(t *testing.T) {
+				res := RunDataset(cfg, task, scaled(task, 48<<20))
+				if res.Elapsed <= 0 {
+					t.Fatalf("elapsed = %v", res.Elapsed)
+				}
+				if res.Details["media_read_bytes"] == 0 && res.Details["fc_bytes"] == 0 {
+					t.Error("no I/O recorded")
+				}
+			})
+		}
+	}
+}
+
+func TestActiveSortShuffleVolume(t *testing.T) {
+	ds := scaled(workload.Sort, 64<<20)
+	res := RunDataset(arch.ActiveDisks(4), workload.Sort, ds)
+	loop := int64(res.Details["loop_bytes"])
+	want := ds.TotalBytes * 3 / 4 // (D-1)/D of the data crosses the loop
+	if loop < want*9/10 || loop > want*11/10 {
+		t.Errorf("loop moved %d bytes, want ~%d (3/4 of dataset)", loop, want)
+	}
+	if res.Details["runs"] < 1 {
+		t.Error("no runs recorded")
+	}
+}
+
+func TestActiveSelectLoopTrafficIsTiny(t *testing.T) {
+	ds := scaled(workload.Select, 64<<20)
+	res := RunDataset(arch.ActiveDisks(4), workload.Select, ds)
+	loop := int64(res.Details["loop_bytes"])
+	// Only ~1% of the data (the selected tuples) crosses the loop.
+	if loop > ds.TotalBytes/20 {
+		t.Errorf("select moved %d of %d bytes over the loop; filtering should happen at the disks", loop, ds.TotalBytes)
+	}
+	read := int64(res.Details["media_read_bytes"])
+	if read < ds.TotalBytes {
+		t.Errorf("media read %d bytes, want at least the dataset %d", read, ds.TotalBytes)
+	}
+}
+
+func TestSMPAllDataCrossesSharedLoop(t *testing.T) {
+	ds := scaled(workload.Select, 64<<20)
+	res := RunDataset(arch.SMP(4), workload.Select, ds)
+	fc := int64(res.Details["fc_bytes"])
+	if fc < ds.TotalBytes {
+		t.Errorf("SMP moved %d bytes over FC, want >= dataset %d (no filtering at the disks)", fc, ds.TotalBytes)
+	}
+}
+
+func TestActiveVsSMPSelectGapGrowsWithDisks(t *testing.T) {
+	// The architectural headline: Active Disk select scales with disks
+	// while SMP select is pinned by the shared interconnect/host path.
+	ds := scaled(workload.Select, 96<<20)
+	ratio := func(n int) float64 {
+		a := RunDataset(arch.ActiveDisks(n), workload.Select, ds)
+		s := RunDataset(arch.SMP(n), workload.Select, ds)
+		return s.Elapsed.Seconds() / a.Elapsed.Seconds()
+	}
+	small := ratio(2)
+	large := ratio(8)
+	if large <= small {
+		t.Errorf("SMP/Active select ratio: %0.2f at 2 disks, %0.2f at 8 disks; gap should grow", small, large)
+	}
+}
+
+func TestRestrictedCommSlowsShuffleTasks(t *testing.T) {
+	ds := scaled(workload.Sort, 64<<20)
+	direct := RunDataset(arch.ActiveDisks(4), workload.Sort, ds)
+	relay := RunDataset(arch.ActiveDisks(4).WithFrontEndOnly(), workload.Sort, ds)
+	if relay.Elapsed <= direct.Elapsed {
+		t.Errorf("front-end-only sort (%v) should be slower than direct (%v)", relay.Elapsed, direct.Elapsed)
+	}
+	if relay.Details["fe_relay_bytes"] == 0 {
+		t.Error("restricted mode should relay bytes through the front-end")
+	}
+	if direct.Details["fe_relay_bytes"] != 0 {
+		t.Error("direct mode must not relay")
+	}
+}
+
+func TestRestrictedCommDoesNotAffectScanTasks(t *testing.T) {
+	ds := scaled(workload.Select, 64<<20)
+	direct := RunDataset(arch.ActiveDisks(4), workload.Select, ds)
+	relay := RunDataset(arch.ActiveDisks(4).WithFrontEndOnly(), workload.Select, ds)
+	diff := relay.Elapsed.Seconds()/direct.Elapsed.Seconds() - 1
+	if diff > 0.05 {
+		t.Errorf("front-end-only select is %.1f%% slower; scans never use disk-to-disk communication", diff*100)
+	}
+}
+
+func TestMoreDiskMemoryMeansFewerRuns(t *testing.T) {
+	ds := scaled(workload.Sort, 128<<20)
+	base := RunDataset(arch.ActiveDisks(2), workload.Sort, ds)
+	big := RunDataset(arch.ActiveDisks(2).WithDiskMemory(64<<20), workload.Sort, ds)
+	if big.Details["runs"] >= base.Details["runs"] {
+		t.Errorf("64 MB disks made %v runs, 32 MB made %v; more memory must mean fewer runs",
+			big.Details["runs"], base.Details["runs"])
+	}
+	if big.Elapsed > base.Elapsed+base.Elapsed/10 {
+		t.Errorf("more memory should not slow sort down (%v vs %v)", big.Elapsed, base.Elapsed)
+	}
+}
+
+func TestFastIOHelpsSMP(t *testing.T) {
+	ds := scaled(workload.Aggregate, 96<<20)
+	base := RunDataset(arch.SMP(8), workload.Aggregate, ds)
+	fast := RunDataset(arch.SMP(8).WithFastIO(), workload.Aggregate, ds)
+	if fast.Elapsed >= base.Elapsed {
+		t.Errorf("400 MB/s SMP aggregate (%v) should beat 200 MB/s (%v): the loop is the bottleneck",
+			fast.Elapsed, base.Elapsed)
+	}
+}
+
+func TestSortBreakdownBucketsPresent(t *testing.T) {
+	ds := scaled(workload.Sort, 64<<20)
+	res := RunDataset(arch.ActiveDisks(4), workload.Sort, ds)
+	for _, b := range []string{"P1:Partitioner", "P1:Append", "P1:Sort", "P2:Merge"} {
+		if res.Breakdown.Get(b) <= 0 {
+			t.Errorf("breakdown bucket %q missing", b)
+		}
+	}
+	// The breakdown's phases should roughly cover the elapsed time.
+	total := res.Breakdown.Total()
+	if total < res.Elapsed*8/10 || total > res.Elapsed*11/10 {
+		t.Errorf("breakdown total %v vs elapsed %v", total, res.Elapsed)
+	}
+}
+
+func TestCubePassesMatchPlanAcrossMemory(t *testing.T) {
+	ds := scaled(workload.DataCube, 64<<20)
+	p32 := RunDataset(arch.ActiveDisks(4), workload.DataCube, ds)
+	p128 := RunDataset(arch.ActiveDisks(4).WithDiskMemory(128<<20), workload.DataCube, ds)
+	if p128.Details["passes"] > p32.Details["passes"] {
+		t.Errorf("more memory increased passes: %v -> %v", p32.Details["passes"], p128.Details["passes"])
+	}
+	if p128.Details["spill_bytes"] > p32.Details["spill_bytes"] {
+		t.Error("more memory increased spill")
+	}
+}
+
+func TestClusterGroupByHitsFrontEndWall(t *testing.T) {
+	// The cluster's group-by result funnels through the front-end's
+	// 100 Mb/s link; the Active Disk loop delivers it two orders of
+	// magnitude faster.
+	ds := scaled(workload.GroupBy, 96<<20)
+	cl := RunDataset(arch.Cluster(8), workload.GroupBy, ds)
+	ad := RunDataset(arch.ActiveDisks(8), workload.GroupBy, ds)
+	if cl.Elapsed <= ad.Elapsed {
+		t.Errorf("cluster group-by (%v) should trail Active Disks (%v)", cl.Elapsed, ad.Elapsed)
+	}
+}
+
+func TestResultStringIncludesNames(t *testing.T) {
+	ds := scaled(workload.Aggregate, 16<<20)
+	res := RunDataset(arch.ActiveDisks(2), workload.Aggregate, ds)
+	s := res.String()
+	if s == "" || res.Config.Name() != "active-2" {
+		t.Errorf("result string %q / config %q", s, res.Config.Name())
+	}
+}
+
+func TestDeterministicRepeatability(t *testing.T) {
+	ds := scaled(workload.Join, 48<<20)
+	a := RunDataset(arch.ActiveDisks(4), workload.Join, ds)
+	b := RunDataset(arch.ActiveDisks(4), workload.Join, ds)
+	if a.Elapsed != b.Elapsed {
+		t.Errorf("two identical runs differ: %v vs %v", a.Elapsed, b.Elapsed)
+	}
+}

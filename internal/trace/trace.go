@@ -1,0 +1,160 @@
+// Package trace implements the workload representation Howsim replays:
+// "for modeling the behavior of user processes, Howsim uses a trace of
+// processing times and I/O requests. It models variation in processor
+// speed by scaling these processing times."
+//
+// A Trace is a sequence of records — compute intervals (in cycles, so
+// clock scaling is exact) interleaved with I/O requests and stream
+// sends. The paper acquired traces by running real implementations on a
+// DEC Alpha 2100 4/275; here traces are synthesized from the executable
+// relational engine's plan shapes plus the calibrated cycles-per-tuple
+// constants (see DESIGN.md, Substitutions).
+package trace
+
+import (
+	"fmt"
+
+	"howsim/internal/cpu"
+	"howsim/internal/disk"
+	"howsim/internal/sim"
+)
+
+// Kind discriminates trace records.
+type Kind int
+
+// Record kinds.
+const (
+	Compute Kind = iota // Cycles of processing
+	Read                // disk read of Bytes at Offset
+	Write               // disk write of Bytes at Offset
+)
+
+// Record is one trace event.
+type Record struct {
+	Kind   Kind
+	Cycles int64
+	Offset int64
+	Bytes  int64
+}
+
+// Trace is a replayable sequence of records.
+type Trace []Record
+
+// TotalCycles sums the compute work.
+func (t Trace) TotalCycles() int64 {
+	var n int64
+	for _, r := range t {
+		if r.Kind == Compute {
+			n += r.Cycles
+		}
+	}
+	return n
+}
+
+// TotalIO returns (bytes read, bytes written).
+func (t Trace) TotalIO() (read, written int64) {
+	for _, r := range t {
+		switch r.Kind {
+		case Read:
+			read += r.Bytes
+		case Write:
+			written += r.Bytes
+		}
+	}
+	return read, written
+}
+
+// Validate checks structural sanity (non-negative sizes, sector-aligned
+// I/O).
+func (t Trace) Validate() error {
+	for i, r := range t {
+		switch r.Kind {
+		case Compute:
+			if r.Cycles < 0 {
+				return fmt.Errorf("trace[%d]: negative cycles", i)
+			}
+		case Read, Write:
+			if r.Bytes <= 0 {
+				return fmt.Errorf("trace[%d]: non-positive I/O size", i)
+			}
+			if r.Offset%disk.SectorSize != 0 || r.Bytes%disk.SectorSize != 0 {
+				return fmt.Errorf("trace[%d]: unaligned I/O (%d+%d)", i, r.Offset, r.Bytes)
+			}
+		default:
+			return fmt.Errorf("trace[%d]: unknown kind %d", i, r.Kind)
+		}
+	}
+	return nil
+}
+
+// Replay executes the trace on behalf of p against a processor and a
+// disk. Compute records run on c (scaled by its clock); I/O records are
+// synchronous disk requests.
+func (t Trace) Replay(p *sim.Proc, c *cpu.CPU, d *disk.Disk) {
+	for _, r := range t {
+		switch r.Kind {
+		case Compute:
+			c.Compute(p, r.Cycles)
+		case Read:
+			d.Read(p, r.Offset, r.Bytes)
+		case Write:
+			d.Write(p, r.Offset, r.Bytes)
+		}
+	}
+}
+
+// SynthesizeScan builds the trace of a filtering/aggregating scan:
+// chunked sequential reads with per-tuple compute between them.
+func SynthesizeScan(totalBytes, chunkBytes int64, tupleBytes int, cyclesPerTuple int64) Trace {
+	var t Trace
+	for off := int64(0); off < totalBytes; off += chunkBytes {
+		n := chunkBytes
+		if totalBytes-off < n {
+			n = alignSector(totalBytes - off)
+		}
+		t = append(t, Record{Kind: Read, Offset: off, Bytes: n})
+		tuples := n / int64(tupleBytes)
+		t = append(t, Record{Kind: Compute, Cycles: tuples * cyclesPerTuple})
+	}
+	return t
+}
+
+// SynthesizeRunFormation builds the trace of external-sort run
+// formation over already-partitioned input: reads, per-tuple sort work,
+// and run writes to a separate region.
+func SynthesizeRunFormation(totalBytes, runBytes, chunkBytes, runRegion int64,
+	tupleBytes int, sortCyclesPerTuple int64) Trace {
+	var t Trace
+	var fill, written int64
+	for off := int64(0); off < totalBytes; off += chunkBytes {
+		n := chunkBytes
+		if totalBytes-off < n {
+			n = alignSector(totalBytes - off)
+		}
+		t = append(t, Record{Kind: Read, Offset: off, Bytes: n})
+		fill += n
+		for fill >= runBytes {
+			tuples := runBytes / int64(tupleBytes)
+			t = append(t,
+				Record{Kind: Compute, Cycles: tuples * sortCyclesPerTuple},
+				Record{Kind: Write, Offset: runRegion + written, Bytes: runBytes})
+			written += runBytes
+			fill -= runBytes
+		}
+	}
+	if fill > 0 {
+		tuples := fill / int64(tupleBytes)
+		t = append(t,
+			Record{Kind: Compute, Cycles: tuples * sortCyclesPerTuple},
+			Record{Kind: Write, Offset: runRegion + written, Bytes: alignSector(fill)})
+	}
+	return t
+}
+
+func alignSector(b int64) int64 {
+	const s = disk.SectorSize
+	if rem := b % s; rem != 0 {
+		b += s - rem
+	}
+	return b
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"testing"
+
+	"howsim/internal/cpu"
+	"howsim/internal/disk"
+	"howsim/internal/sim"
+)
+
+func TestSynthesizeScanShape(t *testing.T) {
+	tr := SynthesizeScan(1<<20, 256<<10, 64, 100)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	read, written := tr.TotalIO()
+	if read != 1<<20 || written != 0 {
+		t.Errorf("scan trace I/O = (%d, %d), want (1MB, 0)", read, written)
+	}
+	wantCycles := int64(1<<20) / 64 * 100
+	if tr.TotalCycles() != wantCycles {
+		t.Errorf("scan trace cycles = %d, want %d", tr.TotalCycles(), wantCycles)
+	}
+}
+
+func TestSynthesizeRunFormation(t *testing.T) {
+	tr := SynthesizeRunFormation(1<<20, 256<<10, 64<<10, 1<<30, 100, 900)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	read, written := tr.TotalIO()
+	if read != 1<<20 {
+		t.Errorf("read %d, want 1MB", read)
+	}
+	if written < 1<<20 || written > 1<<20+512 {
+		t.Errorf("written %d, want ~1MB of runs", written)
+	}
+	// 4 runs of 256 KB.
+	writes := 0
+	for _, r := range tr {
+		if r.Kind == Write {
+			writes++
+			if r.Offset < 1<<30 {
+				t.Error("run writes must land in the run region")
+			}
+		}
+	}
+	if writes != 4 {
+		t.Errorf("%d run writes, want 4", writes)
+	}
+}
+
+func TestReplayMatchesDirectExecution(t *testing.T) {
+	// Replaying a synthesized scan equals coding the same loop by hand.
+	tr := SynthesizeScan(4<<20, 256<<10, 64, 120)
+	run := func(fn func(p *sim.Proc, c *cpu.CPU, d *disk.Disk)) sim.Time {
+		k := sim.NewKernel()
+		c := cpu.New(k, "c", 200e6)
+		d := disk.New(k, "d", disk.Cheetah9LP())
+		k.Spawn("w", func(p *sim.Proc) { fn(p, c, d) })
+		return k.Run()
+	}
+	replayed := run(func(p *sim.Proc, c *cpu.CPU, d *disk.Disk) { tr.Replay(p, c, d) })
+	direct := run(func(p *sim.Proc, c *cpu.CPU, d *disk.Disk) {
+		for off := int64(0); off < 4<<20; off += 256 << 10 {
+			d.Read(p, off, 256<<10)
+			c.Compute(p, (256<<10)/64*120)
+		}
+	})
+	if replayed != direct {
+		t.Errorf("replay took %v, direct loop %v; must be identical", replayed, direct)
+	}
+}
+
+func TestReplayScalesWithClock(t *testing.T) {
+	// The same trace on a faster processor: compute shrinks, I/O stays.
+	tr := Trace{{Kind: Compute, Cycles: 200e6}}
+	run := func(hz float64) sim.Time {
+		k := sim.NewKernel()
+		c := cpu.New(k, "c", hz)
+		d := disk.New(k, "d", disk.Cheetah9LP())
+		k.Spawn("w", func(p *sim.Proc) { tr.Replay(p, c, d) })
+		return k.Run()
+	}
+	slow := run(200e6)
+	fast := run(400e6)
+	if slow != 2*fast {
+		t.Errorf("clock scaling: %v at 200MHz vs %v at 400MHz, want exactly 2x", slow, fast)
+	}
+}
+
+func TestValidateCatchesBadRecords(t *testing.T) {
+	cases := []Trace{
+		{{Kind: Compute, Cycles: -1}},
+		{{Kind: Read, Offset: 0, Bytes: 0}},
+		{{Kind: Write, Offset: 7, Bytes: 512}},
+		{{Kind: Kind(99)}},
+	}
+	for i, tr := range cases {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted a bad trace", i)
+		}
+	}
+}

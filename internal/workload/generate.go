@@ -1,0 +1,219 @@
+package workload
+
+// Deterministic synthetic data generators. All generators are seeded and
+// reproducible across runs and platforms (they use a local splitmix64
+// generator rather than math/rand, whose stream is version-dependent).
+
+import "math"
+
+// Rand is a small deterministic PRNG (splitmix64).
+type Rand struct{ state uint64 }
+
+// NewRand returns a generator for the given seed.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a pseudo-random int64 in [0, n).
+func (r *Rand) Intn(n int64) int64 {
+	if n <= 0 {
+		panic("workload: Intn with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Record is a generic relational tuple: a key (group-by / join
+// attribute), a measure, and an attribute driving selection predicates.
+type Record struct {
+	Key   uint64
+	Value float64
+	Attr  float64 // uniform in [0,1): predicate "Attr < selectivity" selects that fraction
+}
+
+// GenRecords generates n records whose keys are uniform over
+// [0, distinctKeys) (use distinctKeys = 0 for unique ascending keys).
+func GenRecords(n, distinctKeys int64, seed uint64) []Record {
+	r := NewRand(seed)
+	out := make([]Record, n)
+	for i := range out {
+		var k uint64
+		if distinctKeys > 0 {
+			k = uint64(r.Intn(distinctKeys))
+		} else {
+			k = uint64(i)
+		}
+		out[i] = Record{Key: k, Value: r.Float64() * 100, Attr: r.Float64()}
+	}
+	return out
+}
+
+// GenSortKeys generates n uniform 64-bit keys (standing in for the
+// paper's 10-byte uniformly distributed sort keys).
+func GenSortKeys(n int64, seed uint64) []uint64 {
+	r := NewRand(seed)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.Uint64()
+	}
+	return out
+}
+
+// CubeTuple is a 4-dimensional fact tuple with one measure.
+type CubeTuple struct {
+	Dims    [4]uint32
+	Measure float64
+}
+
+// GenCube generates n cube tuples; dimension d draws from
+// max(1, n*dimFractions[d]) distinct values, mirroring Table 2's
+// "1%, 0.1%, 0.01% and 0.001% distinct values".
+func GenCube(n int64, dimFractions []float64, seed uint64) []CubeTuple {
+	r := NewRand(seed)
+	card := make([]int64, len(dimFractions))
+	for i, f := range dimFractions {
+		card[i] = int64(float64(n) * f)
+		if card[i] < 1 {
+			card[i] = 1
+		}
+	}
+	out := make([]CubeTuple, n)
+	for i := range out {
+		var t CubeTuple
+		for d := 0; d < len(card) && d < 4; d++ {
+			t.Dims[d] = uint32(r.Intn(card[d]))
+		}
+		t.Measure = r.Float64() * 10
+		out[i] = t
+	}
+	return out
+}
+
+// GenJoin generates the two join inputs: R with unique keys in
+// [0, nR) and S with foreign keys uniform over the same domain.
+func GenJoin(nR, nS int64, seed uint64) (r, s []Record) {
+	rng := NewRand(seed)
+	r = make([]Record, nR)
+	for i := range r {
+		r[i] = Record{Key: uint64(i), Value: rng.Float64() * 100, Attr: rng.Float64()}
+	}
+	s = make([]Record, nS)
+	for i := range s {
+		s[i] = Record{Key: uint64(rng.Intn(nR)), Value: rng.Float64() * 100, Attr: rng.Float64()}
+	}
+	return r, s
+}
+
+// Txn is one retail transaction: a set of item IDs.
+type Txn []uint32
+
+// GenTxns generates transactions with sizes 1..2*avgItems-1 (mean
+// avgItems) over an item domain with a skewed popularity distribution,
+// so that frequent itemsets exist above realistic support thresholds.
+func GenTxns(n, items int64, avgItems int, seed uint64) []Txn {
+	r := NewRand(seed)
+	out := make([]Txn, n)
+	for i := range out {
+		sz := 1 + int(r.Intn(int64(2*avgItems-1)))
+		t := make(Txn, 0, sz)
+		for j := 0; j < sz; j++ {
+			// Square the uniform draw to skew toward low item IDs: item
+			// popularity falls off roughly as 1/sqrt(id), giving a frequent
+			// head and a long tail like retail basket data.
+			u := r.Float64()
+			item := uint32(u * u * float64(items))
+			t = append(t, item)
+		}
+		out[i] = t
+	}
+	return out
+}
+
+// Delta is one materialized-view maintenance update.
+type Delta struct {
+	Key    uint64
+	Value  float64
+	Insert bool // false = delete of a previously inserted value
+}
+
+// GenDeltas generates an update batch over the given key domain; about
+// 80% inserts, 20% deletes of values known to be in the view.
+func GenDeltas(n, distinctKeys int64, seed uint64) []Delta {
+	r := NewRand(seed)
+	out := make([]Delta, n)
+	for i := range out {
+		out[i] = Delta{
+			Key:    uint64(r.Intn(distinctKeys)),
+			Value:  r.Float64() * 100,
+			Insert: r.Float64() < 0.8,
+		}
+	}
+	return out
+}
+
+// Zipf draws keys from a Zipf(s) distribution over [0, n): key i has
+// weight 1/(i+1)^s. Used for skewed variants of the group-by and join
+// workloads (the paper's datasets are uniform; skew is an extension).
+type Zipf struct {
+	cum []float64
+	r   *Rand
+}
+
+// NewZipf precomputes the distribution for n keys with exponent s
+// (s = 0 is uniform; s ~ 1 is classic Zipf).
+func NewZipf(n int64, s float64, seed uint64) *Zipf {
+	if n <= 0 {
+		panic("workload: Zipf needs a positive domain")
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for i := int64(0); i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &Zipf{cum: cum, r: NewRand(seed)}
+}
+
+// Next draws the next key.
+func (z *Zipf) Next() uint64 {
+	u := z.r.Float64()
+	lo, hi := 0, len(z.cum)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(z.cum) {
+		lo = len(z.cum) - 1
+	}
+	return uint64(lo)
+}
+
+// GenRecordsZipf generates n records whose keys follow Zipf(s) over
+// [0, distinctKeys).
+func GenRecordsZipf(n, distinctKeys int64, s float64, seed uint64) []Record {
+	z := NewZipf(distinctKeys, s, seed)
+	r := NewRand(seed ^ 0x5eed)
+	out := make([]Record, n)
+	for i := range out {
+		out[i] = Record{Key: z.Next(), Value: r.Float64() * 100, Attr: r.Float64()}
+	}
+	return out
+}
