@@ -1,0 +1,29 @@
+# Howsim build/test/bench entry points. The kernel microbenchmarks and
+# BENCH_kernel.json exist to track the DES hot path's perf trajectory
+# across PRs — run `make bench-kernel` after touching internal/sim and
+# commit the refreshed numbers.
+
+GO ?= go
+
+.PHONY: build vet test race bench-kernel bench-figures
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+# Refresh BENCH_kernel.json from the internal/sim microbenchmarks
+# (3 repetitions, best run wins).
+bench-kernel:
+	$(GO) run ./scripts/benchkernel -count 3 -out BENCH_kernel.json
+
+# Quick pass over the paper's figure benchmarks at reduced scale.
+bench-figures:
+	HOWSIM_BENCH_SCALE=0.05 $(GO) test -bench=Figure -benchtime=1x .

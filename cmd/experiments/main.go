@@ -7,6 +7,7 @@
 //	experiments -only fig3           # one artifact
 //	experiments -scale 0.05          # scaled-down datasets (much faster)
 //	experiments -sizes 16,64         # subset of configuration sizes
+//	experiments -only fig1 -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"howsim/internal/experiments"
+	"howsim/internal/profiling"
 	"howsim/internal/workload"
 )
 
@@ -40,6 +42,9 @@ func main() {
 		sizes = append(sizes, n)
 	}
 	opt := experiments.Options{Scale: *scale, Sizes: sizes, Parallel: *parallel}
+
+	stop := profiling.Start()
+	defer stop()
 
 	want := func(name string) bool { return *only == "all" || *only == name }
 	start := time.Now()

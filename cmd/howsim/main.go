@@ -6,6 +6,7 @@
 //
 //	howsim -task sort -arch active -disks 64 [-fastio] [-mem 64]
 //	       [-feonly] [-fastdisk] [-scale 0.01]
+//	       [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"sort"
 
 	"howsim/internal/arch"
+	"howsim/internal/profiling"
 	"howsim/internal/tasks"
 	"howsim/internal/workload"
 )
@@ -68,6 +70,9 @@ func main() {
 	if *scale < 1.0 {
 		ds = ds.Scaled(int64(float64(ds.TotalBytes) * *scale))
 	}
+
+	stop := profiling.Start()
+	defer stop()
 
 	if *sweep {
 		fmt.Printf("%s on %s, %0.2f GB dataset: scaling sweep\n\n", task, *archName, float64(ds.TotalBytes)/1e9)

@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestDeterministicAcrossParallelism guards the claim in runAll's doc
+// comment: every simulation owns its kernel, so the rendered artifacts
+// must be byte-identical whether the jobs run one at a time or
+// GOMAXPROCS-wide. A divergence here means shared mutable state leaked
+// into the simulation path (e.g. a global RNG or a kernel reused across
+// goroutines).
+func TestDeterministicAcrossParallelism(t *testing.T) {
+	serial := Quick()
+	serial.Parallel = 1
+	wide := Quick()
+	wide.Parallel = runtime.GOMAXPROCS(0)
+
+	renders := []struct {
+		name         string
+		serial, wide string
+	}{
+		{"fig1", RunFigure1(serial).Render(), RunFigure1(wide).Render()},
+		{"fig3", RunFigure3(serial).Render(), RunFigure3(wide).Render()},
+		{"fig5", RunFigure5(serial).Render(), RunFigure5(wide).Render()},
+	}
+	for _, r := range renders {
+		if r.serial != r.wide {
+			t.Errorf("%s: rendered figure differs between Parallel=1 and Parallel=%d\n--- serial ---\n%s\n--- parallel ---\n%s",
+				r.name, wide.Parallel, r.serial, r.wide)
+		}
+	}
+}

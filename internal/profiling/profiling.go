@@ -1,0 +1,60 @@
+// Package profiling registers -cpuprofile and -memprofile flags on the
+// standard flag set and wires them to runtime/pprof, so every CLI that
+// imports it can capture profiles of the simulation kernel's hot path:
+//
+//	experiments -only fig1 -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+var (
+	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+)
+
+// Start begins CPU profiling if -cpuprofile was given and returns a
+// stop function that finalizes both profiles. Call it after flag.Parse
+// and argument validation:
+//
+//	stop := profiling.Start()
+//	defer stop()
+func Start() func() {
+	var cpuFile *os.File
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(2)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if *memprofile != "" {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}
+}

@@ -1,43 +1,18 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // event is a scheduled occurrence: either a kernel-context callback (fn)
 // or the resumption of a parked process (p). Events at equal times fire
 // in the order they were scheduled (seq breaks ties), which keeps the
-// simulation deterministic.
+// simulation deterministic. Events are stored by value in the kernel's
+// queue — scheduling one never allocates.
 type event struct {
 	t   Time
-	seq int64
+	seq uint64
 	fn  func()
 	p   *Proc
 }
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-func (h eventHeap) peek() *event        { return h[0] }
-func (h *eventHeap) pushEvent(e *event) { heap.Push(h, e) }
-func (h *eventHeap) popEvent() *event   { return heap.Pop(h).(*event) }
 
 // Kernel is a discrete-event simulation scheduler. Create one with
 // NewKernel, spawn processes with Spawn, and advance virtual time with
@@ -46,8 +21,8 @@ func (h *eventHeap) popEvent() *event   { return heap.Pop(h).(*event) }
 // process goroutines it schedules, exactly one of which is ever active.
 type Kernel struct {
 	now     Time
-	events  eventHeap
-	seq     int64
+	events  eventQueue
+	seq     uint64
 	yield   chan struct{}
 	live    int // processes spawned and not yet finished
 	blocked int // processes parked without a pending wake event
@@ -73,14 +48,26 @@ func (k *Kernel) Live() int { return k.live }
 // timer). A nonzero value after Run returns indicates a deadlock.
 func (k *Kernel) Blocked() int { return k.blocked }
 
+// schedule enqueues an event at absolute time t. Events for the current
+// instant take the FIFO fast lane (no heap work); future events go into
+// the min-heap. Both paths are allocation-free in steady state.
+func (k *Kernel) schedule(t Time, fn func(), p *Proc) {
+	k.seq++
+	e := event{t: t, seq: k.seq, fn: fn, p: p}
+	if t == k.now {
+		k.events.fast.push(e)
+	} else {
+		k.events.pushHeap(e)
+	}
+}
+
 // At schedules fn to run in kernel context at absolute time t. Scheduling
 // in the past panics: the kernel never travels backwards.
 func (k *Kernel) At(t Time, fn func()) {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
 	}
-	k.seq++
-	k.events.pushEvent(&event{t: t, seq: k.seq, fn: fn})
+	k.schedule(t, fn, nil)
 }
 
 // After schedules fn to run in kernel context d from now.
@@ -90,8 +77,7 @@ func (k *Kernel) scheduleProc(p *Proc, t Time) {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling process %q at %v before now %v", p.name, t, k.now))
 	}
-	k.seq++
-	k.events.pushEvent(&event{t: t, seq: k.seq, p: p})
+	k.schedule(t, nil, p)
 }
 
 // Stop halts the simulation: Run returns after the currently running
@@ -102,12 +88,12 @@ func (k *Kernel) Stop() { k.stopped = true }
 // (if RunUntil set a limit) the limit is reached. It returns the final
 // virtual time.
 func (k *Kernel) Run() Time {
-	for len(k.events) > 0 && !k.stopped {
-		if k.limit > 0 && k.events.peek().t > k.limit {
+	for !k.events.empty() && !k.stopped {
+		if k.limit > 0 && k.events.peekTime() > k.limit {
 			k.now = k.limit
 			break
 		}
-		e := k.events.popEvent()
+		e := k.events.pop()
 		k.now = e.t
 		if e.fn != nil {
 			e.fn()
@@ -146,6 +132,11 @@ type Proc struct {
 	k        *Kernel
 	resume   chan struct{}
 	finished bool
+	// granted is scratch state for Resource.Acquire: a parked process
+	// waits on at most one resource at a time, so keeping the flag here
+	// lets the waiter queue hold plain values instead of allocating a
+	// per-wait record.
+	granted bool
 }
 
 // Name returns the name the process was spawned with.
@@ -181,6 +172,10 @@ func (k *Kernel) Spawn(name string, body func(*Proc)) *Proc {
 // park suspends the process until another event wakes it. The caller is
 // responsible for having arranged a wake-up (a timer or registration in
 // a waiter queue); parking with neither deadlocks that process.
+//
+// The handoff is two operations on unbuffered channels of empty structs:
+// neither direction allocates, and the channels must stay unbuffered so
+// that exactly one of {kernel, one process} is ever runnable.
 func (p *Proc) park() {
 	p.k.yield <- struct{}{}
 	<-p.resume
@@ -194,7 +189,8 @@ func (p *Proc) parkBlocked() {
 	p.k.blocked--
 }
 
-// wake schedules p to resume at the current virtual time.
+// wake schedules p to resume at the current virtual time (via the
+// same-timestamp fast lane).
 func (p *Proc) wake() { p.k.scheduleProc(p, p.k.now) }
 
 // Delay advances this process's virtual time by d. A non-positive d

@@ -1,0 +1,171 @@
+package sim
+
+import "testing"
+
+// The kernel microbenchmarks isolate the hot paths every simulation
+// funnels through: heap push/pop of timer events, the park/resume
+// handoff, same-time wakes, mailbox handoffs and resource admission.
+// All of them must report 0 allocs/op in steady state — the event queue
+// stores events by value and every waiter queue recycles its backing
+// storage.
+
+// BenchmarkKernelEventThroughput drives a pool of self-rescheduling
+// timer callbacks through the event queue: pure heap push/pop with no
+// process switches. This is the disk/bus model's dominant pattern
+// (seek timers, transfer completions).
+func BenchmarkKernelEventThroughput(b *testing.B) {
+	k := NewKernel()
+	const timers = 256
+	remaining := b.N
+	fns := make([]func(), timers)
+	for i := range fns {
+		d := Time(i%97 + 1)
+		fns[i] = func() {
+			if remaining > 0 {
+				remaining--
+				k.After(d, fns[i%timers])
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i, fn := range fns {
+		k.After(Time(i+1), fn)
+	}
+	k.Run()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkKernelSameTimeFanout schedules bursts of callbacks at the
+// current instant — the wake-at-now pattern used by Yield, mailbox
+// handoffs and resource grants — which the same-timestamp fast lane
+// serves without touching the heap.
+func BenchmarkKernelSameTimeFanout(b *testing.B) {
+	k := NewKernel()
+	const burst = 64
+	remaining := b.N
+	var tick func()
+	nop := func() {}
+	tick = func() {
+		for i := 0; i < burst-1; i++ {
+			k.At(k.Now(), nop)
+		}
+		if remaining > burst {
+			remaining -= burst
+			k.After(1, tick)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.After(1, tick)
+	k.Run()
+}
+
+// BenchmarkKernelParkResume measures the full process context-switch
+// round trip: schedule a wake, park the goroutine, hand control to the
+// kernel and back.
+func BenchmarkKernelParkResume(b *testing.B) {
+	k := NewKernel()
+	k.Spawn("p", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Delay(1)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkKernelSpawn measures process creation and teardown.
+func BenchmarkKernelSpawn(b *testing.B) {
+	k := NewKernel()
+	body := func(p *Proc) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Spawn("w", body)
+		if k.Live() >= 512 {
+			k.Run()
+		}
+	}
+	k.Run()
+}
+
+// BenchmarkKernelMailboxPingPong bounces a message between two
+// processes through a pair of mailboxes: every hop is a blocked-get
+// wake plus a park.
+func BenchmarkKernelMailboxPingPong(b *testing.B) {
+	k := NewKernel()
+	ab := NewMailbox(k, "ab", 0)
+	ba := NewMailbox(k, "ba", 0)
+	var msg struct{}
+	k.Spawn("a", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			ab.Put(p, msg)
+			ba.Get(p)
+		}
+		ab.Close()
+	})
+	k.Spawn("b", func(p *Proc) {
+		for {
+			if _, ok := ab.Get(p); !ok {
+				return
+			}
+			ba.Put(p, msg)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkKernelResourceContention hammers a capacity-1 resource with
+// four holders, exercising the waiter queue (park, FIFO admit, wake)
+// on nearly every acquisition.
+func BenchmarkKernelResourceContention(b *testing.B) {
+	k := NewKernel()
+	r := NewResource(k, "r", 1)
+	grants := b.N
+	for w := 0; w < 4; w++ {
+		k.Spawn("w", func(p *Proc) {
+			for {
+				if grants <= 0 {
+					return
+				}
+				grants--
+				r.Acquire(p, 1)
+				p.Delay(1)
+				r.Release(1)
+			}
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkKernelBoundedMailbox streams items through a small bounded
+// mailbox so both the putter and getter block regularly — the
+// pipeline-stage backpressure pattern.
+func BenchmarkKernelBoundedMailbox(b *testing.B) {
+	k := NewKernel()
+	mb := NewMailbox(k, "mb", 4)
+	var msg struct{}
+	k.Spawn("producer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			mb.Put(p, msg)
+		}
+		mb.Close()
+	})
+	k.Spawn("consumer", func(p *Proc) {
+		for {
+			if _, ok := mb.Get(p); !ok {
+				return
+			}
+			p.Delay(1)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Run()
+}

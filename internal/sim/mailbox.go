@@ -1,5 +1,20 @@
 package sim
 
+// wakeAll wakes every process parked in q, in FIFO order, leaving the
+// queue empty (its storage is retained for reuse).
+func wakeAll(q *fifo[*Proc]) {
+	for q.len() > 0 {
+		q.pop().wake()
+	}
+}
+
+// wakeFirst wakes the longest-parked process in q, if any.
+func wakeFirst(q *fifo[*Proc]) {
+	if q.len() > 0 {
+		q.pop().wake()
+	}
+}
+
 // Mailbox is a FIFO message queue between processes. With capacity 0 the
 // mailbox is unbounded and Put never blocks; with a positive capacity
 // Put blocks while the mailbox is full, providing backpressure (used to
@@ -8,9 +23,9 @@ type Mailbox struct {
 	k        *Kernel
 	name     string
 	capacity int
-	items    []any
-	getters  []*Proc
-	putters  []*Proc
+	items    fifo[any]
+	getters  fifo[*Proc]
+	putters  fifo[*Proc]
 	puts     int64
 	gets     int64
 	closed   bool
@@ -25,7 +40,7 @@ func NewMailbox(k *Kernel, name string, capacity int) *Mailbox {
 func (m *Mailbox) Name() string { return m.name }
 
 // Len returns the number of queued messages.
-func (m *Mailbox) Len() int { return len(m.items) }
+func (m *Mailbox) Len() int { return m.items.len() }
 
 // Puts returns the total number of messages ever enqueued.
 func (m *Mailbox) Puts() int64 { return m.puts }
@@ -36,37 +51,29 @@ func (m *Mailbox) Gets() int64 { return m.gets }
 // Closed reports whether Close has been called.
 func (m *Mailbox) Closed() bool { return m.closed }
 
-func (m *Mailbox) wakeFirst(ws *[]*Proc) {
-	if len(*ws) > 0 {
-		p := (*ws)[0]
-		*ws = (*ws)[1:]
-		p.wake()
-	}
-}
-
 // Put enqueues v, blocking while a bounded mailbox is full. Putting to a
 // closed mailbox panics.
 func (m *Mailbox) Put(p *Proc, v any) {
-	for m.capacity > 0 && len(m.items) >= m.capacity && !m.closed {
-		m.putters = append(m.putters, p)
+	for m.capacity > 0 && m.items.len() >= m.capacity && !m.closed {
+		m.putters.push(p)
 		p.parkBlocked()
 	}
 	if m.closed {
 		panic("sim: put on closed mailbox " + m.name)
 	}
-	m.items = append(m.items, v)
+	m.items.push(v)
 	m.puts++
-	m.wakeFirst(&m.getters)
+	wakeFirst(&m.getters)
 }
 
 // TryPut enqueues v if the mailbox has room, reporting success.
 func (m *Mailbox) TryPut(v any) bool {
-	if m.closed || (m.capacity > 0 && len(m.items) >= m.capacity) {
+	if m.closed || (m.capacity > 0 && m.items.len() >= m.capacity) {
 		return false
 	}
-	m.items = append(m.items, v)
+	m.items.push(v)
 	m.puts++
-	m.wakeFirst(&m.getters)
+	wakeFirst(&m.getters)
 	return true
 }
 
@@ -74,31 +81,27 @@ func (m *Mailbox) TryPut(v any) bool {
 // When the mailbox is closed and drained, Get returns (nil, false);
 // otherwise it returns (msg, true).
 func (m *Mailbox) Get(p *Proc) (any, bool) {
-	for len(m.items) == 0 && !m.closed {
-		m.getters = append(m.getters, p)
+	for m.items.len() == 0 && !m.closed {
+		m.getters.push(p)
 		p.parkBlocked()
 	}
-	if len(m.items) == 0 {
+	if m.items.len() == 0 {
 		return nil, false
 	}
-	v := m.items[0]
-	m.items[0] = nil
-	m.items = m.items[1:]
+	v := m.items.pop()
 	m.gets++
-	m.wakeFirst(&m.putters)
+	wakeFirst(&m.putters)
 	return v, true
 }
 
 // TryGet dequeues a message without blocking, reporting success.
 func (m *Mailbox) TryGet() (any, bool) {
-	if len(m.items) == 0 {
+	if m.items.len() == 0 {
 		return nil, false
 	}
-	v := m.items[0]
-	m.items[0] = nil
-	m.items = m.items[1:]
+	v := m.items.pop()
 	m.gets++
-	m.wakeFirst(&m.putters)
+	wakeFirst(&m.putters)
 	return v, true
 }
 
@@ -109,14 +112,8 @@ func (m *Mailbox) Close() {
 		return
 	}
 	m.closed = true
-	for _, p := range m.getters {
-		p.wake()
-	}
-	m.getters = nil
-	for _, p := range m.putters {
-		p.wake()
-	}
-	m.putters = nil
+	wakeAll(&m.getters)
+	wakeAll(&m.putters)
 }
 
 // Barrier blocks a fixed-size group of processes until all have arrived,
@@ -128,7 +125,7 @@ type Barrier struct {
 	parties int
 	arrived int
 	gen     int64
-	waiters []*Proc
+	waiters fifo[*Proc]
 	rounds  int64
 }
 
@@ -151,13 +148,10 @@ func (b *Barrier) Wait(p *Proc) {
 		b.arrived = 0
 		b.gen++
 		b.rounds++
-		for _, w := range b.waiters {
-			w.wake()
-		}
-		b.waiters = nil
+		wakeAll(&b.waiters)
 		return
 	}
-	b.waiters = append(b.waiters, p)
+	b.waiters.push(p)
 	for b.gen == gen {
 		p.parkBlocked()
 	}
@@ -167,7 +161,7 @@ func (b *Barrier) Wait(p *Proc) {
 // Fire block; once fired, Wait returns immediately forever after.
 type Signal struct {
 	fired   bool
-	waiters []*Proc
+	waiters fifo[*Proc]
 }
 
 // NewSignal creates an unfired signal.
@@ -182,16 +176,13 @@ func (s *Signal) Fire() {
 		return
 	}
 	s.fired = true
-	for _, p := range s.waiters {
-		p.wake()
-	}
-	s.waiters = nil
+	wakeAll(&s.waiters)
 }
 
 // Wait blocks p until the signal fires.
 func (s *Signal) Wait(p *Proc) {
 	for !s.fired {
-		s.waiters = append(s.waiters, p)
+		s.waiters.push(p)
 		p.parkBlocked()
 	}
 }
@@ -200,7 +191,7 @@ func (s *Signal) Wait(p *Proc) {
 // reaches zero. The zero value is unusable — create with NewWaitGroup.
 type WaitGroup struct {
 	count   int
-	waiters []*Proc
+	waiters fifo[*Proc]
 }
 
 // NewWaitGroup returns a wait group with an initial count.
@@ -213,10 +204,7 @@ func (wg *WaitGroup) Add(n int) {
 		panic("sim: negative waitgroup count")
 	}
 	if wg.count == 0 {
-		for _, p := range wg.waiters {
-			p.wake()
-		}
-		wg.waiters = nil
+		wakeAll(&wg.waiters)
 	}
 }
 
@@ -229,7 +217,7 @@ func (wg *WaitGroup) Count() int { return wg.count }
 // Wait blocks p until the count is zero.
 func (wg *WaitGroup) Wait(p *Proc) {
 	for wg.count > 0 {
-		wg.waiters = append(wg.waiters, p)
+		wg.waiters.push(p)
 		p.parkBlocked()
 	}
 }

@@ -1,0 +1,186 @@
+package sim
+
+// This file holds the kernel's allocation-free queueing machinery:
+//
+//   - fifo[T]: a slice-backed FIFO deque that recycles its backing
+//     storage and zeroes popped slots, used for every waiter queue
+//     (mailbox getters/putters, resource waiters, barrier/signal/
+//     waitgroup parties) and for mailbox items;
+//   - eventRing: a power-of-two ring buffer holding the same-timestamp
+//     fast lane;
+//   - eventQueue: a hand-specialized binary min-heap of event values
+//     (no interface boxing, no per-event allocation) combined with the
+//     fast lane.
+//
+// In steady state none of these allocate: slices and ring buffers grow
+// to a high-water mark once and are reused for the rest of the run,
+// which is what makes timer-heavy loops (disk seeks, bus transfers)
+// and park/resume-heavy loops (mailbox handoffs, resource grants)
+// allocation-free.
+
+// fifo is a FIFO deque over a reusable slice. Pop zeroes the vacated
+// slot so the queue never retains references to removed elements, and
+// push compacts the dead prefix before the backing array would grow,
+// so a queue that cycles in steady state stops allocating entirely.
+type fifo[T any] struct {
+	s    []T
+	head int
+}
+
+func (q *fifo[T]) len() int { return len(q.s) - q.head }
+
+func (q *fifo[T]) push(v T) {
+	if q.head >= 16 && 2*q.head >= len(q.s) {
+		// The dead prefix is at least as large as the live region:
+		// slide the live elements down and clear the tail so append
+		// reuses the freed capacity instead of growing.
+		var zero T
+		n := copy(q.s, q.s[q.head:])
+		for i := n; i < len(q.s); i++ {
+			q.s[i] = zero
+		}
+		q.s = q.s[:n]
+		q.head = 0
+	}
+	q.s = append(q.s, v)
+}
+
+func (q *fifo[T]) pop() T {
+	var zero T
+	v := q.s[q.head]
+	q.s[q.head] = zero
+	q.head++
+	if q.head == len(q.s) {
+		q.s = q.s[:0]
+		q.head = 0
+	}
+	return v
+}
+
+// peek returns a pointer to the head element. The pointer is only valid
+// until the next push or pop.
+func (q *fifo[T]) peek() *T { return &q.s[q.head] }
+
+// eventRing is a power-of-two-sized ring buffer of events: the
+// same-timestamp fast lane. Events scheduled for the current instant
+// are FIFO by construction (sequence numbers are monotonic), so a ring
+// preserves (t, seq) order without any heap work.
+type eventRing struct {
+	buf  []event
+	head int
+	n    int
+}
+
+func (r *eventRing) push(e event) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = e
+	r.n++
+}
+
+func (r *eventRing) pop() event {
+	e := r.buf[r.head]
+	r.buf[r.head] = event{}
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return e
+}
+
+func (r *eventRing) peek() *event { return &r.buf[r.head] }
+
+func (r *eventRing) grow() {
+	next := make([]event, max(8, 2*len(r.buf)))
+	for i := 0; i < r.n; i++ {
+		next[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = next
+	r.head = 0
+}
+
+// eventQueue orders events by (t, seq): a binary min-heap of event
+// values for future timers plus the fast-lane ring for events scheduled
+// at the current instant. Storing events by value subsumes a freelist —
+// there is no per-event allocation to recycle in the first place; the
+// heap slice and ring grow once to their high-water mark.
+type eventQueue struct {
+	heap []event
+	fast eventRing
+}
+
+func eventBefore(a, b *event) bool {
+	return a.t < b.t || (a.t == b.t && a.seq < b.seq)
+}
+
+func (q *eventQueue) empty() bool { return len(q.heap) == 0 && q.fast.n == 0 }
+
+// peekTime returns the time of the next event; the queue must be
+// non-empty. Fast-lane events never postdate the heap top (they are
+// scheduled at the instant the kernel is executing), so the fast head
+// wins whenever it exists and the timestamps differ.
+func (q *eventQueue) peekTime() Time {
+	if q.fast.n == 0 {
+		return q.heap[0].t
+	}
+	f := q.fast.peek()
+	if len(q.heap) > 0 && eventBefore(&q.heap[0], f) {
+		return q.heap[0].t
+	}
+	return f.t
+}
+
+// pop removes and returns the (t, seq)-least event across both lanes.
+func (q *eventQueue) pop() event {
+	if q.fast.n == 0 {
+		return q.popHeap()
+	}
+	if len(q.heap) > 0 && eventBefore(&q.heap[0], q.fast.peek()) {
+		return q.popHeap()
+	}
+	return q.fast.pop()
+}
+
+func (q *eventQueue) pushHeap(e event) {
+	h := append(q.heap, event{})
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventBefore(&e, &h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = e
+	q.heap = h
+}
+
+func (q *eventQueue) popHeap() event {
+	h := q.heap
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{}
+	h = h[:n]
+	q.heap = h
+	if n > 0 {
+		// Sift the former last element down from the root.
+		i := 0
+		for {
+			c := 2*i + 1
+			if c >= n {
+				break
+			}
+			if r := c + 1; r < n && eventBefore(&h[r], &h[c]) {
+				c = r
+			}
+			if !eventBefore(&h[c], &last) {
+				break
+			}
+			h[i] = h[c]
+			i = c
+		}
+		h[i] = last
+	}
+	return top
+}

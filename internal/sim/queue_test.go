@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFastLaneHeapInterleaving pins the subtle ordering case the fast
+// lane must get right: an event already in the heap at time T with a
+// lower sequence number fires before a fast-lane event scheduled at T
+// while the kernel is executing at T.
+func TestFastLaneHeapInterleaving(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.At(Millisecond, func() {
+		order = append(order, "first")
+		// Scheduled at now: takes the fast lane with a higher seq than
+		// "second", which is still sitting in the heap at the same time.
+		k.At(k.Now(), func() { order = append(order, "third") })
+	})
+	k.At(Millisecond, func() { order = append(order, "second") })
+	k.Run()
+	want := []string{"first", "second", "third"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestEventQueueRandomOrder pops a randomized mix of heap pushes in
+// strict (t, seq) order.
+func TestEventQueueRandomOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var q eventQueue
+	for i := 0; i < 5000; i++ {
+		q.pushHeap(event{t: Time(rng.Intn(200)), seq: uint64(i + 1)})
+	}
+	var last event
+	for i := 0; i < 5000; i++ {
+		e := q.popHeap()
+		if i > 0 && eventBefore(&e, &last) {
+			t.Fatalf("pop %d: event (t=%v seq=%d) after (t=%v seq=%d)",
+				i, e.t, e.seq, last.t, last.seq)
+		}
+		last = e
+	}
+	if !q.empty() {
+		t.Fatal("queue should be empty")
+	}
+}
+
+// TestEventRingWraparound drives the ring through growth and many
+// wraparounds, checking FIFO order and that popped slots are cleared.
+func TestEventRingWraparound(t *testing.T) {
+	var r eventRing
+	next, expect := uint64(1), uint64(1)
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 7; i++ {
+			r.push(event{seq: next})
+			next++
+		}
+		for i := 0; i < 5; i++ {
+			if e := r.pop(); e.seq != expect {
+				t.Fatalf("pop = seq %d, want %d", e.seq, expect)
+			} else {
+				expect++
+			}
+		}
+	}
+	for r.n > 0 {
+		if e := r.pop(); e.seq != expect {
+			t.Fatalf("drain pop = seq %d, want %d", e.seq, expect)
+		} else {
+			expect++
+		}
+	}
+	for i := range r.buf {
+		if e := &r.buf[i]; e.t != 0 || e.seq != 0 || e.fn != nil || e.p != nil {
+			t.Errorf("ring slot %d not cleared after pop: %+v", i, *e)
+		}
+	}
+}
+
+// TestFifoClearsPoppedSlots guards the waiter-queue leak fix: a popped
+// element must not be retained by the backing array.
+func TestFifoClearsPoppedSlots(t *testing.T) {
+	var q fifo[*Proc]
+	procs := []*Proc{{id: 1}, {id: 2}, {id: 3}}
+	for _, p := range procs {
+		q.push(p)
+	}
+	q.pop()
+	q.pop()
+	backing := q.s[:cap(q.s)]
+	for i := 0; i < q.head; i++ {
+		if backing[i] != nil {
+			t.Errorf("slot %d retains %v after pop", i, backing[i])
+		}
+	}
+	if q.len() != 1 || q.pop().id != 3 {
+		t.Error("fifo order broken")
+	}
+}
+
+// TestFifoSteadyStateNoGrowth cycles a fifo far beyond its live size;
+// compaction must keep the backing array bounded.
+func TestFifoSteadyStateNoGrowth(t *testing.T) {
+	var q fifo[int]
+	for i := 0; i < 64; i++ {
+		q.push(i)
+	}
+	for i := 0; i < 100000; i++ {
+		q.push(i)
+		q.pop()
+	}
+	if c := cap(q.s); c > 1024 {
+		t.Errorf("backing array grew to %d for a 64-element working set", c)
+	}
+	if q.len() != 64 {
+		t.Errorf("len = %d, want 64", q.len())
+	}
+}
+
+// TestSchedulingAllocFree verifies the headline property end to end:
+// steady-state timer scheduling and same-time wakes do not allocate.
+func TestSchedulingAllocFree(t *testing.T) {
+	k := NewKernel()
+	var fn func()
+	n := 0
+	fn = func() {
+		if n++; n < 100 {
+			k.After(Time(n%7), fn) // mix of fast-lane (0) and heap delays
+		}
+	}
+	k.After(1, fn)
+	k.Run() // warm up high-water marks
+	allocs := testing.AllocsPerRun(100, func() {
+		n = 0
+		k.After(1, fn)
+		k.Run()
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state scheduling allocates %.1f times per run, want 0", allocs)
+	}
+}

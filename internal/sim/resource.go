@@ -16,17 +16,20 @@ type Resource struct {
 	name     string
 	capacity int64
 	inUse    int64
-	waiters  []*resWaiter
+	waiters  fifo[resWaiter]
 
 	lastChange Time
 	usageInt   float64 // integral of inUse over time, unit: units*ns
 	grants     int64
 }
 
+// resWaiter records one parked acquisition. It is stored by value in the
+// resource's waiter queue; the grant flag lives on the Proc (a process
+// waits on at most one resource at a time), so enqueueing never
+// allocates.
 type resWaiter struct {
 	p      *Proc
 	amount int64
-	ready  bool
 }
 
 // NewResource creates a resource with the given capacity (units are
@@ -48,7 +51,7 @@ func (r *Resource) Capacity() int64 { return r.capacity }
 func (r *Resource) InUse() int64 { return r.inUse }
 
 // QueueLen returns the number of processes waiting for the resource.
-func (r *Resource) QueueLen() int { return len(r.waiters) }
+func (r *Resource) QueueLen() int { return r.waiters.len() }
 
 // Grants returns the number of successful acquisitions so far.
 func (r *Resource) Grants() int64 { return r.grants }
@@ -79,15 +82,15 @@ func (r *Resource) Acquire(p *Proc, amount int64) {
 	if amount > r.capacity {
 		panic(fmt.Sprintf("sim: acquire %d exceeds capacity %d of %s", amount, r.capacity, r.name))
 	}
-	if len(r.waiters) == 0 && r.inUse+amount <= r.capacity {
+	if r.waiters.len() == 0 && r.inUse+amount <= r.capacity {
 		r.account()
 		r.inUse += amount
 		r.grants++
 		return
 	}
-	w := &resWaiter{p: p, amount: amount}
-	r.waiters = append(r.waiters, w)
-	for !w.ready {
+	p.granted = false
+	r.waiters.push(resWaiter{p: p, amount: amount})
+	for !p.granted {
 		p.parkBlocked()
 	}
 }
@@ -98,7 +101,7 @@ func (r *Resource) TryAcquire(amount int64) bool {
 	if amount <= 0 {
 		return true
 	}
-	if len(r.waiters) > 0 || r.inUse+amount > r.capacity {
+	if r.waiters.len() > 0 || r.inUse+amount > r.capacity {
 		return false
 	}
 	r.account()
@@ -122,15 +125,14 @@ func (r *Resource) Release(amount int64) {
 }
 
 func (r *Resource) admit() {
-	for len(r.waiters) > 0 {
-		w := r.waiters[0]
-		if r.inUse+w.amount > r.capacity {
+	for r.waiters.len() > 0 {
+		if r.inUse+r.waiters.peek().amount > r.capacity {
 			return
 		}
-		r.waiters = r.waiters[1:]
+		w := r.waiters.pop()
 		r.inUse += w.amount
 		r.grants++
-		w.ready = true
+		w.p.granted = true
 		w.p.wake()
 	}
 }
