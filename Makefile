@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench-kernel bench-figures
+.PHONY: build vet test race bench-kernel bench-figures fault-smoke
 
 build:
 	$(GO) build ./...
@@ -27,3 +27,12 @@ bench-kernel:
 # Quick pass over the paper's figure benchmarks at reduced scale.
 bench-figures:
 	HOWSIM_BENCH_SCALE=0.05 $(GO) test -bench=Figure -benchtime=1x .
+
+# Fault-injection smoke: one disk fails mid-scan on each architecture,
+# once recovering via replicas and once completing degraded. Every run
+# must print a fault report (i.e. not hang and not panic).
+fault-smoke:
+	$(GO) run ./cmd/experiments -scale 0.02 -sizes 16 \
+		-faults seed=42,media=0.002,slow=0.001,fail=3@50ms,replica
+	$(GO) run ./cmd/experiments -scale 0.02 -sizes 16 \
+		-faults seed=42,fail=3@50ms

@@ -8,6 +8,12 @@
 //	experiments -scale 0.05          # scaled-down datasets (much faster)
 //	experiments -sizes 16,64         # subset of configuration sizes
 //	experiments -only fig1 -cpuprofile cpu.out -memprofile mem.out
+//
+// With -faults, the command instead runs one task per architecture under
+// the given deterministic fault plan and prints the recovery reports:
+//
+//	experiments -faults seed=42,media=0.001,fail=3@2s,replica \
+//	    -faulttask select -scale 0.05 -sizes 16
 package main
 
 import (
@@ -18,8 +24,11 @@ import (
 	"strings"
 	"time"
 
+	"howsim/internal/arch"
 	"howsim/internal/experiments"
+	"howsim/internal/fault"
 	"howsim/internal/profiling"
+	"howsim/internal/tasks"
 	"howsim/internal/workload"
 )
 
@@ -29,6 +38,9 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "dataset scale factor")
 		sizesStr = flag.String("sizes", "16,32,64,128", "comma-separated configuration sizes")
 		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		faults   = flag.String("faults", "", "fault plan; runs the fault experiment instead of the figures")
+		ftask    = flag.String("faulttask", "select", "task for the -faults experiment")
+		farch    = flag.String("faultarch", "all", "architecture for -faults: active|cluster|smp|all")
 	)
 	flag.Parse()
 
@@ -45,6 +57,14 @@ func main() {
 
 	stop := profiling.Start()
 	defer stop()
+
+	if *faults != "" {
+		if err := runFaultExperiment(*faults, *ftask, *farch, sizes[0], *scale); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	want := func(name string) bool { return *only == "all" || *only == name }
 	start := time.Now()
@@ -96,4 +116,49 @@ func main() {
 		fmt.Println(experiments.RunExtensionFibreSwitch(opt).Render())
 	}
 	fmt.Fprintf(os.Stderr, "total wall time %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// runFaultExperiment runs one task under a deterministic fault plan on
+// the requested architecture(s) at the given size and dataset scale, and
+// prints each run's recovery report. The report is a pure function of
+// (plan, task, configuration, dataset), so repeated invocations print
+// byte-identical output.
+func runFaultExperiment(planStr, taskName, archName string, size int, scale float64) error {
+	plan, err := fault.ParsePlan(planStr)
+	if err != nil {
+		return err
+	}
+	task, err := workload.ParseTask(taskName)
+	if err != nil {
+		return err
+	}
+	ds := workload.ForTask(task)
+	if scale < 1.0 {
+		ds = ds.Scaled(int64(float64(ds.TotalBytes) * scale))
+	}
+	cfgs := map[string]arch.Config{
+		"active":  arch.ActiveDisks(size),
+		"cluster": arch.Cluster(size),
+		"smp":     arch.SMP(size),
+	}
+	order := []string{"active", "cluster", "smp"}
+	if archName != "all" {
+		cfg, ok := cfgs[archName]
+		if !ok {
+			return fmt.Errorf("unknown architecture %q", archName)
+		}
+		cfgs = map[string]arch.Config{archName: cfg}
+		order = []string{archName}
+	}
+	for _, name := range order {
+		res := tasks.RunDatasetFaulted(cfgs[name], task, ds, plan)
+		if res.Fault != nil {
+			fmt.Print(res.Fault.Render())
+		} else {
+			fmt.Printf("fault report: %s on %s\n  plan:          %s\n  status:        completed (no faults injected)\n",
+				task, cfgs[name].Name(), plan.String())
+		}
+		fmt.Println()
+	}
+	return nil
 }

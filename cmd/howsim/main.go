@@ -6,6 +6,7 @@
 //
 //	howsim -task sort -arch active -disks 64 [-fastio] [-mem 64]
 //	       [-feonly] [-fastdisk] [-scale 0.01]
+//	       [-faults seed=42,media=0.001,fail=3@2s,replica]
 //	       [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
@@ -16,6 +17,7 @@ import (
 	"sort"
 
 	"howsim/internal/arch"
+	"howsim/internal/fault"
 	"howsim/internal/profiling"
 	"howsim/internal/tasks"
 	"howsim/internal/workload"
@@ -33,8 +35,15 @@ func main() {
 		fsw      = flag.Int("fibreswitch", 0, "split the Active Disk farm across N switched loops (0 = single loop)")
 		scale    = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = full Table 2 size)")
 		sweep    = flag.Bool("sweep", false, "run the task across 16/32/64/128 disks and print a scaling table")
+		faults   = flag.String("faults", "", "fault plan, e.g. seed=42,media=0.001,fail=3@2s,replica")
 	)
 	flag.Parse()
+
+	plan, err := fault.ParsePlan(*faults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	task, err := workload.ParseTask(*taskName)
 	if err != nil {
@@ -90,7 +99,7 @@ func main() {
 		return
 	}
 
-	res := tasks.RunDataset(cfg, task, ds)
+	res := tasks.RunDatasetFaulted(cfg, task, ds, plan)
 
 	fmt.Printf("task       %s\n", task)
 	fmt.Printf("config     %s\n", cfg.Name())
@@ -111,5 +120,8 @@ func main() {
 	fmt.Println("details:")
 	for _, k := range keys {
 		fmt.Printf("  %-24s %g\n", k, res.Details[k])
+	}
+	if res.Fault != nil {
+		fmt.Print(res.Fault.Render())
 	}
 }

@@ -11,12 +11,21 @@
 // transfers.
 package bus
 
-import "howsim/internal/sim"
+import (
+	"sort"
+
+	"howsim/internal/fault"
+	"howsim/internal/sim"
+)
 
 // Bus is a shared transfer medium.
 type Bus struct {
 	pipe  *sim.Pipe
 	Frame int64 // arbitration granularity in bytes
+
+	outages   []fault.Window // sorted outage windows; nil on the fault-free path
+	stallTime sim.Time
+	stalls    int64
 }
 
 // New creates a bus with the given number of independent channels, each
@@ -26,13 +35,64 @@ func New(k *sim.Kernel, name string, channels int, bytesPerSec float64, startup 
 	return &Bus{pipe: sim.NewPipe(k, name, channels, bytesPerSec, startup), Frame: frame}
 }
 
+// SetOutages installs outage windows: intervals of virtual time during
+// which the bus carries no traffic. Transfers in flight at the start of
+// an outage stall (after the current frame) until it lifts. An empty
+// slice restores the fault-free fast path.
+func (b *Bus) SetOutages(ws []fault.Window) {
+	if len(ws) == 0 {
+		b.outages = nil
+		return
+	}
+	b.outages = append([]fault.Window(nil), ws...)
+	sort.Slice(b.outages, func(i, j int) bool { return b.outages[i].Start < b.outages[j].Start })
+}
+
+// StallTime returns the total time transfers spent stalled in outages.
+func (b *Bus) StallTime() sim.Time { return b.stallTime }
+
+// Stalls returns how many frame transmissions were stalled by outages.
+func (b *Bus) Stalls() int64 { return b.stalls }
+
+// stallForOutage blocks p until no outage window covers the current
+// instant, accumulating stall statistics.
+func (b *Bus) stallForOutage(p *sim.Proc) {
+	for _, w := range b.outages {
+		now := p.Now()
+		if now < w.Start {
+			return // windows are sorted; later ones can't cover now
+		}
+		if w.Contains(now) {
+			d := w.End - now
+			b.stallTime += d
+			b.stalls++
+			p.Delay(d)
+		}
+	}
+}
+
 // Transfer moves bytes across the bus on behalf of p, re-arbitrating at
 // frame granularity.
 func (b *Bus) Transfer(p *sim.Proc, bytes int64) {
 	if bytes <= 0 {
 		return
 	}
-	b.pipe.TransferSegmented(p, bytes, b.Frame)
+	if b.outages == nil {
+		b.pipe.TransferSegmented(p, bytes, b.Frame)
+		return
+	}
+	// With outages installed, segment here so each frame checks for a
+	// window before transmitting.
+	remaining := bytes
+	for remaining > 0 {
+		n := b.Frame
+		if n <= 0 || remaining < n {
+			n = remaining
+		}
+		b.stallForOutage(p)
+		b.pipe.Transfer(p, n)
+		remaining -= n
+	}
 }
 
 // AggregateBandwidth returns the total bytes/sec across all channels.

@@ -20,6 +20,7 @@ import (
 	"howsim/internal/bus"
 	"howsim/internal/cpu"
 	"howsim/internal/disk"
+	"howsim/internal/fault"
 	"howsim/internal/mpi"
 	"howsim/internal/netsim"
 	"howsim/internal/osmodel"
@@ -128,6 +129,28 @@ func New(k *sim.Kernel, cfg Config) *Machine {
 	return m
 }
 
+// InstallFaults applies a fault plan to the cluster: per-node disk
+// injectors (disk index = node rank), outage windows matched by name to
+// the network links ("node3.up", "leaf0.up", ...) and each node's local
+// buses ("node3.scsi", "node3.pci"). Call before Run. Nil plan is a
+// no-op.
+func (m *Machine) InstallFaults(plan *fault.Plan) {
+	if plan == nil {
+		return
+	}
+	policy := disk.DefaultRetryPolicy()
+	for i, n := range m.Nodes {
+		if inj := plan.DiskInjector(i); inj != nil {
+			n.Disk.SetFaultInjector(inj, policy)
+		}
+		n.SCSI.SetOutages(plan.OutagesFor(n.SCSI.Name()))
+		n.PCI.SetOutages(plan.OutagesFor(n.PCI.Name()))
+	}
+	m.Tree.EachLink(func(l *netsim.Link) {
+		l.SetOutages(plan.OutagesFor(l.Name()))
+	})
+}
+
 // UsableMemoryBytes returns the per-node memory available to the
 // application (104 MB of the 128 MB under a full-function OS).
 func (m *Machine) UsableMemoryBytes() int64 {
@@ -138,21 +161,31 @@ func (m *Machine) UsableMemoryBytes() int64 {
 func (n *Node) Endpoint() *mpi.Endpoint { return n.m.World.Rank(n.ID) }
 
 // rw charges one local disk request's full path: syscall, driver queue,
-// media, SCSI, PCI, completion interrupt.
-func (n *Node) rw(p *sim.Proc, offset, length int64, write bool) {
+// media, SCSI, PCI, completion interrupt. A failed request skips the
+// bus transfers (no data moved) but still pays the completion
+// interrupt; the disk's error is returned.
+func (n *Node) rw(p *sim.Proc, offset, length int64, write bool) error {
 	n.CPU.Busy(p, n.OS.ReadWriteCall+n.OS.DriverQueue)
 	req := n.Disk.Submit(&disk.Request{Write: write, Offset: offset, Length: length})
 	req.Wait(p)
-	n.SCSI.Transfer(p, length)
-	n.PCI.Transfer(p, length)
+	if req.Err == nil {
+		n.SCSI.Transfer(p, length)
+		n.PCI.Transfer(p, length)
+	}
 	n.CPU.Busy(p, n.OS.Interrupt)
+	return req.Err
 }
 
-// ReadLocal reads from the node's own disk.
-func (n *Node) ReadLocal(p *sim.Proc, offset, length int64) { n.rw(p, offset, length, false) }
+// ReadLocal reads from the node's own disk. The error is nil on
+// success; fault-oblivious callers may ignore it.
+func (n *Node) ReadLocal(p *sim.Proc, offset, length int64) error {
+	return n.rw(p, offset, length, false)
+}
 
 // WriteLocal writes to the node's own disk.
-func (n *Node) WriteLocal(p *sim.Proc, offset, length int64) { n.rw(p, offset, length, true) }
+func (n *Node) WriteLocal(p *sim.Proc, offset, length int64) error {
+	return n.rw(p, offset, length, true)
+}
 
 // AsyncRead issues a local read without waiting for the media (the
 // lio_listio pattern); the returned request can be Waited on. The
@@ -169,12 +202,16 @@ func (n *Node) AsyncWrite(p *sim.Proc, offset, length int64) *disk.Request {
 }
 
 // Finish waits for an async request and charges the transfer path and
-// completion interrupt.
-func (n *Node) Finish(p *sim.Proc, req *disk.Request) {
+// completion interrupt (the transfers are skipped when the request
+// failed, matching rw). It returns the request's completion error.
+func (n *Node) Finish(p *sim.Proc, req *disk.Request) error {
 	req.Wait(p)
-	n.SCSI.Transfer(p, req.Length)
-	n.PCI.Transfer(p, req.Length)
+	if req.Err == nil {
+		n.SCSI.Transfer(p, req.Length)
+		n.PCI.Transfer(p, req.Length)
+	}
 	n.CPU.Busy(p, n.OS.Interrupt)
+	return req.Err
 }
 
 // Compute runs cycles on the node's processor.

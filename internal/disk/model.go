@@ -1,9 +1,22 @@
 package disk
 
 import (
+	"errors"
 	"fmt"
 
 	"howsim/internal/sim"
+)
+
+// Errors a request can complete with. Completion with an error still
+// fires the request's done signal: waiters always wake, then inspect
+// Err.
+var (
+	// ErrMediaError reports a media error that persisted past the
+	// drive's retry budget (an unrecoverable sector).
+	ErrMediaError = errors.New("disk: unrecoverable media error")
+	// ErrDiskFailed reports that the whole drive has failed; the request
+	// was not (or only partially) serviced and never will be.
+	ErrDiskFailed = errors.New("disk: drive failed")
 )
 
 // Request is one I/O operation against a disk. Offsets and lengths are
@@ -12,6 +25,13 @@ type Request struct {
 	Write  bool
 	Offset int64
 	Length int64
+
+	// Err is the request's completion status: nil on success,
+	// ErrMediaError or ErrDiskFailed otherwise. Valid once Done.
+	Err error
+	// Retries is how many media retries the drive performed before the
+	// request completed (successfully or not).
+	Retries int
 
 	done     *sim.Signal
 	Queued   sim.Time // when the request entered the disk queue
@@ -46,6 +66,45 @@ type Stats struct {
 	TransferTime  sim.Time
 	BusyTime      sim.Time
 	CacheHitBytes int64
+
+	// Fault counters (all zero when no injector is installed).
+	Retries        int64    // media retries performed
+	SlowRequests   int64    // requests hit by an injected latency spike
+	FailedRequests int64    // requests completed with a non-nil error
+	FaultDelay     sim.Time // total service time added by faults
+}
+
+// FaultInjector decides, per request, what faults a drive suffers. The
+// disk consults it once per serviced request with a monotonically
+// increasing sequence number, so implementations can be pure functions
+// of (identity, seq) — the key to deterministic injection. A nil
+// injector (the default) leaves the service path untouched.
+type FaultInjector interface {
+	// RequestFault returns the added latency (zero for none) and the
+	// number of media retries demanded (zero for a clean request) for
+	// the seq-th request serviced by this drive.
+	RequestFault(seq int64) (slowBy sim.Time, mediaRetries int)
+	// FailureTime returns when the whole drive fails permanently, and
+	// whether it fails at all. Consulted once, at installation.
+	FailureTime() (sim.Time, bool)
+}
+
+// RetryPolicy bounds media-error recovery. Each retry costs one full
+// platter revolution (the sector must come around again) plus Backoff.
+type RetryPolicy struct {
+	// MaxRetries is the retry budget; a transient error demanding more
+	// becomes a hard ErrMediaError. Zero means no retries: every media
+	// error is hard.
+	MaxRetries int
+	// Backoff is extra recovery time per retry on top of the
+	// revolution (controller error processing, head re-settle).
+	Backoff sim.Time
+}
+
+// DefaultRetryPolicy mirrors common drive firmware: a handful of
+// re-reads with a small fixed recovery overhead each.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxRetries: 5, Backoff: 500 * sim.Microsecond}
 }
 
 // Disk is a simulated drive: a FIFO request queue served by a single
@@ -72,6 +131,11 @@ type Disk struct {
 	policy  SchedulingPolicy
 	pending []*Request
 	sweepUp bool
+
+	inj    FaultInjector
+	retry  RetryPolicy
+	reqSeq int64
+	failed bool
 }
 
 // SchedulingPolicy selects how queued requests are ordered for service.
@@ -132,6 +196,53 @@ func (d *Disk) Utilization() float64 {
 	return float64(d.stats.BusyTime) / float64(d.k.Now())
 }
 
+// SetFaultInjector installs a fault source and retry policy. Call once,
+// before the simulation runs (a declared whole-disk failure is
+// scheduled here). A nil injector is a no-op.
+func (d *Disk) SetFaultInjector(inj FaultInjector, policy RetryPolicy) {
+	if inj == nil {
+		return
+	}
+	d.inj = inj
+	d.retry = policy
+	if t, ok := inj.FailureTime(); ok {
+		if t < d.k.Now() {
+			t = d.k.Now()
+		}
+		d.k.At(t, d.fail)
+	}
+}
+
+// Failed reports whether the drive has failed permanently.
+func (d *Disk) Failed() bool { return d.failed }
+
+// fail kills the drive: every queued request completes immediately with
+// ErrDiskFailed, the queue closes (the service loop exits after the
+// request it may currently be serving — that in-flight request is the
+// one simplification: it completes normally), and all future Submits
+// fail instantly.
+func (d *Disk) fail() {
+	if d.failed {
+		return
+	}
+	d.failed = true
+	for {
+		v, ok := d.queue.TryGet()
+		if !ok {
+			break
+		}
+		d.pending = append(d.pending, v.(*Request))
+	}
+	for _, req := range d.pending {
+		req.Err = ErrDiskFailed
+		req.Finished = d.k.Now()
+		d.stats.FailedRequests++
+		req.done.Fire()
+	}
+	d.pending = d.pending[:0]
+	d.queue.Close()
+}
+
 // Submit enqueues a request for asynchronous service and returns it;
 // call Wait on the result to block until completion.
 func (d *Disk) Submit(req *Request) *Request {
@@ -147,20 +258,35 @@ func (d *Disk) Submit(req *Request) *Request {
 	}
 	req.done = sim.NewSignal()
 	req.Queued = d.k.Now()
+	if d.failed {
+		req.Err = ErrDiskFailed
+		req.Finished = d.k.Now()
+		d.stats.FailedRequests++
+		req.done.Fire()
+		return req
+	}
 	if !d.queue.TryPut(req) {
 		panic("disk: unbounded queue rejected request")
 	}
 	return req
 }
 
-// Read performs a synchronous read of length bytes at offset.
-func (d *Disk) Read(p *sim.Proc, offset, length int64) {
-	d.Submit(&Request{Offset: offset, Length: length}).Wait(p)
+// Read performs a synchronous read of length bytes at offset. The error
+// is nil on success, ErrMediaError for an unrecoverable sector, or
+// ErrDiskFailed once the drive has died; fault-oblivious callers may
+// ignore it (the request always completes).
+func (d *Disk) Read(p *sim.Proc, offset, length int64) error {
+	req := d.Submit(&Request{Offset: offset, Length: length})
+	req.Wait(p)
+	return req.Err
 }
 
-// Write performs a synchronous write of length bytes at offset.
-func (d *Disk) Write(p *sim.Proc, offset, length int64) {
-	d.Submit(&Request{Write: true, Offset: offset, Length: length}).Wait(p)
+// Write performs a synchronous write of length bytes at offset; the
+// error contract matches Read.
+func (d *Disk) Write(p *sim.Proc, offset, length int64) error {
+	req := d.Submit(&Request{Write: true, Offset: offset, Length: length})
+	req.Wait(p)
+	return req.Err
 }
 
 // Capacity returns the disk's formatted capacity in bytes.
@@ -190,6 +316,9 @@ func (d *Disk) serve(p *sim.Proc) {
 		d.accrueIdlePrefetch(p.Now())
 		req.Started = p.Now()
 		service := d.serviceTime(req)
+		if d.inj != nil {
+			service += d.applyFaults(req)
+		}
 		p.Delay(service)
 		req.Finished = p.Now()
 		d.stats.BusyTime += service
@@ -202,6 +331,34 @@ func (d *Disk) serve(p *sim.Proc) {
 		d.idleSince = p.Now()
 		req.done.Fire()
 	}
+}
+
+// applyFaults consults the injector for the request being serviced and
+// returns the extra service time faults add. A transient media error
+// within the retry budget succeeds after its retries (each costing a
+// revolution plus the policy backoff); one beyond the budget burns the
+// whole budget and completes with ErrMediaError.
+func (d *Disk) applyFaults(req *Request) sim.Time {
+	d.reqSeq++
+	slowBy, retries := d.inj.RequestFault(d.reqSeq)
+	var extra sim.Time
+	if slowBy > 0 {
+		d.stats.SlowRequests++
+		extra += slowBy
+	}
+	if retries > 0 {
+		n := retries
+		if n > d.retry.MaxRetries {
+			n = d.retry.MaxRetries
+			req.Err = ErrMediaError
+			d.stats.FailedRequests++
+		}
+		req.Retries = n
+		d.stats.Retries += int64(n)
+		extra += sim.Time(n) * (d.rotPeriod + d.retry.Backoff)
+	}
+	d.stats.FaultDelay += extra
+	return extra
 }
 
 // nextRequest removes and returns the next request to serve under the

@@ -20,6 +20,7 @@ import (
 	"howsim/internal/bus"
 	"howsim/internal/cpu"
 	"howsim/internal/disk"
+	"howsim/internal/fault"
 	"howsim/internal/osmodel"
 	"howsim/internal/sim"
 )
@@ -204,6 +205,27 @@ func NewSystem(k *sim.Kernel, cfg Config) *System {
 	return s
 }
 
+// InstallFaults applies a fault plan to the system: per-disk injectors
+// (by disk ID) and outage windows matched by name to the FC loops
+// ("fcal0", "fcal1", ...), the front-end adaptor ("fe.fc") and its PCI
+// bus ("fe.pci"). Call before Run. A nil plan is a no-op.
+func (s *System) InstallFaults(plan *fault.Plan) {
+	if plan == nil {
+		return
+	}
+	policy := disk.DefaultRetryPolicy()
+	for _, ad := range s.Disks {
+		if inj := plan.DiskInjector(ad.ID); inj != nil {
+			ad.Disk.SetFaultInjector(inj, policy)
+		}
+	}
+	for _, l := range s.loops {
+		l.SetOutages(plan.OutagesFor(l.Name()))
+	}
+	s.FE.Adaptor.SetOutages(plan.OutagesFor(s.FE.Adaptor.Name()))
+	s.FE.PCI.SetOutages(plan.OutagesFor(s.FE.PCI.Name()))
+}
+
 // groupOf returns the loop group a disk belongs to.
 func (s *System) groupOf(diskID int) int { return diskID / s.perGroup }
 
@@ -269,14 +291,21 @@ func (s *System) ChunkBytes() int64 { return s.chunk }
 
 // ReadLocal reads length bytes at offset from the drive's own media —
 // the defining Active Disk operation: the data never crosses the loop.
-func (ad *ActiveDisk) ReadLocal(p *sim.Proc, offset, length int64) {
-	ad.Disk.Read(p, offset, length)
+// The error is nil on success, disk.ErrMediaError for an unrecoverable
+// sector, or disk.ErrDiskFailed after a drive failure; fault-oblivious
+// disklets may ignore it.
+func (ad *ActiveDisk) ReadLocal(p *sim.Proc, offset, length int64) error {
+	return ad.Disk.Read(p, offset, length)
 }
 
-// WriteLocal writes length bytes at offset to the drive's own media.
-func (ad *ActiveDisk) WriteLocal(p *sim.Proc, offset, length int64) {
-	ad.Disk.Write(p, offset, length)
+// WriteLocal writes length bytes at offset to the drive's own media;
+// the error contract matches ReadLocal.
+func (ad *ActiveDisk) WriteLocal(p *sim.Proc, offset, length int64) error {
+	return ad.Disk.Write(p, offset, length)
 }
+
+// Failed reports whether this drive has failed permanently.
+func (ad *ActiveDisk) Failed() bool { return ad.Disk.Failed() }
 
 // Compute executes cycles on the embedded processor.
 func (ad *ActiveDisk) Compute(p *sim.Proc, cycles int64) {

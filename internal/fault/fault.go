@@ -1,0 +1,331 @@
+// Package fault provides deterministic, seeded fault injection for the
+// simulator. A Plan describes a schedule of faults — transient media
+// errors, latency spikes, a whole-disk failure at a given virtual time,
+// and interconnect outage windows — keyed entirely off the plan seed,
+// the disk identity and the per-disk request sequence number. No wall
+// clock or shared RNG stream is involved, so the same plan against the
+// same workload produces bit-for-bit identical fault schedules and
+// reports, regardless of host, Go version, or how many unrelated
+// simulations ran first.
+package fault
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"howsim/internal/sim"
+)
+
+// Window is a half-open interval [Start, End) of virtual time during
+// which a fault condition holds.
+type Window struct {
+	Start, End sim.Time
+}
+
+// Contains reports whether t falls inside the window.
+func (w Window) Contains(t sim.Time) bool { return t >= w.Start && t < w.End }
+
+// Duration returns the window's length.
+func (w Window) Duration() sim.Time { return w.End - w.Start }
+
+// LinkOutage names an interconnect (a bus or netsim link, e.g. "fcal0")
+// and the window during which it carries no traffic.
+type LinkOutage struct {
+	Name   string
+	Window Window
+}
+
+// Plan is a deterministic fault schedule for one simulation run.
+type Plan struct {
+	// Seed keys every per-request fault decision.
+	Seed uint64
+	// MediaRate is the per-request probability of a transient media
+	// error: the request succeeds after a deterministic number of
+	// retries, or becomes a hard error if that number exceeds the disk's
+	// retry budget.
+	MediaRate float64
+	// SlowRate is the per-request probability of a latency spike
+	// (a stuck head, a thermal recalibration).
+	SlowRate float64
+	// SlowBy is the added service latency for a slow request.
+	SlowBy sim.Time
+	// FailDisk is the index of the disk that fails permanently at
+	// FailAt, or -1 for no disk failure.
+	FailDisk int
+	// FailAt is the virtual time of the permanent disk failure.
+	FailAt sim.Time
+	// Replica declares that each disk's data has a replica on a peer, so
+	// scans may re-issue lost ranges instead of completing degraded.
+	Replica bool
+	// Outages lists interconnect outage windows by link/bus name.
+	Outages []LinkOutage
+}
+
+// NewPlan returns an empty plan (no faults) with the given seed.
+func NewPlan(seed uint64) *Plan {
+	return &Plan{Seed: seed, SlowBy: 50 * sim.Millisecond, FailDisk: -1}
+}
+
+// ParsePlan parses the comma-separated key=value plan syntax used on
+// command lines, e.g.
+//
+//	seed=42,media=0.001,slow=0.0005,slowby=50ms,fail=3@2s,replica,outage=fcal0@1s+200ms
+//
+// Keys: seed=N, media=P (transient media-error probability), slow=P
+// (latency-spike probability), slowby=D (spike size), fail=DISK@T
+// (permanent failure of disk index DISK at time T), replica (declare
+// replicas so scans can recover), outage=NAME@T+D (link NAME down from
+// T for D). Durations use Go syntax (50ms, 2s). outage may repeat.
+func ParsePlan(s string) (*Plan, error) {
+	p := NewPlan(0)
+	if strings.TrimSpace(s) == "" {
+		return p, nil
+	}
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, hasVal := strings.Cut(field, "=")
+		switch key {
+		case "seed":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad seed %q: %v", val, err)
+			}
+			p.Seed = n
+		case "media":
+			f, err := parseProb(val)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad media rate %q: %v", val, err)
+			}
+			p.MediaRate = f
+		case "slow":
+			f, err := parseProb(val)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad slow rate %q: %v", val, err)
+			}
+			p.SlowRate = f
+		case "slowby":
+			d, err := parseDur(val)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad slowby %q: %v", val, err)
+			}
+			p.SlowBy = d
+		case "fail":
+			disk, at, ok := strings.Cut(val, "@")
+			if !ok {
+				return nil, fmt.Errorf("fault: fail wants DISK@TIME, got %q", val)
+			}
+			n, err := strconv.Atoi(disk)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("fault: bad fail disk %q", disk)
+			}
+			t, err := parseDur(at)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad fail time %q: %v", at, err)
+			}
+			p.FailDisk, p.FailAt = n, t
+		case "replica":
+			if hasVal && val != "true" {
+				return nil, fmt.Errorf("fault: replica takes no value, got %q", val)
+			}
+			p.Replica = true
+		case "outage":
+			name, span, ok := strings.Cut(val, "@")
+			if !ok || name == "" {
+				return nil, fmt.Errorf("fault: outage wants NAME@START+DUR, got %q", val)
+			}
+			start, dur, ok := strings.Cut(span, "+")
+			if !ok {
+				return nil, fmt.Errorf("fault: outage wants NAME@START+DUR, got %q", val)
+			}
+			st, err := parseDur(start)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad outage start %q: %v", start, err)
+			}
+			d, err := parseDur(dur)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("fault: bad outage duration %q", dur)
+			}
+			p.Outages = append(p.Outages, LinkOutage{
+				Name:   name,
+				Window: Window{Start: st, End: st + d},
+			})
+		default:
+			return nil, fmt.Errorf("fault: unknown plan key %q", key)
+		}
+	}
+	return p, nil
+}
+
+func parseProb(s string) (float64, error) {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if f < 0 || f > 1 {
+		return 0, fmt.Errorf("probability %v outside [0,1]", f)
+	}
+	return f, nil
+}
+
+func parseDur(s string) (sim.Time, error) {
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, err
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("negative duration %v", d)
+	}
+	return sim.Time(d.Nanoseconds()), nil
+}
+
+// String renders the plan in canonical parseable form (keys in a fixed
+// order, outages sorted), suitable for inclusion in reports that must
+// be byte-identical across runs.
+func (p *Plan) String() string {
+	var parts []string
+	parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
+	if p.MediaRate > 0 {
+		parts = append(parts, "media="+strconv.FormatFloat(p.MediaRate, 'g', -1, 64))
+	}
+	if p.SlowRate > 0 {
+		parts = append(parts, "slow="+strconv.FormatFloat(p.SlowRate, 'g', -1, 64))
+		parts = append(parts, "slowby="+p.SlowBy.Duration().String())
+	}
+	if p.FailDisk >= 0 {
+		parts = append(parts, fmt.Sprintf("fail=%d@%s", p.FailDisk, p.FailAt.Duration()))
+	}
+	if p.Replica {
+		parts = append(parts, "replica")
+	}
+	outs := append([]LinkOutage(nil), p.Outages...)
+	sort.Slice(outs, func(i, j int) bool {
+		if outs[i].Name != outs[j].Name {
+			return outs[i].Name < outs[j].Name
+		}
+		return outs[i].Window.Start < outs[j].Window.Start
+	})
+	for _, o := range outs {
+		parts = append(parts, fmt.Sprintf("outage=%s@%s+%s",
+			o.Name, o.Window.Start.Duration(), o.Window.Duration().Duration()))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Empty reports whether the plan injects no faults at all.
+func (p *Plan) Empty() bool {
+	return p == nil ||
+		(p.MediaRate == 0 && p.SlowRate == 0 && p.FailDisk < 0 && len(p.Outages) == 0)
+}
+
+// OutagesFor returns the outage windows declared for the named link or
+// bus, in start order (nil when there are none).
+func (p *Plan) OutagesFor(name string) []Window {
+	if p == nil {
+		return nil
+	}
+	var ws []Window
+	for _, o := range p.Outages {
+		if o.Name == name {
+			ws = append(ws, o.Window)
+		}
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i].Start < ws[j].Start })
+	return ws
+}
+
+// DiskInjector returns the per-request fault source for the disk with
+// the given index, or nil when the plan holds no per-disk faults for it.
+// The caller must check for nil before storing the result in an
+// interface value.
+func (p *Plan) DiskInjector(diskID int) *DiskInjector {
+	if p == nil {
+		return nil
+	}
+	if p.MediaRate == 0 && p.SlowRate == 0 && p.FailDisk != diskID {
+		return nil
+	}
+	return &DiskInjector{plan: p, diskID: diskID}
+}
+
+// DiskInjector decides, per request, whether a disk suffers a transient
+// media error or a latency spike, and whether (and when) the disk fails
+// permanently. It satisfies the disk package's FaultInjector interface.
+// Every decision is a pure function of (plan seed, disk ID, request
+// sequence number).
+type DiskInjector struct {
+	plan   *Plan
+	diskID int
+}
+
+// Salts separate the independent per-request fault decisions drawn from
+// the same (seed, disk, seq) identity.
+const (
+	saltMedia = 0x6d656469 // "medi"
+	saltRetry = 0x72657472 // "retr"
+	saltSlow  = 0x736c6f77 // "slow"
+)
+
+// RequestFault returns the faults for the seq-th request on this disk:
+// an added service latency (zero if none) and the number of retries a
+// transient media error demands (zero if the read is clean). A retry
+// count above the drive's retry budget becomes a hard media error.
+func (in *DiskInjector) RequestFault(seq int64) (slowBy sim.Time, mediaRetries int) {
+	p := in.plan
+	if p.MediaRate > 0 && hashFloat(p.Seed, uint64(in.diskID), uint64(seq), saltMedia) < p.MediaRate {
+		mediaRetries = retryCount(hash(p.Seed, uint64(in.diskID), uint64(seq), saltRetry))
+	}
+	if p.SlowRate > 0 && hashFloat(p.Seed, uint64(in.diskID), uint64(seq), saltSlow) < p.SlowRate {
+		slowBy = p.SlowBy
+	}
+	return slowBy, mediaRetries
+}
+
+// FailureTime returns the virtual time at which this disk fails
+// permanently, and whether it fails at all.
+func (in *DiskInjector) FailureTime() (sim.Time, bool) {
+	if in.plan.FailDisk == in.diskID {
+		return in.plan.FailAt, true
+	}
+	return 0, false
+}
+
+// retryCount maps a hash to a geometric retry count in [1, 8]: half of
+// media errors clear after one retry, a quarter after two, and so on,
+// with the tail capped so pathological requests stay bounded.
+func retryCount(h uint64) int {
+	n := 1 + bits.TrailingZeros64(h|1<<7)
+	if n > 8 {
+		n = 8
+	}
+	return n
+}
+
+// mix is the splitmix64 finalizer: a fast, well-distributed 64-bit
+// permutation.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hash folds the identity words into one well-mixed 64-bit value.
+func hash(words ...uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, w := range words {
+		h = mix(h ^ w)
+	}
+	return h
+}
+
+// hashFloat maps the identity to a uniform float64 in [0, 1).
+func hashFloat(words ...uint64) float64 {
+	return float64(hash(words...)>>11) / float64(1<<53)
+}

@@ -1,0 +1,187 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"howsim/internal/sim"
+)
+
+func TestParsePlanRoundTrip(t *testing.T) {
+	const in = "seed=42,media=0.001,slow=0.0005,slowby=50ms,fail=3@2s,replica,outage=fcal0@1s+200ms"
+	p, err := ParsePlan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 || p.MediaRate != 0.001 || p.SlowRate != 0.0005 {
+		t.Errorf("parsed rates wrong: %+v", p)
+	}
+	if p.SlowBy != 50*sim.Millisecond {
+		t.Errorf("SlowBy = %v, want 50ms", p.SlowBy)
+	}
+	if p.FailDisk != 3 || p.FailAt != 2*sim.Second {
+		t.Errorf("fail = %d@%v, want 3@2s", p.FailDisk, p.FailAt)
+	}
+	if !p.Replica {
+		t.Error("replica not set")
+	}
+	if len(p.Outages) != 1 || p.Outages[0].Name != "fcal0" ||
+		p.Outages[0].Window != (Window{Start: sim.Second, End: sim.Second + 200*sim.Millisecond}) {
+		t.Errorf("outages = %+v", p.Outages)
+	}
+	// The canonical rendering must itself parse back to an equal plan.
+	q, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatalf("canonical form does not re-parse: %v", err)
+	}
+	if q.String() != p.String() {
+		t.Errorf("round trip changed the plan:\n  %s\n  %s", p.String(), q.String())
+	}
+}
+
+func TestParsePlanEmpty(t *testing.T) {
+	p, err := ParsePlan("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Empty() {
+		t.Errorf("empty string parsed to non-empty plan %+v", p)
+	}
+	if p.DiskInjector(0) != nil {
+		t.Error("empty plan handed out a disk injector")
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	for _, bad := range []string{
+		"seed=x", "media=2", "slow=-1", "slowby=banana",
+		"fail=3", "fail=-1@2s", "outage=fcal0", "outage=fcal0@1s",
+		"replica=no", "wibble=1",
+	} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted invalid input", bad)
+		}
+	}
+}
+
+func TestPlanStringCanonicalOrder(t *testing.T) {
+	p := NewPlan(7)
+	p.Outages = []LinkOutage{
+		{Name: "zeta", Window: Window{Start: sim.Second, End: 2 * sim.Second}},
+		{Name: "alpha", Window: Window{Start: 3 * sim.Second, End: 4 * sim.Second}},
+		{Name: "alpha", Window: Window{Start: sim.Second, End: 2 * sim.Second}},
+	}
+	s := p.String()
+	if !strings.Contains(s, "outage=alpha@1s+1s,outage=alpha@3s+1s,outage=zeta@1s+1s") {
+		t.Errorf("outages not canonically sorted: %s", s)
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	p, err := ParsePlan("seed=99,media=0.01,slow=0.005")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := p.DiskInjector(4), p.DiskInjector(4)
+	if a == nil || b == nil {
+		t.Fatal("plan with media faults returned nil injector")
+	}
+	var faults int
+	for seq := int64(1); seq <= 10_000; seq++ {
+		s1, r1 := a.RequestFault(seq)
+		s2, r2 := b.RequestFault(seq)
+		if s1 != s2 || r1 != r2 {
+			t.Fatalf("injectors for the same identity disagree at seq %d", seq)
+		}
+		if r1 < 0 || r1 > 8 {
+			t.Fatalf("retry count %d outside [0, 8]", r1)
+		}
+		if s1 != 0 && s1 != p.SlowBy {
+			t.Fatalf("slowBy = %v, want 0 or %v", s1, p.SlowBy)
+		}
+		if r1 > 0 || s1 > 0 {
+			faults++
+		}
+	}
+	// ~0.015 of 10k requests should fault; allow a wide deterministic band.
+	if faults < 50 || faults > 500 {
+		t.Errorf("fault count %d implausible for rates 0.01+0.005 over 10k requests", faults)
+	}
+}
+
+func TestInjectorVariesWithSeedAndDisk(t *testing.T) {
+	p1, _ := ParsePlan("seed=1,media=0.01")
+	p2, _ := ParsePlan("seed=2,media=0.01")
+	same, diffSeed, diffDisk := 0, 0, 0
+	const n = 4096
+	for seq := int64(1); seq <= n; seq++ {
+		_, a := p1.DiskInjector(0).RequestFault(seq)
+		_, b := p2.DiskInjector(0).RequestFault(seq)
+		_, c := p1.DiskInjector(1).RequestFault(seq)
+		if a > 0 {
+			same++
+		}
+		if b > 0 {
+			diffSeed++
+		}
+		if c > 0 {
+			diffDisk++
+		}
+		_ = b
+	}
+	if same == 0 {
+		t.Fatal("no faults at media=0.01 over 4096 requests")
+	}
+	// The schedules must not be identical across seeds or disks; compare
+	// the actual fault positions, not just counts.
+	identical := func(qa, qb *DiskInjector) bool {
+		for seq := int64(1); seq <= n; seq++ {
+			_, x := qa.RequestFault(seq)
+			_, y := qb.RequestFault(seq)
+			if (x > 0) != (y > 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if identical(p1.DiskInjector(0), p2.DiskInjector(0)) {
+		t.Error("different seeds produced identical fault schedules")
+	}
+	if identical(p1.DiskInjector(0), p1.DiskInjector(1)) {
+		t.Error("different disks produced identical fault schedules")
+	}
+}
+
+func TestFailureTime(t *testing.T) {
+	p, _ := ParsePlan("fail=2@1s")
+	if in := p.DiskInjector(3); in != nil {
+		if _, ok := in.FailureTime(); ok {
+			t.Error("disk 3 reports a failure time for a plan failing disk 2")
+		}
+	}
+	in := p.DiskInjector(2)
+	if in == nil {
+		t.Fatal("failing disk got no injector")
+	}
+	ft, ok := in.FailureTime()
+	if !ok || ft != sim.Second {
+		t.Errorf("FailureTime = (%v, %v), want (1s, true)", ft, ok)
+	}
+}
+
+func TestOutagesFor(t *testing.T) {
+	p, _ := ParsePlan("outage=l@2s+1s,outage=l@0s+500ms,outage=other@1s+1s")
+	ws := p.OutagesFor("l")
+	if len(ws) != 2 || ws[0].Start != 0 || ws[1].Start != 2*sim.Second {
+		t.Errorf("OutagesFor(l) = %+v, want two windows in start order", ws)
+	}
+	if got := p.OutagesFor("missing"); got != nil {
+		t.Errorf("OutagesFor(missing) = %+v, want nil", got)
+	}
+	if !ws[0].Contains(100 * sim.Millisecond) {
+		t.Error("window does not contain an interior point")
+	}
+	if ws[0].Contains(500 * sim.Millisecond) {
+		t.Error("window contains its half-open end")
+	}
+}

@@ -87,6 +87,24 @@ func (ft *FatTree) Path(src, dst int) []*Link {
 	return []*Link{ft.nodeUp[src], ft.leafUp[ls], ft.leafDown[ld], ft.nodeDown[dst]}
 }
 
+// EachLink calls fn for every link in the topology, in a fixed order
+// (node links first, then trunks) — used to match fault-plan outage
+// windows to links by name.
+func (ft *FatTree) EachLink(fn func(*Link)) {
+	for _, l := range ft.nodeUp {
+		fn(l)
+	}
+	for _, l := range ft.nodeDown {
+		fn(l)
+	}
+	for _, l := range ft.leafUp {
+		fn(l)
+	}
+	for _, l := range ft.leafDown {
+		fn(l)
+	}
+}
+
 // NodeUpLink exposes a node's egress link (for utilization reporting).
 func (ft *FatTree) NodeUpLink(node int) *Link { return ft.nodeUp[node] }
 

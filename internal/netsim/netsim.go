@@ -14,7 +14,9 @@ package netsim
 
 import (
 	"fmt"
+	"sort"
 
+	"howsim/internal/fault"
 	"howsim/internal/sim"
 )
 
@@ -61,6 +63,10 @@ type Link struct {
 
 	bytesMoved int64
 	frames     int64
+
+	outages   []fault.Window // sorted outage windows; nil on the fault-free path
+	stallTime sim.Time
+	dropped   int64 // frames dropped on a closed next-hop queue
 }
 
 // LinkConfig parameterizes a link.
@@ -100,9 +106,46 @@ func (l *Link) BytesMoved() int64 { return l.bytesMoved }
 // Utilization returns the fraction of channel-time in use.
 func (l *Link) Utilization() float64 { return l.pipe.Utilization() }
 
+// SetOutages installs outage windows during which the link transmits
+// nothing: frames already queued wait them out (and so does every frame
+// backed up behind them). An empty slice restores the fault-free path.
+func (l *Link) SetOutages(ws []fault.Window) {
+	if len(ws) == 0 {
+		l.outages = nil
+		return
+	}
+	l.outages = append([]fault.Window(nil), ws...)
+	sort.Slice(l.outages, func(i, j int) bool { return l.outages[i].Start < l.outages[j].Start })
+}
+
+// StallTime returns the total channel-time spent stalled in outages.
+func (l *Link) StallTime() sim.Time { return l.stallTime }
+
+// DroppedFrames returns the frames this link discarded because the next
+// hop's queue had been closed (a downed endpoint).
+func (l *Link) DroppedFrames() int64 { return l.dropped }
+
+// stallForOutage blocks p until no outage window covers the current
+// instant.
+func (l *Link) stallForOutage(p *sim.Proc) {
+	for _, w := range l.outages {
+		now := p.Now()
+		if now < w.Start {
+			return // sorted; later windows can't cover now
+		}
+		if w.Contains(now) {
+			d := w.End - now
+			l.stallTime += d
+			p.Delay(d)
+		}
+	}
+}
+
 // transmit is one channel's server loop: pull a frame, serialize it onto
 // the wire, then hand it to the next hop (blocking if that hop's queue
-// is full — backpressure) or deliver it.
+// is full — backpressure) or deliver it. A frame bound for a closed
+// next-hop queue is dropped and counted, like a packet sent to a dead
+// port: the network stays up, the loss is observable.
 func (l *Link) transmit(p *sim.Proc) {
 	for {
 		v, ok := l.queue.Get(p)
@@ -110,12 +153,17 @@ func (l *Link) transmit(p *sim.Proc) {
 			return
 		}
 		f := v.(*frame)
+		if l.outages != nil {
+			l.stallForOutage(p)
+		}
 		l.pipe.Transfer(p, f.bytes)
 		l.bytesMoved += f.bytes
 		l.frames++
 		f.path = f.path[1:]
 		if len(f.path) > 0 {
-			f.path[0].queue.Put(p, f)
+			if err := f.path[0].queue.Put(p, f); err != nil {
+				l.dropped++
+			}
 			continue
 		}
 		l.net.deliver(p, f)
@@ -221,7 +269,12 @@ func (n *Network) Send(p *sim.Proc, src, dst, tag int, bytes int64, payload any)
 		}
 		remaining -= fb
 		f := &frame{bytes: fb, path: path, msg: m}
-		path[0].queue.Put(p, f)
+		if err := path[0].queue.Put(p, f); err != nil {
+			// First hop is down: the frame is lost at injection. The
+			// message will never be delivered; timeout-aware receivers
+			// observe the loss.
+			path[0].dropped++
+		}
 	}
 	return m
 }

@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // event is a scheduled occurrence: either a kernel-context callback (fn)
 // or the resumption of a parked process (p). Events at equal times fire
@@ -29,6 +32,7 @@ type Kernel struct {
 	limit   Time
 	stopped bool
 	procSeq int
+	procs   []*Proc // every spawned process, for deadlock reporting
 }
 
 // NewKernel returns an empty simulation kernel at time zero.
@@ -47,6 +51,29 @@ func (k *Kernel) Live() int { return k.live }
 // on a resource, mailbox, barrier or condition (that is, with no pending
 // timer). A nonzero value after Run returns indicates a deadlock.
 func (k *Kernel) Blocked() int { return k.blocked }
+
+// DeadlockReport describes every process currently parked on a blocking
+// primitive: its name and the wait site (operation and primitive name).
+// It returns "" when no process is blocked. Call it after Run returns to
+// turn a silent hang into an actionable message — the event queue
+// draining while processes are still parked is a deadlock.
+func (k *Kernel) DeadlockReport() string {
+	if k.blocked == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "deadlock: %d process(es) parked with no pending wake:", k.blocked)
+	for _, p := range k.procs {
+		if p.finished || p.waitOp == "" {
+			continue
+		}
+		fmt.Fprintf(&sb, "\n  %s: %s", p.name, p.waitOp)
+		if p.waitObj != "" {
+			fmt.Fprintf(&sb, " on %q", p.waitObj)
+		}
+	}
+	return sb.String()
+}
 
 // schedule enqueues an event at absolute time t. Events for the current
 // instant take the FIFO fast lane (no heap work); future events go into
@@ -137,6 +164,22 @@ type Proc struct {
 	// lets the waiter queue hold plain values instead of allocating a
 	// per-wait record.
 	granted bool
+	// waitSeq is the process's wait token. Entries in waiter queues carry
+	// the token current when they enqueued; any waker (a grant or a
+	// timeout) increments it before scheduling the wake, which both marks
+	// other queued entries for this process stale and guarantees at most
+	// one wake per wait — the arbitration that makes timed waits safe
+	// when a grant and an expiry land on the same timestamp.
+	waitSeq uint64
+	// timedOut is set by a timeout wake so the resumed process can tell
+	// expiry apart from a grant.
+	timedOut bool
+	// waitObj/waitOp describe the current blocking wait site (primitive
+	// name and operation) for deadlock reporting. Both are empty while
+	// the process is runnable or sleeping on a timer. Two fields instead
+	// of one formatted string keep the park path allocation-free.
+	waitObj string
+	waitOp  string
 }
 
 // Name returns the name the process was spawned with.
@@ -158,6 +201,21 @@ func (k *Kernel) Spawn(name string, body func(*Proc)) *Proc {
 	k.procSeq++
 	p := &Proc{name: name, id: k.procSeq, k: k, resume: make(chan struct{})}
 	k.live++
+	if len(k.procs) >= 64 && len(k.procs) >= 2*k.live {
+		// Mostly-finished registry: compact so long runs that spawn
+		// short-lived processes don't accumulate dead entries.
+		live := k.procs[:0]
+		for _, q := range k.procs {
+			if !q.finished {
+				live = append(live, q)
+			}
+		}
+		for i := len(live); i < len(k.procs); i++ {
+			k.procs[i] = nil
+		}
+		k.procs = live
+	}
+	k.procs = append(k.procs, p)
 	go func() {
 		<-p.resume
 		body(p)
@@ -182,11 +240,14 @@ func (p *Proc) park() {
 }
 
 // parkBlocked is park for processes waiting on a condition rather than a
-// timer; it maintains the kernel's blocked count for deadlock reporting.
-func (p *Proc) parkBlocked() {
+// timer; it maintains the kernel's blocked count and records the wait
+// site (obj may be empty for unnamed primitives) for deadlock reporting.
+func (p *Proc) parkBlocked(obj, op string) {
+	p.waitObj, p.waitOp = obj, op
 	p.k.blocked++
 	p.park()
 	p.k.blocked--
+	p.waitObj, p.waitOp = "", ""
 }
 
 // wake schedules p to resume at the current virtual time (via the

@@ -8,10 +8,48 @@ func wakeAll(q *fifo[*Proc]) {
 	}
 }
 
-// wakeFirst wakes the longest-parked process in q, if any.
-func wakeFirst(q *fifo[*Proc]) {
-	if q.len() > 0 {
-		q.pop().wake()
+// waiter is one parked process plus the wait token that was current when
+// it enqueued. An entry whose token no longer matches the process's is
+// stale — the process was woken by a timeout (or an earlier grant) and
+// has left this wait — and wakers skip it. Stored by value; enqueueing
+// never allocates.
+type waiter struct {
+	p   *Proc
+	seq uint64
+}
+
+// enqueue records p in q with its current wait token.
+func enqueue(q *fifo[waiter], p *Proc) {
+	q.push(waiter{p: p, seq: p.waitSeq})
+}
+
+// claim consumes w's wait token, reporting whether the entry was still
+// live. A successful claim invalidates every other pending wake source
+// for this wait (stale queue entries, a pending timeout).
+func (w waiter) claim() bool {
+	if w.p.waitSeq != w.seq {
+		return false
+	}
+	w.p.waitSeq++
+	return true
+}
+
+// wakeAllWaiters wakes every live process parked in q, in FIFO order.
+func wakeAllWaiters(q *fifo[waiter]) {
+	for q.len() > 0 {
+		if w := q.pop(); w.claim() {
+			w.p.wake()
+		}
+	}
+}
+
+// wakeFirstWaiter wakes the longest-parked live process in q, if any.
+func wakeFirstWaiter(q *fifo[waiter]) {
+	for q.len() > 0 {
+		if w := q.pop(); w.claim() {
+			w.p.wake()
+			return
+		}
 	}
 }
 
@@ -24,8 +62,8 @@ type Mailbox struct {
 	name     string
 	capacity int
 	items    fifo[any]
-	getters  fifo[*Proc]
-	putters  fifo[*Proc]
+	getters  fifo[waiter]
+	putters  fifo[waiter]
 	puts     int64
 	gets     int64
 	closed   bool
@@ -52,18 +90,20 @@ func (m *Mailbox) Gets() int64 { return m.gets }
 func (m *Mailbox) Closed() bool { return m.closed }
 
 // Put enqueues v, blocking while a bounded mailbox is full. Putting to a
-// closed mailbox panics.
-func (m *Mailbox) Put(p *Proc, v any) {
+// closed mailbox returns ErrClosed (the message is not enqueued) — a
+// condition callers model as a dead endpoint, not a programming error.
+func (m *Mailbox) Put(p *Proc, v any) error {
 	for m.capacity > 0 && m.items.len() >= m.capacity && !m.closed {
-		m.putters.push(p)
-		p.parkBlocked()
+		enqueue(&m.putters, p)
+		p.parkBlocked(m.name, "put")
 	}
 	if m.closed {
-		panic("sim: put on closed mailbox " + m.name)
+		return ErrClosed
 	}
 	m.items.push(v)
 	m.puts++
-	wakeFirst(&m.getters)
+	wakeFirstWaiter(&m.getters)
+	return nil
 }
 
 // TryPut enqueues v if the mailbox has room, reporting success.
@@ -73,7 +113,7 @@ func (m *Mailbox) TryPut(v any) bool {
 	}
 	m.items.push(v)
 	m.puts++
-	wakeFirst(&m.getters)
+	wakeFirstWaiter(&m.getters)
 	return true
 }
 
@@ -82,16 +122,54 @@ func (m *Mailbox) TryPut(v any) bool {
 // otherwise it returns (msg, true).
 func (m *Mailbox) Get(p *Proc) (any, bool) {
 	for m.items.len() == 0 && !m.closed {
-		m.getters.push(p)
-		p.parkBlocked()
+		enqueue(&m.getters, p)
+		p.parkBlocked(m.name, "get")
 	}
 	if m.items.len() == 0 {
 		return nil, false
 	}
 	v := m.items.pop()
 	m.gets++
-	wakeFirst(&m.putters)
+	wakeFirstWaiter(&m.putters)
 	return v, true
+}
+
+// GetTimeout is Get with a deadline d from now. It returns ErrTimeout if
+// no message arrives in time and ErrClosed if the mailbox closes (and
+// drains) first. When a message and the expiry land on the same
+// timestamp, event order decides — whichever wake was scheduled first
+// wins, and the loser's wake is suppressed, so the outcome is
+// deterministic and the process is woken exactly once.
+func (m *Mailbox) GetTimeout(p *Proc, d Time) (any, error) {
+	deadline := p.k.now + d
+	for m.items.len() == 0 && !m.closed {
+		remaining := deadline - p.k.now
+		if remaining <= 0 {
+			return nil, ErrTimeout
+		}
+		seq := p.waitSeq
+		t := p.k.NewTimer(remaining, func() {
+			if p.waitSeq == seq {
+				p.waitSeq++
+				p.timedOut = true
+				p.wake()
+			}
+		})
+		enqueue(&m.getters, p)
+		p.parkBlocked(m.name, "get")
+		if p.timedOut {
+			p.timedOut = false
+			return nil, ErrTimeout
+		}
+		t.Stop()
+	}
+	if m.items.len() == 0 {
+		return nil, ErrClosed
+	}
+	v := m.items.pop()
+	m.gets++
+	wakeFirstWaiter(&m.putters)
+	return v, nil
 }
 
 // TryGet dequeues a message without blocking, reporting success.
@@ -101,7 +179,7 @@ func (m *Mailbox) TryGet() (any, bool) {
 	}
 	v := m.items.pop()
 	m.gets++
-	wakeFirst(&m.putters)
+	wakeFirstWaiter(&m.putters)
 	return v, true
 }
 
@@ -112,8 +190,8 @@ func (m *Mailbox) Close() {
 		return
 	}
 	m.closed = true
-	wakeAll(&m.getters)
-	wakeAll(&m.putters)
+	wakeAllWaiters(&m.getters)
+	wakeAllWaiters(&m.putters)
 }
 
 // Barrier blocks a fixed-size group of processes until all have arrived,
@@ -153,7 +231,7 @@ func (b *Barrier) Wait(p *Proc) {
 	}
 	b.waiters.push(p)
 	for b.gen == gen {
-		p.parkBlocked()
+		p.parkBlocked(b.name, "barrier")
 	}
 }
 
@@ -183,7 +261,7 @@ func (s *Signal) Fire() {
 func (s *Signal) Wait(p *Proc) {
 	for !s.fired {
 		s.waiters.push(p)
-		p.parkBlocked()
+		p.parkBlocked("", "signal")
 	}
 }
 
@@ -218,6 +296,6 @@ func (wg *WaitGroup) Count() int { return wg.count }
 func (wg *WaitGroup) Wait(p *Proc) {
 	for wg.count > 0 {
 		wg.waiters.push(p)
-		p.parkBlocked()
+		p.parkBlocked("", "waitgroup")
 	}
 }

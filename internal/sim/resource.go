@@ -26,10 +26,13 @@ type Resource struct {
 // resWaiter records one parked acquisition. It is stored by value in the
 // resource's waiter queue; the grant flag lives on the Proc (a process
 // waits on at most one resource at a time), so enqueueing never
-// allocates.
+// allocates. seq is the process's wait token at enqueue time: a timed-out
+// waiter invalidates its entry by bumping the token, and admit skips the
+// stale entry instead of granting to a process that has left.
 type resWaiter struct {
 	p      *Proc
 	amount int64
+	seq    uint64
 }
 
 // NewResource creates a resource with the given capacity (units are
@@ -89,10 +92,53 @@ func (r *Resource) Acquire(p *Proc, amount int64) {
 		return
 	}
 	p.granted = false
-	r.waiters.push(resWaiter{p: p, amount: amount})
+	r.waiters.push(resWaiter{p: p, amount: amount, seq: p.waitSeq})
 	for !p.granted {
-		p.parkBlocked()
+		p.parkBlocked(r.name, "acquire")
 	}
+}
+
+// AcquireTimeout is Acquire with a deadline d from now: it returns nil
+// once the units are claimed, or ErrTimeout if the grant does not arrive
+// in time (no units are held in that case). A grant and the expiry
+// landing on the same timestamp are arbitrated by event order — exactly
+// one wins, deterministically — and a timed-out waiter at the head of
+// the FIFO queue does not keep blocking the waiters behind it.
+func (r *Resource) AcquireTimeout(p *Proc, amount int64, d Time) error {
+	if amount <= 0 {
+		return nil
+	}
+	if amount > r.capacity {
+		panic(fmt.Sprintf("sim: acquire %d exceeds capacity %d of %s", amount, r.capacity, r.name))
+	}
+	if r.waiters.len() == 0 && r.inUse+amount <= r.capacity {
+		r.account()
+		r.inUse += amount
+		r.grants++
+		return nil
+	}
+	p.granted = false
+	seq := p.waitSeq
+	t := r.k.NewTimer(d, func() {
+		if p.waitSeq == seq && !p.granted {
+			p.waitSeq++
+			p.timedOut = true
+			p.wake()
+		}
+	})
+	r.waiters.push(resWaiter{p: p, amount: amount, seq: seq})
+	for !p.granted {
+		p.parkBlocked(r.name, "acquire")
+		if p.timedOut {
+			p.timedOut = false
+			// Our (now stale) entry may sit at the head of the queue;
+			// re-run admission so later waiters are not blocked behind it.
+			r.admit()
+			return ErrTimeout
+		}
+	}
+	t.Stop()
+	return nil
 }
 
 // TryAcquire claims amount units if they are immediately available and
@@ -126,13 +172,19 @@ func (r *Resource) Release(amount int64) {
 
 func (r *Resource) admit() {
 	for r.waiters.len() > 0 {
-		if r.inUse+r.waiters.peek().amount > r.capacity {
+		head := r.waiters.peek()
+		if head.p.waitSeq != head.seq {
+			r.waiters.pop() // stale: the waiter timed out and left
+			continue
+		}
+		if r.inUse+head.amount > r.capacity {
 			return
 		}
 		w := r.waiters.pop()
 		r.inUse += w.amount
 		r.grants++
 		w.p.granted = true
+		w.p.waitSeq++
 		w.p.wake()
 	}
 }

@@ -83,23 +83,24 @@ func (b *Breakdown) String() string {
 	return sb.String()
 }
 
-// Timer attributes a process's elapsed virtual time to breakdown
+// PhaseTimer attributes a process's elapsed virtual time to breakdown
 // buckets. Between Mark calls, time accrues to the current bucket.
-type Timer struct {
+// (Distinct from Timer, the kernel's cancellable one-shot alarm.)
+type PhaseTimer struct {
 	p       *Proc
 	b       *Breakdown
 	current string
 	since   Time
 }
 
-// NewTimer starts attributing p's time to the named bucket of b.
-func NewTimer(p *Proc, b *Breakdown, bucket string) *Timer {
-	return &Timer{p: p, b: b, current: bucket, since: p.Now()}
+// NewPhaseTimer starts attributing p's time to the named bucket of b.
+func NewPhaseTimer(p *Proc, b *Breakdown, bucket string) *PhaseTimer {
+	return &PhaseTimer{p: p, b: b, current: bucket, since: p.Now()}
 }
 
 // Mark closes the current bucket at the current time and switches
 // attribution to the named bucket.
-func (t *Timer) Mark(bucket string) {
+func (t *PhaseTimer) Mark(bucket string) {
 	now := t.p.Now()
 	t.b.Add(t.current, now-t.since)
 	t.current = bucket
@@ -107,7 +108,7 @@ func (t *Timer) Mark(bucket string) {
 }
 
 // Stop closes the current bucket. The timer must not be used afterwards.
-func (t *Timer) Stop() {
+func (t *PhaseTimer) Stop() {
 	t.b.Add(t.current, t.p.Now()-t.since)
 	t.current = ""
 }

@@ -61,7 +61,7 @@ func TestTimerAttributesElapsedTime(t *testing.T) {
 	k := NewKernel()
 	b := NewBreakdown()
 	k.Spawn("w", func(p *Proc) {
-		tm := NewTimer(p, b, "phase1")
+		tm := NewPhaseTimer(p, b, "phase1")
 		p.Delay(2 * Second)
 		tm.Mark("phase2")
 		p.Delay(3 * Second)

@@ -1,0 +1,318 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGetTimeoutDelivery(t *testing.T) {
+	k := NewKernel()
+	m := NewMailbox(k, "m", 0)
+	var got any
+	var err error
+	k.Spawn("producer", func(p *Proc) {
+		p.Delay(Millisecond)
+		m.Put(p, 7)
+	})
+	k.Spawn("consumer", func(p *Proc) {
+		got, err = m.GetTimeout(p, 5*Millisecond)
+	})
+	k.Run()
+	if err != nil || got != 7 {
+		t.Fatalf("GetTimeout = (%v, %v), want (7, nil)", got, err)
+	}
+}
+
+func TestGetTimeoutExpiry(t *testing.T) {
+	k := NewKernel()
+	m := NewMailbox(k, "m", 0)
+	var err error
+	var at Time
+	k.Spawn("consumer", func(p *Proc) {
+		_, err = m.GetTimeout(p, 2*Millisecond)
+		at = p.Now()
+	})
+	k.Run()
+	if err != ErrTimeout {
+		t.Fatalf("GetTimeout err = %v, want ErrTimeout", err)
+	}
+	if at != 2*Millisecond {
+		t.Errorf("timed out at %v, want 2ms", at)
+	}
+}
+
+func TestGetTimeoutClosed(t *testing.T) {
+	k := NewKernel()
+	m := NewMailbox(k, "m", 0)
+	var err error
+	k.Spawn("closer", func(p *Proc) {
+		p.Delay(Millisecond)
+		m.Close()
+	})
+	k.Spawn("consumer", func(p *Proc) {
+		_, err = m.GetTimeout(p, 5*Millisecond)
+	})
+	k.Run()
+	if err != ErrClosed {
+		t.Fatalf("GetTimeout err = %v, want ErrClosed", err)
+	}
+}
+
+// TestGetTimeoutRaceGrantFirst pins the same-timestamp arbitration: the
+// producer's wake event is scheduled before the consumer's timer (the
+// producer spawns first), so at the shared expiry instant the message
+// wins and the timeout is suppressed.
+func TestGetTimeoutRaceGrantFirst(t *testing.T) {
+	k := NewKernel()
+	m := NewMailbox(k, "m", 0)
+	var got any
+	var err error
+	k.Spawn("producer", func(p *Proc) {
+		p.Delay(Millisecond) // resume event enqueued before the timer
+		m.Put(p, "msg")
+	})
+	k.Spawn("consumer", func(p *Proc) {
+		got, err = m.GetTimeout(p, Millisecond)
+	})
+	k.Run()
+	if err != nil || got != "msg" {
+		t.Fatalf("GetTimeout = (%v, %v), want (msg, nil): grant scheduled first must win", got, err)
+	}
+}
+
+// TestGetTimeoutRaceExpiryFirst is the mirror ordering: the consumer
+// spawns first, so its timer event precedes the producer's wake at the
+// shared instant and the wait times out; the message stays queued for a
+// later reader instead of being lost or double-delivered.
+func TestGetTimeoutRaceExpiryFirst(t *testing.T) {
+	k := NewKernel()
+	m := NewMailbox(k, "m", 0)
+	var err error
+	k.Spawn("consumer", func(p *Proc) {
+		_, err = m.GetTimeout(p, Millisecond) // timer enqueued before the producer's resume
+	})
+	k.Spawn("producer", func(p *Proc) {
+		p.Delay(Millisecond)
+		m.Put(p, "msg")
+	})
+	k.Run()
+	if err != ErrTimeout {
+		t.Fatalf("GetTimeout err = %v, want ErrTimeout: expiry scheduled first must win", err)
+	}
+	if m.Len() != 1 {
+		t.Errorf("mailbox holds %d messages, want 1 (put after expiry must not vanish)", m.Len())
+	}
+}
+
+// TestGetTimeoutStaleWaiterSkipped: after a timed-out getter leaves, a
+// subsequent Put must wake the next live getter, not the stale queue
+// entry.
+func TestGetTimeoutStaleWaiterSkipped(t *testing.T) {
+	k := NewKernel()
+	m := NewMailbox(k, "m", 0)
+	var timedOut, delivered bool
+	k.Spawn("impatient", func(p *Proc) {
+		_, err := m.GetTimeout(p, Millisecond)
+		timedOut = err == ErrTimeout
+		// Park on something else; a misdirected wake would resume us here.
+		NewSignal().Wait(p)
+	})
+	k.Spawn("patient", func(p *Proc) {
+		v, ok := m.Get(p)
+		delivered = ok && v == 42
+	})
+	k.Spawn("producer", func(p *Proc) {
+		p.Delay(2 * Millisecond)
+		m.Put(p, 42)
+	})
+	k.Run()
+	if !timedOut {
+		t.Fatal("impatient getter did not time out")
+	}
+	if !delivered {
+		t.Fatal("patient getter did not receive the message (stale waiter consumed the wake)")
+	}
+}
+
+func TestAcquireTimeoutGrant(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "r", 1)
+	var err error
+	var at Time
+	k.Spawn("holder", func(p *Proc) {
+		r.Acquire(p, 1)
+		p.Delay(Millisecond)
+		r.Release(1)
+	})
+	k.Spawn("waiter", func(p *Proc) {
+		err = r.AcquireTimeout(p, 1, 5*Millisecond)
+		at = p.Now()
+	})
+	k.Run()
+	if err != nil {
+		t.Fatalf("AcquireTimeout err = %v, want nil", err)
+	}
+	if at != Millisecond {
+		t.Errorf("granted at %v, want 1ms", at)
+	}
+}
+
+func TestAcquireTimeoutExpiryHoldsNoUnits(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "r", 1)
+	var err error
+	k.Spawn("holder", func(p *Proc) {
+		r.Acquire(p, 1)
+		p.Delay(10 * Millisecond)
+		r.Release(1)
+	})
+	k.Spawn("waiter", func(p *Proc) {
+		err = r.AcquireTimeout(p, 1, Millisecond)
+	})
+	k.Run()
+	if err != ErrTimeout {
+		t.Fatalf("AcquireTimeout err = %v, want ErrTimeout", err)
+	}
+	if r.InUse() != 0 {
+		t.Errorf("resource in use = %d after run, want 0 (timed-out waiter must hold nothing)", r.InUse())
+	}
+}
+
+// TestAcquireTimeoutRaceReleaseFirst: the release lands at the waiter's
+// exact deadline with the release event scheduled first — the grant must
+// win and the expiry be suppressed.
+func TestAcquireTimeoutRaceReleaseFirst(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "r", 1)
+	var err error
+	k.Spawn("holder", func(p *Proc) {
+		r.Acquire(p, 1)
+		p.Delay(Millisecond) // resume (and Release) enqueued before the waiter's timer
+		r.Release(1)
+	})
+	k.Spawn("waiter", func(p *Proc) {
+		err = r.AcquireTimeout(p, 1, Millisecond)
+	})
+	k.Run()
+	if err != nil {
+		t.Fatalf("AcquireTimeout err = %v, want nil: release scheduled first must grant", err)
+	}
+	if r.InUse() != 1 {
+		t.Errorf("resource in use = %d, want 1 (grant must be held)", r.InUse())
+	}
+}
+
+// TestAcquireTimeoutRaceExpiryFirst is the mirror ordering: the waiter's
+// timer precedes the release at the shared instant, so the wait times
+// out and the released unit stays free.
+func TestAcquireTimeoutRaceExpiryFirst(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "r", 1)
+	var err error
+	k.Spawn("early", func(p *Proc) {
+		r.Acquire(p, 1) // at t=0, then the waiter below queues its timer
+	})
+	k.Spawn("waiter", func(p *Proc) {
+		err = r.AcquireTimeout(p, 1, Millisecond) // timer enqueued first
+	})
+	k.Spawn("releaser", func(p *Proc) {
+		p.Delay(Millisecond)
+		r.Release(1)
+	})
+	k.Run()
+	if err != ErrTimeout {
+		t.Fatalf("AcquireTimeout err = %v, want ErrTimeout: expiry scheduled first must win", err)
+	}
+	if r.InUse() != 0 {
+		t.Errorf("resource in use = %d, want 0 (suppressed grant must not leak units)", r.InUse())
+	}
+}
+
+// TestAcquireTimeoutHeadOfLine: a timed-out waiter at the head of the
+// FIFO queue must not keep blocking the waiters behind it.
+func TestAcquireTimeoutHeadOfLine(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "r", 2)
+	var bigErr, smallErr error
+	var smallAt Time
+	k.Spawn("holder", func(p *Proc) {
+		r.Acquire(p, 2)
+		p.Delay(3 * Millisecond)
+		r.Release(1)
+	})
+	k.Spawn("big", func(p *Proc) {
+		bigErr = r.AcquireTimeout(p, 2, Millisecond) // times out at 1ms, stale head
+	})
+	k.Spawn("small", func(p *Proc) {
+		smallErr = r.AcquireTimeout(p, 1, 10*Millisecond)
+		smallAt = p.Now()
+	})
+	k.Run()
+	if bigErr != ErrTimeout {
+		t.Fatalf("big waiter err = %v, want ErrTimeout", bigErr)
+	}
+	if smallErr != nil {
+		t.Fatalf("small waiter err = %v, want nil (stale head must not block it)", smallErr)
+	}
+	if smallAt != 3*Millisecond {
+		t.Errorf("small waiter granted at %v, want 3ms", smallAt)
+	}
+}
+
+func TestTimerFiresAndStops(t *testing.T) {
+	k := NewKernel()
+	var fired int
+	tm := k.NewTimer(Millisecond, func() { fired++ })
+	stopped := k.NewTimer(2*Millisecond, func() { fired += 100 })
+	k.Spawn("stopper", func(p *Proc) {
+		p.Delay(Millisecond)
+		if !stopped.Stop() {
+			t.Error("Stop on a pending timer reported not-pending")
+		}
+	})
+	k.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 (stopped timer must not fire)", fired)
+	}
+	if !tm.Fired() {
+		t.Error("elapsed timer reports Fired() = false")
+	}
+	if stopped.Fired() {
+		t.Error("stopped timer reports Fired() = true")
+	}
+	if tm.Stop() {
+		t.Error("Stop after firing reported still-pending")
+	}
+}
+
+func TestDeadlockReport(t *testing.T) {
+	k := NewKernel()
+	m := NewMailbox(k, "stuck.queue", 0)
+	r := NewResource(k, "stuck.bus", 1)
+	k.Spawn("reader", func(p *Proc) {
+		m.Get(p) // never satisfied
+	})
+	k.Spawn("grabber", func(p *Proc) {
+		r.Acquire(p, 1)
+		r.Acquire(p, 1) // deadlocks: already holds the only unit
+	})
+	k.Run()
+	if k.Blocked() != 2 {
+		t.Fatalf("Blocked() = %d, want 2", k.Blocked())
+	}
+	rep := k.DeadlockReport()
+	for _, want := range []string{"reader", `get on "stuck.queue"`, "grabber", `acquire on "stuck.bus"`} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("deadlock report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestDeadlockReportEmptyWhenClean(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("fine", func(p *Proc) { p.Delay(Millisecond) })
+	k.Run()
+	if rep := k.DeadlockReport(); rep != "" {
+		t.Fatalf("clean run produced a deadlock report: %s", rep)
+	}
+}

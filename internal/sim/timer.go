@@ -1,0 +1,47 @@
+package sim
+
+// Timer is a cancellable one-shot virtual-time alarm. Because kernel
+// events are stored by value and cannot be removed from the event queue,
+// cancellation is a flag: the scheduled event still fires, but a stopped
+// timer's callback is suppressed. Timers back the kernel's timed waits
+// (Mailbox.GetTimeout, Resource.AcquireTimeout) and are available to any
+// model that needs a watchdog.
+type Timer struct {
+	fn     func()
+	active bool
+	fired  bool
+}
+
+// NewTimer schedules fn to run in kernel context d from now, unless the
+// timer is stopped first. A non-positive d fires at the current instant
+// (after events already scheduled there).
+func (k *Kernel) NewTimer(d Time, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	t := &Timer{fn: fn, active: true}
+	k.At(k.now+d, t.fire)
+	return t
+}
+
+func (t *Timer) fire() {
+	if !t.active {
+		return
+	}
+	t.active = false
+	t.fired = true
+	if t.fn != nil {
+		t.fn()
+	}
+}
+
+// Stop cancels the timer, reporting whether it was still pending (false
+// means it had already fired or was stopped before).
+func (t *Timer) Stop() bool {
+	was := t.active
+	t.active = false
+	return was
+}
+
+// Fired reports whether the timer's callback ran.
+func (t *Timer) Fired() bool { return t.fired }

@@ -20,6 +20,7 @@ import (
 	"howsim/internal/bus"
 	"howsim/internal/cpu"
 	"howsim/internal/disk"
+	"howsim/internal/fault"
 	"howsim/internal/osmodel"
 	"howsim/internal/sim"
 )
@@ -74,7 +75,35 @@ type Machine struct {
 	OS    osmodel.Costs
 
 	blockXferBytes int64
+
+	replica      bool  // each disk's data has a copy on the next disk
+	replicaBytes int64 // bytes re-read from replicas after failures
 }
+
+// InstallFaults applies a fault plan to the machine: per-disk injectors
+// (by disk index), outage windows matched to the interconnects by name
+// ("smp.fc", "smp.xio", "smp.ic"), and the replica declaration used by
+// striped reads to recover from a failed member. Call before Run. A nil
+// plan is a no-op.
+func (m *Machine) InstallFaults(plan *fault.Plan) {
+	if plan == nil {
+		return
+	}
+	policy := disk.DefaultRetryPolicy()
+	for i, d := range m.Disks {
+		if inj := plan.DiskInjector(i); inj != nil {
+			d.SetFaultInjector(inj, policy)
+		}
+	}
+	m.FC.SetOutages(plan.OutagesFor(m.FC.Name()))
+	m.XIO.SetOutages(plan.OutagesFor(m.XIO.Name()))
+	m.Interconnect.SetOutages(plan.OutagesFor(m.Interconnect.Name()))
+	m.replica = plan.Replica
+}
+
+// ReplicaBytes reports the bytes striped reads recovered from replica
+// members after request failures.
+func (m *Machine) ReplicaBytes() int64 { return m.replicaBytes }
 
 // New builds an SMP machine on k.
 func New(k *sim.Kernel, cfg Config) *Machine {
@@ -160,11 +189,16 @@ func (s *Stripe) Disks() int { return len(s.disks) }
 // rw performs one striped request of length bytes at logical offset,
 // fanning 64 KB chunks to the member disks and charging the shared I/O
 // path, the issuing processor's OS costs, and the device-driver queue.
-func (s *Stripe) rw(p *sim.Proc, c *cpu.CPU, offset, length int64, write bool) {
+// A chunk that fails (media error, failed member) is re-issued to the
+// next stripe member when the machine has replicas declared — the
+// replica layout mirrors the primary at identical offsets on the peer —
+// and counts toward the returned lost-byte total otherwise.
+func (s *Stripe) rw(p *sim.Proc, c *cpu.CPU, offset, length int64, write bool) (lost int64) {
 	m := s.m
 	c.Busy(p, m.OS.ReadWriteCall)
 	nchunks := (length + s.chunk - 1) / s.chunk
 	reqs := make([]*disk.Request, 0, nchunks)
+	members := make([]int, 0, nchunks)
 	for i := int64(0); i < nchunks; i++ {
 		logical := offset + i*s.chunk
 		stripeRow := logical / (s.chunk * int64(len(s.disks)))
@@ -182,24 +216,41 @@ func (s *Stripe) rw(p *sim.Proc, c *cpu.CPU, offset, length int64, write bool) {
 		reqs = append(reqs, m.Disks[s.disks[member]].Submit(&disk.Request{
 			Write: write, Offset: diskOff, Length: n,
 		}))
+		members = append(members, member)
 	}
-	for _, r := range reqs {
+	for i, r := range reqs {
 		r.Wait(p)
+		if r.Err == nil {
+			continue
+		}
+		if m.replica && len(s.disks) > 1 {
+			rep := m.Disks[s.disks[(members[i]+1)%len(s.disks)]]
+			rr := rep.Submit(&disk.Request{Write: r.Write, Offset: r.Offset, Length: r.Length})
+			rr.Wait(p)
+			if rr.Err == nil {
+				m.replicaBytes += r.Length
+				continue
+			}
+		}
+		lost += r.Length
 	}
 	// Payload crosses the shared FC loop and XIO once.
 	m.diskPath(p, length)
 	c.Busy(p, m.OS.Interrupt)
+	return lost
 }
 
 // Read performs a striped read of length bytes at offset on behalf of
-// processor c.
-func (s *Stripe) Read(p *sim.Proc, c *cpu.CPU, offset, length int64) {
-	s.rw(p, c, offset, length, false)
+// processor c. It returns the bytes that could not be read from either
+// the primary member or (when declared) its replica — zero in a healthy
+// farm.
+func (s *Stripe) Read(p *sim.Proc, c *cpu.CPU, offset, length int64) int64 {
+	return s.rw(p, c, offset, length, false)
 }
 
-// Write performs a striped write.
-func (s *Stripe) Write(p *sim.Proc, c *cpu.CPU, offset, length int64) {
-	s.rw(p, c, offset, length, true)
+// Write performs a striped write; the lost-byte contract matches Read.
+func (s *Stripe) Write(p *sim.Proc, c *cpu.CPU, offset, length int64) int64 {
+	return s.rw(p, c, offset, length, true)
 }
 
 // BlockQueue is the shared self-scheduling work queue the paper uses
@@ -256,10 +307,12 @@ func (m *Machine) NewRemoteQueue(name string, capacity int) *RemoteQueue {
 }
 
 // Enqueue block-transfers bytes into the remote queue and deposits the
-// descriptor.
-func (q *RemoteQueue) Enqueue(p *sim.Proc, bytes int64, payload any) {
+// descriptor. It returns sim.ErrClosed when the receiver has closed the
+// queue (the descriptor is dropped, as a one-way write to a retired
+// queue would be).
+func (q *RemoteQueue) Enqueue(p *sim.Proc, bytes int64, payload any) error {
 	q.m.BlockTransfer(p, bytes)
-	q.mb.Put(p, payload)
+	return q.mb.Put(p, payload)
 }
 
 // Dequeue blocks until a descriptor is available.

@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FaultReport summarizes one faulted run: what the plan injected, how
+// the stack recovered, and what it cost. Every field is derived from
+// deterministic simulation state, so rendering the report for the same
+// plan seed and workload is byte-for-byte reproducible — the property
+// the fault-injection determinism test asserts.
+type FaultReport struct {
+	Plan   string // canonical plan string (fault.Plan.String())
+	Task   string
+	Config string
+
+	// Completed reports whether the workload ran to completion (possibly
+	// degraded). Deadlock carries the kernel's parked-process report when
+	// it did not.
+	Completed bool
+	Deadlock  string
+
+	ElapsedSec float64
+
+	// Retry/latency accounting, summed over all disks.
+	Retries       int64   // media retries performed
+	SlowRequests  int64   // requests hit by injected latency spikes
+	HardErrors    int64   // requests that completed with an error
+	FaultDelaySec float64 // total service time added by faults
+
+	// FailedDisks names drives that failed permanently.
+	FailedDisks []string
+
+	// Degradation accounting (scan-family tasks).
+	BytesTotal   int64 // dataset bytes the task was asked to process
+	BytesLost    int64 // bytes unprocessable after retries and replicas
+	ReplicaBytes int64 // bytes recovered by re-issuing to a replica
+}
+
+// Coverage returns the fraction of the dataset processed: 1 for a clean
+// or fully recovered run, less when data was lost.
+func (r *FaultReport) Coverage() float64 {
+	if r.BytesTotal <= 0 {
+		return 1
+	}
+	c := 1 - float64(r.BytesLost)/float64(r.BytesTotal)
+	if c < 0 {
+		return 0
+	}
+	return c
+}
+
+// Render formats the report as a fixed-order key/value block.
+func (r *FaultReport) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "fault report: %s on %s\n", r.Task, r.Config)
+	fmt.Fprintf(&sb, "  plan:          %s\n", r.Plan)
+	status := "completed"
+	if !r.Completed {
+		status = "DID NOT COMPLETE"
+	} else if r.BytesLost > 0 {
+		status = "completed degraded"
+	}
+	fmt.Fprintf(&sb, "  status:        %s\n", status)
+	fmt.Fprintf(&sb, "  elapsed:       %.6fs\n", r.ElapsedSec)
+	fmt.Fprintf(&sb, "  retries:       %d\n", r.Retries)
+	fmt.Fprintf(&sb, "  slow requests: %d\n", r.SlowRequests)
+	fmt.Fprintf(&sb, "  hard errors:   %d\n", r.HardErrors)
+	fmt.Fprintf(&sb, "  fault delay:   %.6fs\n", r.FaultDelaySec)
+	if len(r.FailedDisks) > 0 {
+		fmt.Fprintf(&sb, "  failed disks:  %s\n", strings.Join(r.FailedDisks, ", "))
+	}
+	if r.BytesTotal > 0 {
+		fmt.Fprintf(&sb, "  coverage:      %.6f (%d of %d bytes; %d lost, %d via replica)\n",
+			r.Coverage(), r.BytesTotal-r.BytesLost, r.BytesTotal, r.BytesLost, r.ReplicaBytes)
+	}
+	if r.Deadlock != "" {
+		fmt.Fprintf(&sb, "  deadlock:      %s\n", strings.ReplaceAll(r.Deadlock, "\n", "\n                 "))
+	}
+	return sb.String()
+}

@@ -4,23 +4,27 @@ import (
 	"fmt"
 
 	"howsim/internal/arch"
+	"howsim/internal/disk"
 	"howsim/internal/diskos"
+	"howsim/internal/fault"
 	"howsim/internal/relational"
 	"howsim/internal/sim"
 	"howsim/internal/workload"
 )
 
 // runActive executes one task on an Active Disk configuration.
-func runActive(cfg arch.Config, task workload.TaskID, ds workload.Dataset, res *Result) {
+func runActive(cfg arch.Config, task workload.TaskID, ds workload.Dataset, res *Result, plan *fault.Plan) {
 	k := sim.NewKernel()
 	s := cfg.BuildActive(k)
+	s.InstallFaults(plan)
+	deg := &degrade{}
 	var done *sim.Signal
 	switch task {
 	case workload.Select:
 		done = activeScan(k, s, ds, res, SelectCycles,
-			func(n int64) int64 { return int64(float64(n) * ds.Selectivity) }, 0)
+			func(n int64) int64 { return int64(float64(n) * ds.Selectivity) }, 0, plan, deg)
 	case workload.Aggregate:
-		done = activeScan(k, s, ds, res, AggregateCycles, func(int64) int64 { return 0 }, 512)
+		done = activeScan(k, s, ds, res, AggregateCycles, func(int64) int64 { return 0 }, 512, plan, deg)
 	case workload.GroupBy:
 		done = activeGroupBy(k, s, ds, res)
 	case workload.Sort:
@@ -37,9 +41,10 @@ func runActive(cfg arch.Config, task workload.TaskID, ds workload.Dataset, res *
 		panic(fmt.Sprintf("tasks: unknown task %v", task))
 	}
 	res.Elapsed = k.Run()
-	if !done.Fired() {
-		panic(fmt.Sprintf("tasks: %v on %s deadlocked at %v (%d blocked)",
-			task, cfg.Name(), res.Elapsed, k.Blocked()))
+	completed := done.Fired()
+	if !completed && plan == nil {
+		panic(fmt.Sprintf("tasks: %v on %s deadlocked at %v (%d blocked)\n%s",
+			task, cfg.Name(), res.Elapsed, k.Blocked(), k.DeadlockReport()))
 	}
 	res.Details["loop_bytes"] = float64(s.LoopBytesMoved())
 	res.Details["loop_util"] = s.LoopUtilization()
@@ -47,43 +52,87 @@ func runActive(cfg arch.Config, task workload.TaskID, ds workload.Dataset, res *
 	res.Details["fe_recv_bytes"] = float64(s.FE.ReceivedBytes())
 	res.Details["fe_relay_bytes"] = float64(s.FE.RelayedBytes())
 	var mediaRead, mediaWrite int64
-	for _, ad := range s.Disks {
+	disks := make([]*disk.Disk, len(s.Disks))
+	for i, ad := range s.Disks {
 		st := ad.Disk.Stats()
 		mediaRead += st.BytesRead
 		mediaWrite += st.BytesWritten
+		disks[i] = ad.Disk
 	}
 	res.Details["media_read_bytes"] = float64(mediaRead)
 	res.Details["media_write_bytes"] = float64(mediaWrite)
+	faultEpilogue(res, k, plan, deg, completed, disks)
 }
+
+// replicaRegionOf places each disk's replica copy of a peer's partition:
+// disk i's data is mirrored onto disk (i+1) mod d starting at this
+// offset (the top sixth of the drive, clear of the run/output regions
+// the tasks carve out of the lower two-thirds).
+func replicaRegionOf(capEach int64) int64 { return alignSector(5 * capEach / 6) }
 
 // activeScan is the shared scan skeleton for select and aggregate: every
 // disk scans its partition with the disklet, forwarding emitted result
 // bytes to the front-end in batches.
+//
+// Recovery: a hard media error loses just that chunk; a failed drive
+// either hands the rest of the partition to the replica copy on the next
+// disk (when the plan declares replicas — that disklet then does double
+// duty) or abandons the remainder, which is reported as lost bytes. The
+// fault-free path issues exactly the same simulated events as before the
+// fault plumbing existed.
 func activeScan(k *sim.Kernel, s *diskos.System, ds workload.Dataset, res *Result,
-	cycles int64, emit func(chunkBytes int64) int64, finalBytes int64) *sim.Signal {
+	cycles int64, emit func(chunkBytes int64) int64, finalBytes int64,
+	plan *fault.Plan, deg *degrade) *sim.Signal {
 	d := len(s.Disks)
 	per := perNodeBytes(ds.TotalBytes, d)
+	deg.total = per * int64(d)
+	replicaRegion := replicaRegionOf(s.Disks[0].Disk.Capacity())
 	done := sim.NewSignal()
 	wg := sim.NewWaitGroup(d)
 	for i := range s.Disks {
-		ad := s.Disks[i]
+		i := i
 		k.Spawn(fmt.Sprintf("scan%d", i), func(p *sim.Proc) {
+			src, base := s.Disks[i], int64(0)
 			var pend int64
-			chunksOf(per, func(off, n int64) {
-				ad.ReadLocal(p, off, n)
-				t := tuplesIn(n, ds.TupleBytes)
-				ad.Compute(p, t*cycles)
-				pend += emit(n)
-				if pend >= flushBatch {
-					ad.SendToFrontEnd(p, pend, nil)
-					pend = 0
+			for off := int64(0); off < per; {
+				n := int64(ioChunk)
+				if per-off < n {
+					n = alignSector(per - off)
 				}
-			})
+				err := src.ReadLocal(p, base+off, n)
+				if err == disk.ErrDiskFailed {
+					if plan != nil && plan.Replica && d > 1 && base == 0 {
+						// Fail over to the replica copy on the next disk and
+						// retry the same chunk there.
+						src, base = s.Disks[(i+1)%d], replicaRegion
+						continue
+					}
+					deg.lost += per - off
+					break
+				}
+				if err != nil {
+					// Unrecoverable sector: this chunk is lost, the scan
+					// continues.
+					deg.lost += n
+				} else {
+					if base != 0 {
+						deg.replica += n
+					}
+					t := tuplesIn(n, ds.TupleBytes)
+					src.Compute(p, t*cycles)
+					pend += emit(n)
+					if pend >= flushBatch {
+						src.SendToFrontEnd(p, pend, nil)
+						pend = 0
+					}
+				}
+				off += n
+			}
 			if pend > 0 {
-				ad.SendToFrontEnd(p, pend, nil)
+				src.SendToFrontEnd(p, pend, nil)
 			}
 			if finalBytes > 0 {
-				ad.SendToFrontEnd(p, finalBytes, nil)
+				src.SendToFrontEnd(p, finalBytes, nil)
 			}
 			wg.Done()
 		})

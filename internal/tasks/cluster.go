@@ -5,6 +5,8 @@ import (
 
 	"howsim/internal/arch"
 	"howsim/internal/cluster"
+	"howsim/internal/disk"
+	"howsim/internal/fault"
 	"howsim/internal/mpi"
 	"howsim/internal/relational"
 	"howsim/internal/sim"
@@ -45,9 +47,11 @@ func (w *sendWindow) drain(p *sim.Proc) {
 }
 
 // runCluster executes one task on a commodity-cluster configuration.
-func runCluster(cfg arch.Config, task workload.TaskID, ds workload.Dataset, res *Result) {
+func runCluster(cfg arch.Config, task workload.TaskID, ds workload.Dataset, res *Result, plan *fault.Plan) {
 	k := sim.NewKernel()
 	m := cfg.BuildCluster(k)
+	m.InstallFaults(plan)
+	deg := &degrade{}
 	var done *sim.Signal
 	switch task {
 	case workload.Select:
@@ -55,9 +59,9 @@ func runCluster(cfg arch.Config, task workload.TaskID, ds workload.Dataset, res 
 		// disk rather than pushing 1% of 16 GB through the front-end's
 		// 100 Mb/s link.
 		done = clusterScan(k, m, ds, res, SelectCycles,
-			func(n int64) int64 { return int64(float64(n) * ds.Selectivity) }, 0)
+			func(n int64) int64 { return int64(float64(n) * ds.Selectivity) }, 0, plan, deg)
 	case workload.Aggregate:
-		done = clusterScan(k, m, ds, res, AggregateCycles, func(int64) int64 { return 0 }, 512)
+		done = clusterScan(k, m, ds, res, AggregateCycles, func(int64) int64 { return 0 }, 512, plan, deg)
 	case workload.GroupBy:
 		done = clusterGroupBy(k, m, ds, res)
 	case workload.Sort:
@@ -74,30 +78,49 @@ func runCluster(cfg arch.Config, task workload.TaskID, ds workload.Dataset, res 
 		panic(fmt.Sprintf("tasks: unknown task %v", task))
 	}
 	res.Elapsed = k.Run()
-	if !done.Fired() {
-		panic(fmt.Sprintf("tasks: %v on %s deadlocked at %v (%d blocked)",
-			task, cfg.Name(), res.Elapsed, k.Blocked()))
+	completed := done.Fired()
+	if !completed && plan == nil {
+		panic(fmt.Sprintf("tasks: %v on %s deadlocked at %v (%d blocked)\n%s",
+			task, cfg.Name(), res.Elapsed, k.Blocked(), k.DeadlockReport()))
 	}
 	res.Details["net_bytes"] = float64(m.Net.BytesDelivered())
 	res.Details["net_msgs"] = float64(m.Net.MessagesDelivered())
 	var mediaRead, mediaWrite int64
-	for _, n := range m.Nodes {
+	disks := make([]*disk.Disk, len(m.Nodes))
+	for i, n := range m.Nodes {
 		st := n.Disk.Stats()
 		mediaRead += st.BytesRead
 		mediaWrite += st.BytesWritten
+		disks[i] = n.Disk
 	}
 	res.Details["media_read_bytes"] = float64(mediaRead)
 	res.Details["media_write_bytes"] = float64(mediaWrite)
+	faultEpilogue(res, k, plan, deg, completed, disks)
 }
 
 // clusterScan: every node scans its local partition; emitted bytes are
 // written back to the local disk (select's result relation); finalBytes
 // go to the front-end (aggregate's scalar).
+//
+// Recovery: cluster hosts can only address their own disk, so when a
+// node's drive fails and the plan declares replicas, the peer node
+// holding the replica copy takes over the rest of the partition — its
+// CPU, disk and buses are charged, and the failed node's remaining
+// output lands in a spare region of the peer's disk. Without a replica
+// the remainder of the partition is reported lost. A hard media error
+// loses just its chunk.
 func clusterScan(k *sim.Kernel, m *cluster.Machine, ds workload.Dataset, res *Result,
-	cycles int64, emit func(int64) int64, finalBytes int64) *sim.Signal {
+	cycles int64, emit func(int64) int64, finalBytes int64,
+	plan *fault.Plan, deg *degrade) *sim.Signal {
 	d := len(m.Nodes)
 	per := perNodeBytes(ds.TotalBytes, d)
-	outRegion := alignSector(2 * m.Nodes[0].Disk.Capacity() / 3)
+	deg.total = per * int64(d)
+	capEach := m.Nodes[0].Disk.Capacity()
+	outRegion := alignSector(2 * capEach / 3)
+	replicaRegion := replicaRegionOf(capEach)
+	// The take-over output region sits above the replica copy so it never
+	// collides with the peer's own output range.
+	replicaOut := alignSector(11 * capEach / 12)
 	done := sim.NewSignal()
 	wg := sim.NewWaitGroup(d)
 	if finalBytes > 0 {
@@ -108,22 +131,45 @@ func clusterScan(k *sim.Kernel, m *cluster.Machine, ds workload.Dataset, res *Re
 		})
 	}
 	for i := range m.Nodes {
+		i := i
 		n := m.Nodes[i]
 		k.Spawn(fmt.Sprintf("scan%d", i), func(p *sim.Proc) {
+			src, base, outBase := n, int64(0), outRegion
 			var pend, outOff int64
-			chunksOf(per, func(off, sz int64) {
-				n.ReadLocal(p, off, sz)
-				t := tuplesIn(sz, ds.TupleBytes)
-				n.Compute(p, t*cycles)
-				pend += emit(sz)
-				if pend >= flushBatch {
-					n.WriteLocal(p, outRegion+outOff, alignSector(pend))
-					outOff += alignSector(pend)
-					pend = 0
+			for off := int64(0); off < per; {
+				sz := int64(ioChunk)
+				if per-off < sz {
+					sz = alignSector(per - off)
 				}
-			})
+				err := src.ReadLocal(p, base+off, sz)
+				if err == disk.ErrDiskFailed {
+					if plan != nil && plan.Replica && d > 1 && base == 0 {
+						src, base, outBase = m.Nodes[(i+1)%d], replicaRegion, replicaOut
+						outOff = 0
+						continue
+					}
+					deg.lost += per - off
+					break
+				}
+				if err != nil {
+					deg.lost += sz
+				} else {
+					if base != 0 {
+						deg.replica += sz
+					}
+					t := tuplesIn(sz, ds.TupleBytes)
+					src.Compute(p, t*cycles)
+					pend += emit(sz)
+					if pend >= flushBatch {
+						src.WriteLocal(p, outBase+outOff, alignSector(pend))
+						outOff += alignSector(pend)
+						pend = 0
+					}
+				}
+				off += sz
+			}
 			if pend > 0 {
-				n.WriteLocal(p, outRegion+outOff, alignSector(pend))
+				src.WriteLocal(p, outBase+outOff, alignSector(pend))
 			}
 			if finalBytes > 0 {
 				n.Endpoint().Send(p, m.FERank, tagResult, finalBytes, nil)

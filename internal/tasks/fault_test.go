@@ -1,0 +1,157 @@
+package tasks
+
+import (
+	"reflect"
+	"testing"
+
+	"howsim/internal/arch"
+	"howsim/internal/fault"
+	"howsim/internal/workload"
+)
+
+func mustPlan(t *testing.T, s string) *fault.Plan {
+	t.Helper()
+	p, err := fault.ParsePlan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestFaultReportDeterminism: the same plan against the same workload
+// must yield byte-identical rendered reports, run after run.
+func TestFaultReportDeterminism(t *testing.T) {
+	ds := scaled(workload.Select, 48<<20)
+	for _, cfg := range []arch.Config{arch.ActiveDisks(4), arch.Cluster(4), arch.SMP(4)} {
+		cfg := cfg
+		t.Run(cfg.Name(), func(t *testing.T) {
+			const planStr = "seed=42,media=0.002,slow=0.001,fail=3@50ms,replica"
+			a := RunDatasetFaulted(cfg, workload.Select, ds, mustPlan(t, planStr))
+			b := RunDatasetFaulted(cfg, workload.Select, ds, mustPlan(t, planStr))
+			if a.Fault == nil || b.Fault == nil {
+				t.Fatal("faulted run produced no FaultReport")
+			}
+			ra, rb := a.Fault.Render(), b.Fault.Render()
+			if ra != rb {
+				t.Fatalf("same seed, different reports:\n--- run 1 ---\n%s--- run 2 ---\n%s", ra, rb)
+			}
+			if a.Elapsed != b.Elapsed {
+				t.Errorf("elapsed differs: %v vs %v", a.Elapsed, b.Elapsed)
+			}
+		})
+	}
+}
+
+// TestFaultFreeEquivalence: a nil or empty plan must leave the
+// simulation untouched — identical elapsed time and details, and no
+// FaultReport attached.
+func TestFaultFreeEquivalence(t *testing.T) {
+	ds := scaled(workload.Aggregate, 48<<20)
+	for _, cfg := range []arch.Config{arch.ActiveDisks(4), arch.Cluster(4), arch.SMP(4)} {
+		cfg := cfg
+		t.Run(cfg.Name(), func(t *testing.T) {
+			base := RunDataset(cfg, workload.Aggregate, ds)
+			nilPlan := RunDatasetFaulted(cfg, workload.Aggregate, ds, nil)
+			empty := RunDatasetFaulted(cfg, workload.Aggregate, ds, mustPlan(t, "seed=7"))
+			for name, got := range map[string]*Result{"nil plan": nilPlan, "empty plan": empty} {
+				if got.Fault != nil {
+					t.Errorf("%s attached a FaultReport", name)
+				}
+				if got.Elapsed != base.Elapsed {
+					t.Errorf("%s elapsed = %v, want %v", name, got.Elapsed, base.Elapsed)
+				}
+				if !reflect.DeepEqual(got.Details, base.Details) {
+					t.Errorf("%s details diverge from the fault-free run:\n%v\n%v",
+						name, got.Details, base.Details)
+				}
+			}
+		})
+	}
+}
+
+// TestDiskFailureDegrades: with one disk failed mid-scan and no
+// replicas, every architecture must still run to completion, reporting
+// the failed disk and a coverage fraction strictly between 0 and 1.
+func TestDiskFailureDegrades(t *testing.T) {
+	ds := scaled(workload.Select, 48<<20)
+	for _, cfg := range []arch.Config{arch.ActiveDisks(4), arch.Cluster(4), arch.SMP(4)} {
+		cfg := cfg
+		t.Run(cfg.Name(), func(t *testing.T) {
+			res := RunDatasetFaulted(cfg, workload.Select, ds, mustPlan(t, "seed=1,fail=2@20ms"))
+			fr := res.Fault
+			if fr == nil {
+				t.Fatal("no FaultReport")
+			}
+			if !fr.Completed {
+				t.Fatalf("run did not complete:\n%s", fr.Render())
+			}
+			if len(fr.FailedDisks) != 1 {
+				t.Errorf("failed disks = %v, want exactly one", fr.FailedDisks)
+			}
+			if fr.BytesLost <= 0 || fr.BytesLost >= fr.BytesTotal {
+				t.Errorf("bytes lost = %d of %d, want partial loss", fr.BytesLost, fr.BytesTotal)
+			}
+			if c := fr.Coverage(); c <= 0 || c >= 1 {
+				t.Errorf("coverage = %v, want in (0, 1)", c)
+			}
+		})
+	}
+}
+
+// TestDiskFailureReplicaRecovers: the same failure with replicas
+// declared must complete with full coverage, the lost ranges re-read
+// from the peer.
+func TestDiskFailureReplicaRecovers(t *testing.T) {
+	ds := scaled(workload.Select, 48<<20)
+	for _, cfg := range []arch.Config{arch.ActiveDisks(4), arch.Cluster(4), arch.SMP(4)} {
+		cfg := cfg
+		t.Run(cfg.Name(), func(t *testing.T) {
+			res := RunDatasetFaulted(cfg, workload.Select, ds, mustPlan(t, "seed=1,fail=2@20ms,replica"))
+			fr := res.Fault
+			if fr == nil {
+				t.Fatal("no FaultReport")
+			}
+			if !fr.Completed {
+				t.Fatalf("run did not complete:\n%s", fr.Render())
+			}
+			if fr.BytesLost != 0 {
+				t.Errorf("bytes lost = %d with replicas declared, want 0", fr.BytesLost)
+			}
+			if fr.ReplicaBytes <= 0 {
+				t.Errorf("replica bytes = %d, want > 0 (recovery must go through the peer)", fr.ReplicaBytes)
+			}
+			if c := fr.Coverage(); c != 1 {
+				t.Errorf("coverage = %v, want 1", c)
+			}
+		})
+	}
+}
+
+// TestMediaErrorsRetryAndRecover: transient media errors alone must not
+// lose data; the report counts the retries and the time they cost.
+func TestMediaErrorsRetryAndRecover(t *testing.T) {
+	ds := scaled(workload.Select, 48<<20)
+	res := RunDatasetFaulted(arch.ActiveDisks(4), workload.Select, ds,
+		mustPlan(t, "seed=9,media=0.2,slow=0.1"))
+	fr := res.Fault
+	if fr == nil {
+		t.Fatal("no FaultReport")
+	}
+	if !fr.Completed {
+		t.Fatalf("run did not complete:\n%s", fr.Render())
+	}
+	if fr.Retries == 0 {
+		t.Error("no retries recorded at media=0.2")
+	}
+	if fr.SlowRequests == 0 {
+		t.Error("no slow requests recorded at slow=0.1")
+	}
+	if fr.FaultDelaySec <= 0 {
+		t.Error("fault delay not accounted")
+	}
+	// Faults cost time: the run must be slower than the clean one.
+	clean := RunDataset(arch.ActiveDisks(4), workload.Select, ds)
+	if res.Elapsed <= clean.Elapsed {
+		t.Errorf("faulted run (%v) not slower than clean run (%v)", res.Elapsed, clean.Elapsed)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"howsim/internal/arch"
+	"howsim/internal/fault"
 	"howsim/internal/relational"
 	"howsim/internal/sim"
 	"howsim/internal/smp"
@@ -13,15 +14,17 @@ import (
 // runSMP executes one task on an SMP configuration: one process per
 // processor, shared self-scheduling block queues over striped files, and
 // block transfers / remote queues for data movement between processors.
-func runSMP(cfg arch.Config, task workload.TaskID, ds workload.Dataset, res *Result) {
+func runSMP(cfg arch.Config, task workload.TaskID, ds workload.Dataset, res *Result, plan *fault.Plan) {
 	k := sim.NewKernel()
 	m := cfg.BuildSMP(k)
+	m.InstallFaults(plan)
+	deg := &degrade{}
 	var done *sim.Signal
 	switch task {
 	case workload.Select:
-		done = smpScan(k, m, ds, res, SelectCycles, ds.Selectivity)
+		done = smpScan(k, m, ds, res, SelectCycles, ds.Selectivity, deg)
 	case workload.Aggregate:
-		done = smpScan(k, m, ds, res, AggregateCycles, 0)
+		done = smpScan(k, m, ds, res, AggregateCycles, 0, deg)
 	case workload.GroupBy:
 		done = smpGroupBy(k, m, ds, res)
 	case workload.Sort:
@@ -38,14 +41,17 @@ func runSMP(cfg arch.Config, task workload.TaskID, ds workload.Dataset, res *Res
 		panic(fmt.Sprintf("tasks: unknown task %v", task))
 	}
 	res.Elapsed = k.Run()
-	if !done.Fired() {
-		panic(fmt.Sprintf("tasks: %v on %s deadlocked at %v (%d blocked)",
-			task, cfg.Name(), res.Elapsed, k.Blocked()))
+	completed := done.Fired()
+	if !completed && plan == nil {
+		panic(fmt.Sprintf("tasks: %v on %s deadlocked at %v (%d blocked)\n%s",
+			task, cfg.Name(), res.Elapsed, k.Blocked(), k.DeadlockReport()))
 	}
 	res.Details["fc_bytes"] = float64(m.FC.BytesMoved())
 	res.Details["fc_util"] = m.FC.Utilization()
 	res.Details["xio_util"] = m.XIO.Utilization()
 	res.Details["blockxfer_bytes"] = float64(m.BlockTransferred())
+	deg.replica = m.ReplicaBytes()
+	faultEpilogue(res, k, plan, deg, completed, m.Disks)
 }
 
 // allDisks returns 0..n-1.
@@ -70,13 +76,17 @@ func smpMemReserve(m *smp.Machine) int64 {
 // smpScan: workers pull layout-ordered blocks off the shared queue, read
 // them through the striping library (all data crossing the shared FC
 // loop), and filter/aggregate. Selected output is written back striped.
+// The striping library re-issues failed chunks to replica members when
+// the plan declares replicas; bytes it could not serve either way are
+// accumulated as lost.
 func smpScan(k *sim.Kernel, m *smp.Machine, ds workload.Dataset, res *Result,
-	cycles int64, outFraction float64) *sim.Signal {
+	cycles int64, outFraction float64, deg *degrade) *sim.Signal {
 	p := m.Cfg.Processors
 	capEach := m.Disks[0].Capacity()
 	in := m.NewStripe(allDisks(len(m.Disks)), 0)
 	out := m.NewStripe(allDisks(len(m.Disks)), alignSector(2*capEach/3))
 	q := m.NewBlockQueue("scan", ds.TotalBytes, ioChunk)
+	deg.total = ds.TotalBytes
 	done := sim.NewSignal()
 	wg := sim.NewWaitGroup(p)
 	var outOff int64
@@ -89,7 +99,7 @@ func smpScan(k *sim.Kernel, m *smp.Machine, ds workload.Dataset, res *Result,
 				if !ok {
 					break
 				}
-				in.Read(pr, c, off, n)
+				deg.lost += in.Read(pr, c, off, n)
 				t := tuplesIn(n, ds.TupleBytes)
 				c.Compute(pr, t*cycles)
 				pend += int64(float64(n) * outFraction)
@@ -97,7 +107,7 @@ func smpScan(k *sim.Kernel, m *smp.Machine, ds workload.Dataset, res *Result,
 					w := alignSector(pend)
 					o := outOff
 					outOff += w
-					out.Write(pr, c, o, w)
+					deg.lost += out.Write(pr, c, o, w)
 					pend = 0
 				}
 			}
@@ -105,7 +115,7 @@ func smpScan(k *sim.Kernel, m *smp.Machine, ds workload.Dataset, res *Result,
 				w := alignSector(pend)
 				o := outOff
 				outOff += w
-				out.Write(pr, c, o, w)
+				deg.lost += out.Write(pr, c, o, w)
 			}
 			wg.Done()
 		})

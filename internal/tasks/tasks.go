@@ -4,7 +4,10 @@ import (
 	"fmt"
 
 	"howsim/internal/arch"
+	"howsim/internal/disk"
+	"howsim/internal/fault"
 	"howsim/internal/sim"
+	"howsim/internal/stats"
 	"howsim/internal/workload"
 )
 
@@ -26,6 +29,9 @@ type Result struct {
 	// Details carries auxiliary metrics: bytes over interconnects,
 	// utilizations, pass counts.
 	Details map[string]float64
+	// Fault is the fault/recovery report for runs executed under a fault
+	// plan; nil for fault-free runs.
+	Fault *stats.FaultReport
 }
 
 // String summarizes the result.
@@ -42,6 +48,24 @@ func Run(cfg arch.Config, task workload.TaskID) *Result {
 // RunDataset executes a task on an explicit (possibly scaled-down)
 // dataset. Tests use megabyte-scale datasets; benchmarks use Table 2.
 func RunDataset(cfg arch.Config, task workload.TaskID, ds workload.Dataset) *Result {
+	return RunDatasetFaulted(cfg, task, ds, nil)
+}
+
+// RunFaulted executes a task at full Table 2 scale under a fault plan.
+func RunFaulted(cfg arch.Config, task workload.TaskID, plan *fault.Plan) *Result {
+	return RunDatasetFaulted(cfg, task, workload.ForTask(task), plan)
+}
+
+// RunDatasetFaulted executes a task with deterministic fault injection.
+// Result.Fault carries the recovery report. A nil (or empty) plan leaves
+// every simulated event identical to RunDataset. Under a plan, a run
+// that cannot finish (e.g. a failed disk with no replica declared in a
+// task that has no degraded path) is reported as a deadlock in the
+// FaultReport instead of panicking.
+func RunDatasetFaulted(cfg arch.Config, task workload.TaskID, ds workload.Dataset, plan *fault.Plan) *Result {
+	if plan != nil && plan.Empty() {
+		plan = nil
+	}
 	res := &Result{
 		Task:      task,
 		Config:    cfg,
@@ -50,15 +74,58 @@ func RunDataset(cfg arch.Config, task workload.TaskID, ds workload.Dataset) *Res
 	}
 	switch cfg.Kind {
 	case arch.KindActiveDisk:
-		runActive(cfg, task, ds, res)
+		runActive(cfg, task, ds, res, plan)
 	case arch.KindCluster:
-		runCluster(cfg, task, ds, res)
+		runCluster(cfg, task, ds, res, plan)
 	case arch.KindSMP:
-		runSMP(cfg, task, ds, res)
+		runSMP(cfg, task, ds, res, plan)
 	default:
 		panic(fmt.Sprintf("tasks: unknown architecture %v", cfg.Kind))
 	}
 	return res
+}
+
+// degrade accumulates the byte-level damage a faulted scan absorbed.
+// The kernel is single-threaded, so scan processes update it without
+// locking.
+type degrade struct {
+	total   int64 // bytes the task was asked to process
+	lost    int64 // bytes abandoned after retries and replica attempts
+	replica int64 // bytes recovered by reading a replica copy
+}
+
+// faultEpilogue assembles Result.Fault from the kernel, the degradation
+// accumulator and the per-disk fault counters. No-op for fault-free
+// runs.
+func faultEpilogue(res *Result, k *sim.Kernel, plan *fault.Plan, deg *degrade,
+	completed bool, disks []*disk.Disk) {
+	if plan == nil {
+		return
+	}
+	fr := &stats.FaultReport{
+		Plan:         plan.String(),
+		Task:         res.Task.String(),
+		Config:       res.Config.Name(),
+		Completed:    completed,
+		ElapsedSec:   res.Elapsed.Seconds(),
+		BytesTotal:   deg.total,
+		BytesLost:    deg.lost,
+		ReplicaBytes: deg.replica,
+	}
+	if !completed {
+		fr.Deadlock = k.DeadlockReport()
+	}
+	for _, d := range disks {
+		st := d.Stats()
+		fr.Retries += st.Retries
+		fr.SlowRequests += st.SlowRequests
+		fr.HardErrors += st.FailedRequests
+		fr.FaultDelaySec += st.FaultDelay.Seconds()
+		if d.Failed() {
+			fr.FailedDisks = append(fr.FailedDisks, d.Name())
+		}
+	}
+	res.Fault = fr
 }
 
 // perNodeBytes splits total across n nodes, rounded up to whole I/O
