@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench-kernel bench-figures fault-smoke
+.PHONY: build vet test race bench-kernel bench-figures benchfigures bench-guard fault-smoke
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,17 @@ bench-kernel:
 # Quick pass over the paper's figure benchmarks at reduced scale.
 bench-figures:
 	HOWSIM_BENCH_SCALE=0.05 $(GO) test -bench=Figure -benchtime=1x .
+
+# Refresh BENCH_figures.json: figure benchmarks at reduced scale,
+# recorded in the same JSON shape as BENCH_kernel.json.
+benchfigures:
+	$(GO) run ./scripts/benchfigures -count 3 -out BENCH_figures.json
+
+# Gate the kernel hot path against the committed baseline (what CI's
+# bench-smoke job runs).
+bench-guard:
+	$(GO) run ./scripts/benchkernel -count 1 -out /tmp/BENCH_kernel.json
+	$(GO) run ./scripts/benchguard -baseline BENCH_kernel.json -current /tmp/BENCH_kernel.json
 
 # Fault-injection smoke: one disk fails mid-scan on each architecture,
 # once recovering via replicas and once completing degraded. Every run

@@ -169,6 +169,7 @@ func BenchmarkFigure5(b *testing.B) {
 func BenchmarkAblationLoopGranularity(b *testing.B) {
 	run := func(frame int64) sim.Time {
 		k := sim.NewKernel()
+		defer k.Close()
 		pipe := sim.NewPipe(k, "loop", 1, 100e6, 0)
 		var smallDone sim.Time
 		k.Spawn("bulk", func(p *sim.Proc) {
@@ -199,6 +200,7 @@ func BenchmarkAblationSMPSelfScheduling(b *testing.B) {
 	const totalBytes = 512 << 20
 	run := func(shared bool) sim.Time {
 		k := sim.NewKernel()
+		defer k.Close()
 		m := arch.SMP(8).BuildSMP(k)
 		stripe := m.NewStripe([]int{0, 1, 2, 3, 4, 5, 6, 7}, 0)
 		q := m.NewBlockQueue("q", totalBytes, 256<<10)
@@ -243,6 +245,7 @@ func BenchmarkAblationPipelining(b *testing.B) {
 		cfg := diskos.DefaultConfig(4)
 		cfg.CommBufBytes = commBuf
 		k := sim.NewKernel()
+		defer k.Close()
 		s := diskos.NewSystem(k, cfg)
 		const bytes = 64 << 20
 		for i := 0; i < 2; i++ {
@@ -287,6 +290,7 @@ func BenchmarkAblationDiskGroups(b *testing.B) {
 	const total = 256 << 20
 	run := func(split bool) sim.Time {
 		k := sim.NewKernel()
+		defer k.Close()
 		m := arch.SMP(8).BuildSMP(k)
 		readDisks := []int{0, 1, 2, 3}
 		writeDisks := []int{4, 5, 6, 7}
@@ -359,6 +363,7 @@ func BenchmarkExtensionFibreSwitch(b *testing.B) {
 func BenchmarkAblationDiskScheduling(b *testing.B) {
 	run := func(policy disk.SchedulingPolicy) sim.Time {
 		k := sim.NewKernel()
+		defer k.Close()
 		d := disk.New(k, "d", disk.Cheetah9LP())
 		d.SetScheduler(policy)
 		capacity := d.Capacity()

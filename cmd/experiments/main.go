@@ -28,6 +28,7 @@ import (
 	"howsim/internal/experiments"
 	"howsim/internal/fault"
 	"howsim/internal/profiling"
+	"howsim/internal/sim"
 	"howsim/internal/tasks"
 	"howsim/internal/workload"
 )
@@ -41,8 +42,16 @@ func main() {
 		faults   = flag.String("faults", "", "fault plan; runs the fault experiment instead of the figures")
 		ftask    = flag.String("faulttask", "select", "task for the -faults experiment")
 		farch    = flag.String("faultarch", "all", "architecture for -faults: active|cluster|smp|all")
+		procmode = flag.String("procmode", "event", "simulator execution mode: event|goroutine")
 	)
 	flag.Parse()
+
+	mode, err := sim.ParseExecMode(*procmode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	sim.DefaultExecMode = mode
 
 	var sizes []int
 	for _, s := range strings.Split(*sizesStr, ",") {

@@ -19,6 +19,7 @@ import (
 	"howsim/internal/arch"
 	"howsim/internal/fault"
 	"howsim/internal/profiling"
+	"howsim/internal/sim"
 	"howsim/internal/tasks"
 	"howsim/internal/workload"
 )
@@ -36,8 +37,16 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = full Table 2 size)")
 		sweep    = flag.Bool("sweep", false, "run the task across 16/32/64/128 disks and print a scaling table")
 		faults   = flag.String("faults", "", "fault plan, e.g. seed=42,media=0.001,fail=3@2s,replica")
+		procmode = flag.String("procmode", "event", "simulator execution mode: event|goroutine")
 	)
 	flag.Parse()
+
+	mode, err := sim.ParseExecMode(*procmode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	sim.DefaultExecMode = mode
 
 	plan, err := fault.ParsePlan(*faults)
 	if err != nil {

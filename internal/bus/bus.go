@@ -20,19 +20,22 @@ import (
 
 // Bus is a shared transfer medium.
 type Bus struct {
+	k     *sim.Kernel
 	pipe  *sim.Pipe
 	Frame int64 // arbitration granularity in bytes
 
 	outages   []fault.Window // sorted outage windows; nil on the fault-free path
 	stallTime sim.Time
 	stalls    int64
+
+	opFree []*busOp // recycled TransferFunc state machines
 }
 
 // New creates a bus with the given number of independent channels, each
 // at bytesPerSec, charging startup per arbitration and re-arbitrating
 // every frame bytes.
 func New(k *sim.Kernel, name string, channels int, bytesPerSec float64, startup sim.Time, frame int64) *Bus {
-	return &Bus{pipe: sim.NewPipe(k, name, channels, bytesPerSec, startup), Frame: frame}
+	return &Bus{k: k, pipe: sim.NewPipe(k, name, channels, bytesPerSec, startup), Frame: frame}
 }
 
 // SetOutages installs outage windows: intervals of virtual time during
@@ -93,6 +96,82 @@ func (b *Bus) Transfer(p *sim.Proc, bytes int64) {
 		b.pipe.Transfer(p, n)
 		remaining -= n
 	}
+}
+
+// busOp is the state of one in-flight TransferFunc: frame-granular
+// arbitration unrolled into a state machine. Ops are pooled per bus and
+// their step continuations bound once, so event-mode transfers perform
+// no allocation and no goroutine handoff.
+type busOp struct {
+	b         *Bus
+	t         *sim.Task
+	remaining int64
+	frame     int64
+	done      func()
+	stepFn    func()
+	sentFn    func()
+}
+
+// TransferFunc is Transfer for callback tasks: it moves bytes across
+// the bus, re-arbitrating at frame granularity (and waiting out outage
+// windows), then runs fn.
+func (b *Bus) TransferFunc(t *sim.Task, bytes int64, fn func()) {
+	if bytes <= 0 {
+		fn()
+		return
+	}
+	var op *busOp
+	if n := len(b.opFree); n > 0 {
+		op = b.opFree[n-1]
+		b.opFree[n-1] = nil
+		b.opFree = b.opFree[:n-1]
+	} else {
+		op = &busOp{b: b}
+		op.stepFn = op.step
+		op.sentFn = op.frameSent
+	}
+	op.t, op.remaining, op.done = t, bytes, fn
+	op.step()
+}
+
+// step transmits the next frame: it first waits out any outage covering
+// the current instant (re-checking from scratch after the stall, like
+// stallForOutage), and finishes the op once nothing remains.
+func (op *busOp) step() {
+	b := op.b
+	if op.remaining <= 0 {
+		fn := op.done
+		op.t, op.done = nil, nil
+		b.opFree = append(b.opFree, op)
+		fn()
+		return
+	}
+	if b.outages != nil {
+		now := b.k.Now()
+		for _, w := range b.outages {
+			if now < w.Start {
+				break
+			}
+			if w.Contains(now) {
+				d := w.End - now
+				b.stallTime += d
+				b.stalls++
+				b.k.After(d, op.stepFn)
+				return
+			}
+		}
+	}
+	n := b.Frame
+	if n <= 0 || op.remaining < n {
+		n = op.remaining
+	}
+	op.frame = n
+	b.pipe.TransferFunc(op.t, n, op.sentFn)
+}
+
+func (op *busOp) frameSent() {
+	op.remaining -= op.frame
+	op.step()
 }
 
 // AggregateBandwidth returns the total bytes/sec across all channels.

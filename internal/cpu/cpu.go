@@ -69,6 +69,24 @@ func (c *CPU) Busy(p *sim.Proc, d sim.Time) {
 	c.busy += d
 }
 
+// BusyFunc is Busy for callback tasks: it holds the processor for d and
+// then runs fn. Unlike the bound-continuation state machines on the hot
+// paths this allocates two closures per call; it backs cold paths such
+// as the front-end relay in the restricted communication architecture.
+func (c *CPU) BusyFunc(t *sim.Task, d sim.Time, fn func()) {
+	if d <= 0 {
+		fn()
+		return
+	}
+	c.res.AcquireFunc(t, 1, func() {
+		t.Kernel().After(d, func() {
+			c.res.Release(1)
+			c.busy += d
+			fn()
+		})
+	})
+}
+
 // ScaledBusy executes time that was measured at refHz, scaled to this
 // processor's clock (the trace-replay mechanism: "it models variation in
 // processor speed by scaling these processing times").

@@ -132,6 +132,16 @@ type Disk struct {
 	pending []*Request
 	sweepUp bool
 
+	// Event-mode service loop state: the callback task standing in for
+	// the server process, the request being serviced, and the two step
+	// continuations (bound once at construction so the loop never
+	// allocates).
+	task       *sim.Task
+	cur        *Request
+	curService sim.Time
+	onArriveFn func(any, bool)
+	onDoneFn   func()
+
 	inj    FaultInjector
 	retry  RetryPolicy
 	reqSeq int64
@@ -157,7 +167,8 @@ const (
 // Call before issuing requests.
 func (d *Disk) SetScheduler(p SchedulingPolicy) { d.policy = p }
 
-// New creates a disk and spawns its service process on k.
+// New creates a disk and starts its service loop on k: a goroutine
+// process in ModeGoroutine, an event-driven state machine otherwise.
 func New(k *sim.Kernel, name string, spec *Spec) *Disk {
 	d := &Disk{
 		name:      name,
@@ -172,7 +183,14 @@ func New(k *sim.Kernel, name string, spec *Spec) *Disk {
 		segBytes:  spec.CacheBytes / int64(spec.CacheSegments),
 		rotPeriod: spec.RotationPeriod(),
 	}
-	k.Spawn(name+".server", d.serve)
+	if k.ExecMode() == sim.ModeGoroutine {
+		k.Spawn(name+".server", d.serve)
+	} else {
+		d.task = k.NewTask(name + ".server")
+		d.onArriveFn = d.onArrive
+		d.onDoneFn = d.onServiced
+		d.serveStep()
+	}
 	return d
 }
 
@@ -331,6 +349,67 @@ func (d *Disk) serve(p *sim.Proc) {
 		d.idleSince = p.Now()
 		req.done.Fire()
 	}
+}
+
+// serveStep, onArrive and onServiced are the event-mode service loop:
+// the same schedule as serve, unrolled into a state machine driven by
+// mailbox and timer callbacks so no goroutine handoff happens per
+// request. The wake/grant ordering is identical step for step, which is
+// what keeps the two modes byte-equivalent.
+func (d *Disk) serveStep() {
+	if len(d.pending) == 0 {
+		d.queue.GetFunc(d.task, d.onArriveFn)
+		return
+	}
+	d.beginService()
+}
+
+// onArrive receives the request that ended an idle period (or learns
+// the queue closed because the drive failed, which retires the loop).
+func (d *Disk) onArrive(v any, ok bool) {
+	if !ok {
+		return
+	}
+	d.pending = append(d.pending, v.(*Request))
+	d.beginService()
+}
+
+// beginService drains already-arrived requests so the scheduler sees
+// the full queue, picks one, and starts its service timer.
+func (d *Disk) beginService() {
+	for {
+		v, ok := d.queue.TryGet()
+		if !ok {
+			break
+		}
+		d.pending = append(d.pending, v.(*Request))
+	}
+	req := d.nextRequest()
+	d.accrueIdlePrefetch(d.k.Now())
+	req.Started = d.k.Now()
+	service := d.serviceTime(req)
+	if d.inj != nil {
+		service += d.applyFaults(req)
+	}
+	d.cur, d.curService = req, service
+	d.k.After(service, d.onDoneFn)
+}
+
+// onServiced completes the in-flight request and loops.
+func (d *Disk) onServiced() {
+	req, service := d.cur, d.curService
+	d.cur = nil
+	req.Finished = d.k.Now()
+	d.stats.BusyTime += service
+	d.stats.Requests++
+	if req.Write {
+		d.stats.BytesWritten += req.Length
+	} else {
+		d.stats.BytesRead += req.Length
+	}
+	d.idleSince = d.k.Now()
+	req.done.Fire()
+	d.serveStep()
 }
 
 // applyFaults consults the injector for the request being serviced and

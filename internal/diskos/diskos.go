@@ -144,6 +144,8 @@ type System struct {
 	chunk    int64
 	loops    []*bus.Bus
 	perGroup int
+
+	pumpFree []*streamOp // recycled event-mode stream pumps
 }
 
 // NewSystem builds an Active Disk system on k.
@@ -362,8 +364,40 @@ func (ad *ActiveDisk) Release(bytes int64) { ad.commBuf.Release(bytes) }
 // CloseInbox signals receivers that no more chunks will arrive.
 func (ad *ActiveDisk) CloseInbox() { ad.inbox.Close() }
 
-// stream moves bytes from disk src to disk dst chunk by chunk.
+// stream moves bytes from disk src to disk dst chunk by chunk. In
+// event mode the chunk loop runs as a pooled state machine in kernel
+// context: the calling disklet parks once (Await) and the pump resumes
+// it inline (Handoff) after the last chunk, so the caller continues at
+// exactly the event position a blocking loop would have. In goroutine
+// mode the disklet's own process walks the hops.
 func (s *System) stream(p *sim.Proc, src, dst int, bytes int64, payload any) {
+	if bytes <= 0 {
+		return
+	}
+	if s.K.ExecMode() == sim.ModeGoroutine {
+		s.streamProc(p, src, dst, bytes, payload)
+		return
+	}
+	var op *streamOp
+	if n := len(s.pumpFree); n > 0 {
+		op = s.pumpFree[n-1]
+		s.pumpFree[n-1] = nil
+		s.pumpFree = s.pumpFree[:n-1]
+	} else {
+		op = &streamOp{s: s, t: s.K.NewTask("stream.pump")}
+		op.acqFn = op.acquired
+		op.hopFn = op.advance
+	}
+	op.src, op.dst, op.remaining, op.payload = src, dst, bytes, payload
+	op.caller = p
+	op.step()
+	p.Await("stream.pump", "join")
+	op.caller, op.payload = nil, nil
+	s.pumpFree = append(s.pumpFree, op)
+}
+
+// streamProc is the goroutine-mode chunk loop.
+func (s *System) streamProc(p *sim.Proc, src, dst int, bytes int64, payload any) {
 	d := s.Disks[dst]
 	remaining := bytes
 	for remaining > 0 {
@@ -387,6 +421,112 @@ func (s *System) stream(p *sim.Proc, src, dst int, bytes int64, payload any) {
 			panic("diskos: disk inbox rejected chunk")
 		}
 	}
+}
+
+// streamOp is one event-mode stream pump: the chunk loop of streamProc
+// unrolled into a state machine that acquires receive-buffer credit,
+// walks the chunk's bus hops, delivers it to the destination inbox and
+// loops, handing control back to the caller after the last chunk. Ops
+// are pooled per system and their continuations bound once, so the
+// direct-communication path performs no allocation per chunk.
+type streamOp struct {
+	s         *System
+	t         *sim.Task
+	caller    *sim.Proc // disklet parked in Await until the stream drains
+	src, dst  int
+	remaining int64
+	n         int64 // current chunk size
+	payload   any
+	stage     int // progress through the current chunk's hops
+	acqFn     func()
+	hopFn     func()
+}
+
+// step starts the next chunk (or finishes the stream): carve the chunk
+// and wait for receive-buffer credit at the destination.
+//
+// The completion Handoff resumes the caller inline inside the final
+// hop's completion event — the same position a blocking streamProc
+// caller resumes at — which is what keeps the two modes' event order
+// identical. The caller may return this op to the pool (and even start
+// a new stream on it) before Handoff returns; nothing after the Handoff
+// may touch op's fields.
+func (op *streamOp) step() {
+	if op.remaining <= 0 {
+		op.s.K.Handoff(op.caller)
+		return
+	}
+	n := op.s.chunk
+	if op.remaining < n {
+		n = op.remaining
+	}
+	op.remaining -= n
+	op.n = n
+	op.s.Disks[op.dst].commBuf.AcquireFunc(op.t, n, op.acqFn)
+}
+
+// acquired holds the chunk's buffer credit; start its first hop.
+func (op *streamOp) acquired() {
+	op.stage = 0
+	op.advance()
+}
+
+// advance walks the chunk through its hop sequence — the same order as
+// diskToDisk / relayThroughFrontEnd — delivering it after the last hop.
+func (op *streamOp) advance() {
+	s := op.s
+	if s.Cfg.DirectComm {
+		sl, dl := s.loopOf(op.src), s.loopOf(op.dst)
+		switch op.stage {
+		case 0:
+			op.stage = 1
+			sl.TransferFunc(op.t, op.n, op.hopFn)
+		case 1:
+			if dl != sl {
+				op.stage = 2
+				dl.TransferFunc(op.t, op.n, op.hopFn)
+				return
+			}
+			op.deliver()
+		default:
+			op.deliver()
+		}
+		return
+	}
+	fe := s.FE
+	op.stage++
+	switch op.stage {
+	case 1:
+		s.loopOf(op.src).TransferFunc(op.t, op.n, op.hopFn)
+	case 2:
+		fe.Adaptor.TransferFunc(op.t, op.n, op.hopFn)
+	case 3:
+		fe.PCI.TransferFunc(op.t, op.n, op.hopFn)
+	case 4:
+		fe.CPU.BusyFunc(op.t, fe.OS.Interrupt+sim.TransferTime(op.n, fe.OS.MemoryCopyBytesPerSec), op.hopFn)
+	case 5:
+		fe.PCI.TransferFunc(op.t, op.n, op.hopFn)
+	case 6:
+		fe.Adaptor.TransferFunc(op.t, op.n, op.hopFn)
+	case 7:
+		s.loopOf(op.dst).TransferFunc(op.t, op.n, op.hopFn)
+	default:
+		fe.relayedBytes += op.n
+		op.deliver()
+	}
+}
+
+// deliver hands the chunk to the destination inbox and loops to step.
+func (op *streamOp) deliver() {
+	last := op.remaining == 0
+	var pl any
+	if last {
+		pl = op.payload
+	}
+	if !op.s.Disks[op.dst].inbox.TryPut(Chunk{Src: op.src, Bytes: op.n, Payload: pl}) {
+		panic("diskos: disk inbox rejected chunk")
+	}
+	op.step()
 }
 
 // relayThroughFrontEnd is the restricted communication path: the chunk

@@ -92,7 +92,11 @@ func (n *Network) NewLink(name string, cfg LinkConfig) *Link {
 		net:   n,
 	}
 	for i := 0; i < cfg.Channels; i++ {
-		n.k.Spawn(fmt.Sprintf("%s.tx%d", name, i), l.transmit)
+		if n.k.ExecMode() == sim.ModeGoroutine {
+			n.k.Spawn(fmt.Sprintf("%s.tx%d", name, i), l.transmit)
+		} else {
+			l.newTx(fmt.Sprintf("%s.tx%d", name, i))
+		}
 	}
 	return l
 }
@@ -166,8 +170,87 @@ func (l *Link) transmit(p *sim.Proc) {
 			}
 			continue
 		}
-		l.net.deliver(p, f)
+		l.net.deliver(f)
 	}
+}
+
+// linkTx is one transmit channel's event-mode server: the same loop as
+// transmit, unrolled into a state machine whose step continuations are
+// bound once at construction, so forwarding a frame performs no
+// goroutine handoff and no allocation.
+type linkTx struct {
+	l       *Link
+	t       *sim.Task
+	f       *frame
+	frameFn func(any, bool)
+	sentFn  func()
+	putFn   func(error)
+	stallFn func()
+}
+
+// newTx creates one event-mode transmit server and starts it.
+func (l *Link) newTx(name string) {
+	tx := &linkTx{l: l, t: l.net.k.NewTask(name)}
+	tx.frameFn = tx.onFrame
+	tx.sentFn = tx.onSent
+	tx.putFn = tx.onPut
+	tx.stallFn = tx.send
+	tx.next()
+}
+
+func (tx *linkTx) next() { tx.l.queue.GetFunc(tx.t, tx.frameFn) }
+
+func (tx *linkTx) onFrame(v any, ok bool) {
+	if !ok {
+		tx.t.Finish() // queue closed: this channel's server retires
+		return
+	}
+	tx.f = v.(*frame)
+	tx.send()
+}
+
+// send waits out any outage covering the current instant, then puts the
+// frame on the wire. Re-checking the windows from scratch after each
+// stall matches stallForOutage's loop.
+func (tx *linkTx) send() {
+	l := tx.l
+	if l.outages != nil {
+		now := l.net.k.Now()
+		for _, w := range l.outages {
+			if now < w.Start {
+				break
+			}
+			if w.Contains(now) {
+				d := w.End - now
+				l.stallTime += d
+				l.net.k.After(d, tx.stallFn)
+				return
+			}
+		}
+	}
+	l.pipe.TransferFunc(tx.t, tx.f.bytes, tx.sentFn)
+}
+
+func (tx *linkTx) onSent() {
+	l, f := tx.l, tx.f
+	l.bytesMoved += f.bytes
+	l.frames++
+	f.path = f.path[1:]
+	if len(f.path) > 0 {
+		f.path[0].queue.PutFunc(tx.t, f, tx.putFn)
+		return
+	}
+	tx.f = nil
+	l.net.deliver(f)
+	tx.next()
+}
+
+func (tx *linkTx) onPut(err error) {
+	if err != nil {
+		tx.l.dropped++
+	}
+	tx.f = nil
+	tx.next()
 }
 
 // Topology computes the link path between nodes.
@@ -280,13 +363,13 @@ func (n *Network) Send(p *sim.Proc, src, dst, tag int, bytes int64, payload any)
 }
 
 // deliver finalizes a frame's arrival at its destination.
-func (n *Network) deliver(p *sim.Proc, f *frame) {
+func (n *Network) deliver(f *frame) {
 	m := f.msg
 	m.framesLeft--
 	if m.framesLeft > 0 {
 		return
 	}
-	m.DeliveredAt = p.Now()
+	m.DeliveredAt = n.k.Now()
 	m.done.Fire()
 	n.bytesDelivered += m.Bytes
 	n.msgsDelivered++

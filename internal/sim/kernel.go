@@ -6,7 +6,8 @@ import (
 )
 
 // event is a scheduled occurrence: either a kernel-context callback (fn)
-// or the resumption of a parked process (p). Events at equal times fire
+// or the wake-up of a parked task (tk) — resuming a goroutine process or
+// dispatching a callback-mode continuation. Events at equal times fire
 // in the order they were scheduled (seq breaks ties), which keeps the
 // simulation deterministic. Events are stored by value in the kernel's
 // queue — scheduling one never allocates.
@@ -14,7 +15,7 @@ type event struct {
 	t   Time
 	seq uint64
 	fn  func()
-	p   *Proc
+	tk  *Task
 }
 
 // Kernel is a discrete-event simulation scheduler. Create one with
@@ -28,35 +29,54 @@ type Kernel struct {
 	seq     uint64
 	yield   chan struct{}
 	live    int // processes spawned and not yet finished
-	blocked int // processes parked without a pending wake event
+	blocked int // processes and tasks parked without a pending wake event
 	limit   Time
 	stopped bool
+	mode    ExecMode
 	procSeq int
 	procs   []*Proc // every spawned process, for deadlock reporting
+	// procFree holds finished processes whose worker goroutines are
+	// parked on their resume channel awaiting reuse; Spawn pops from it
+	// so steady-state spawning allocates nothing. Close releases them.
+	procFree  []*Proc
+	tasks     []*Task // every bare callback task, for deadlock reporting
+	taskFree  []*Task
+	liveTasks int
+	running   *Proc // the process currently executing, nil in kernel context
 }
 
-// NewKernel returns an empty simulation kernel at time zero.
+// NewKernel returns an empty simulation kernel at time zero, executing
+// in DefaultExecMode.
 func NewKernel() *Kernel {
-	return &Kernel{yield: make(chan struct{})}
+	return &Kernel{yield: make(chan struct{}), mode: DefaultExecMode}
 }
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
 
+// ExecMode reports which execution mode model infrastructure should use.
+func (k *Kernel) ExecMode() ExecMode { return k.mode }
+
+// SetExecMode overrides the kernel's execution mode. Call it before
+// building any model components: they consult the mode at construction
+// time to decide between a service process and a callback state machine.
+func (k *Kernel) SetExecMode(m ExecMode) { k.mode = m }
+
 // Live reports the number of processes that have been spawned and have
 // not yet run to completion.
 func (k *Kernel) Live() int { return k.live }
 
-// Blocked reports the number of live processes that are parked waiting
-// on a resource, mailbox, barrier or condition (that is, with no pending
-// timer). A nonzero value after Run returns indicates a deadlock.
+// Blocked reports the number of live processes and callback tasks that
+// are parked waiting on a resource, mailbox, barrier or condition (that
+// is, with no pending timer). A nonzero value after Run returns
+// indicates a deadlock.
 func (k *Kernel) Blocked() int { return k.blocked }
 
-// DeadlockReport describes every process currently parked on a blocking
-// primitive: its name and the wait site (operation and primitive name).
-// It returns "" when no process is blocked. Call it after Run returns to
-// turn a silent hang into an actionable message — the event queue
-// draining while processes are still parked is a deadlock.
+// DeadlockReport describes every process and callback task currently
+// parked on a blocking primitive: its name and the wait site (operation
+// and primitive name). It returns "" when nothing is blocked. Call it
+// after Run returns to turn a silent hang into an actionable message —
+// the event queue draining while work is still parked is a deadlock.
 func (k *Kernel) DeadlockReport() string {
 	if k.blocked == 0 {
 		return ""
@@ -72,15 +92,24 @@ func (k *Kernel) DeadlockReport() string {
 			fmt.Fprintf(&sb, " on %q", p.waitObj)
 		}
 	}
+	for _, t := range k.tasks {
+		if t.finished || t.waitOp == "" {
+			continue
+		}
+		fmt.Fprintf(&sb, "\n  %s: %s", t.name, t.waitOp)
+		if t.waitObj != "" {
+			fmt.Fprintf(&sb, " on %q", t.waitObj)
+		}
+	}
 	return sb.String()
 }
 
 // schedule enqueues an event at absolute time t. Events for the current
 // instant take the FIFO fast lane (no heap work); future events go into
 // the min-heap. Both paths are allocation-free in steady state.
-func (k *Kernel) schedule(t Time, fn func(), p *Proc) {
+func (k *Kernel) schedule(t Time, fn func(), tk *Task) {
 	k.seq++
-	e := event{t: t, seq: k.seq, fn: fn, p: p}
+	e := event{t: t, seq: k.seq, fn: fn, tk: tk}
 	if t == k.now {
 		k.events.fast.push(e)
 	} else {
@@ -104,7 +133,7 @@ func (k *Kernel) scheduleProc(p *Proc, t Time) {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling process %q at %v before now %v", p.name, t, k.now))
 	}
-	k.schedule(t, nil, p)
+	k.schedule(t, nil, &p.Task)
 }
 
 // Stop halts the simulation: Run returns after the currently running
@@ -126,10 +155,15 @@ func (k *Kernel) Run() Time {
 			e.fn()
 			continue
 		}
-		if e.p.finished {
-			continue // stale wake for a process that already exited
+		tk := e.tk
+		if tk.finished {
+			continue // stale wake for a process/task that already exited
 		}
-		k.activate(e.p)
+		if p := tk.proc; p != nil {
+			k.activate(p)
+			continue
+		}
+		tk.dispatch()
 	}
 	return k.now
 }
@@ -142,89 +176,122 @@ func (k *Kernel) RunUntil(limit Time) Time {
 	return k.Run()
 }
 
+// Close releases the pooled worker goroutines of finished processes.
+// Call it once after the final Run on kernels that spawned processes;
+// without it the pooled workers stay parked on their resume channels
+// for the life of the OS process. The kernel remains usable afterwards
+// (Spawn simply creates fresh workers). Close is idempotent and must
+// not be called while the kernel is running.
+func (k *Kernel) Close() {
+	for i, p := range k.procFree {
+		close(p.resume)
+		k.procFree[i] = nil
+	}
+	k.procFree = k.procFree[:0]
+}
+
 // activate hands control to p and waits until p parks or finishes.
 func (k *Kernel) activate(p *Proc) {
+	k.running = p
 	p.resume <- struct{}{}
 	<-k.yield
+	k.running = nil
+}
+
+// Handoff transfers control to a process parked in Await, resuming it
+// inline: p runs inside the *current* event until its next park, exactly
+// where a blocking call in p's own body would have resumed. This is the
+// synchronous-call bridge for event-mode state machines that service a
+// parked caller — scheduling a wake event instead would let other
+// already-queued same-time events run first, reordering resource grants
+// relative to the blocking API. Handoff must be called from kernel
+// context (an event callback or a task continuation); calling it while
+// a process is running panics, since two runnable processes would break
+// deterministic ordering.
+func (k *Kernel) Handoff(p *Proc) {
+	if k.running != nil {
+		panic(fmt.Sprintf("sim: Handoff(%q) from process %q; Handoff is only valid in kernel context", p.name, k.running.name))
+	}
+	k.activate(p)
 }
 
 // Proc is a simulation process: a goroutine whose execution is
 // interleaved with virtual time. Process bodies call the blocking
 // methods (Delay, Resource.Acquire, Mailbox.Get, ...) to advance the
 // clock; between those calls they execute instantaneously in simulation
-// time.
+// time. The embedded Task carries the process's identity and wait state,
+// so processes and callback tasks share the same waiter queues.
 type Proc struct {
-	name     string
-	id       int
-	k        *Kernel
-	resume   chan struct{}
-	finished bool
-	// granted is scratch state for Resource.Acquire: a parked process
-	// waits on at most one resource at a time, so keeping the flag here
-	// lets the waiter queue hold plain values instead of allocating a
-	// per-wait record.
-	granted bool
-	// waitSeq is the process's wait token. Entries in waiter queues carry
-	// the token current when they enqueued; any waker (a grant or a
-	// timeout) increments it before scheduling the wake, which both marks
-	// other queued entries for this process stale and guarantees at most
-	// one wake per wait — the arbitration that makes timed waits safe
-	// when a grant and an expiry land on the same timestamp.
-	waitSeq uint64
-	// timedOut is set by a timeout wake so the resumed process can tell
-	// expiry apart from a grant.
-	timedOut bool
-	// waitObj/waitOp describe the current blocking wait site (primitive
-	// name and operation) for deadlock reporting. Both are empty while
-	// the process is runnable or sleeping on a timer. Two fields instead
-	// of one formatted string keep the park path allocation-free.
-	waitObj string
-	waitOp  string
+	Task
+	resume chan struct{}
+	body   func(*Proc)
 }
-
-// Name returns the name the process was spawned with.
-func (p *Proc) Name() string { return p.name }
-
-// ID returns a unique small integer identifying the process.
-func (p *Proc) ID() int { return p.id }
-
-// Kernel returns the kernel this process belongs to.
-func (p *Proc) Kernel() *Kernel { return p.k }
-
-// Now returns the current virtual time.
-func (p *Proc) Now() Time { return p.k.now }
 
 // Spawn creates a process running body and schedules it to start at the
 // current virtual time. It may be called before Run or from inside any
-// process or event callback.
+// process or event callback. Finished processes park their worker
+// goroutine in a free pool and Spawn reuses them — steady-state
+// spawning performs no allocation and creates no goroutine.
 func (k *Kernel) Spawn(name string, body func(*Proc)) *Proc {
 	k.procSeq++
-	p := &Proc{name: name, id: k.procSeq, k: k, resume: make(chan struct{})}
-	k.live++
-	if len(k.procs) >= 64 && len(k.procs) >= 2*k.live {
-		// Mostly-finished registry: compact so long runs that spawn
-		// short-lived processes don't accumulate dead entries.
-		live := k.procs[:0]
-		for _, q := range k.procs {
-			if !q.finished {
-				live = append(live, q)
-			}
-		}
-		for i := len(live); i < len(k.procs); i++ {
-			k.procs[i] = nil
-		}
-		k.procs = live
+	var p *Proc
+	if n := len(k.procFree); n > 0 {
+		p = k.procFree[n-1]
+		k.procFree[n-1] = nil
+		k.procFree = k.procFree[:n-1]
+		p.finished = false
+	} else {
+		p = &Proc{resume: make(chan struct{})}
+		p.k = k
+		p.proc = p
+		go p.run()
 	}
-	k.procs = append(k.procs, p)
-	go func() {
-		<-p.resume
-		body(p)
-		p.finished = true
-		k.live--
-		k.yield <- struct{}{}
-	}()
+	p.name, p.id = name, k.procSeq
+	p.body = body
+	k.live++
+	if !p.inReg {
+		if len(k.procs) >= 64 && len(k.procs) >= 2*k.live {
+			// Mostly-finished registry: compact so long runs that spawn
+			// short-lived processes don't accumulate dead entries.
+			live := k.procs[:0]
+			for _, q := range k.procs {
+				if !q.finished {
+					live = append(live, q)
+				} else {
+					q.inReg = false
+				}
+			}
+			for i := len(live); i < len(k.procs); i++ {
+				k.procs[i] = nil
+			}
+			k.procs = live
+		}
+		k.procs = append(k.procs, p)
+		p.inReg = true
+	}
 	k.scheduleProc(p, k.now)
 	return p
+}
+
+// run is the worker goroutine behind a process. After a body returns
+// the worker parks itself in the kernel's free pool and blocks on its
+// resume channel until Spawn reuses it with a new body — or Close
+// closes the channel to let it exit. The pool mutations are safe
+// without locks: they happen strictly between receiving resume and
+// sending yield, while the kernel goroutine is blocked in activate.
+func (p *Proc) run() {
+	k := p.k
+	for {
+		if _, ok := <-p.resume; !ok {
+			return
+		}
+		p.body(p)
+		p.body = nil
+		p.finished = true
+		k.live--
+		k.procFree = append(k.procFree, p)
+		k.yield <- struct{}{}
+	}
 }
 
 // park suspends the process until another event wakes it. The caller is
@@ -250,9 +317,12 @@ func (p *Proc) parkBlocked(obj, op string) {
 	p.waitObj, p.waitOp = "", ""
 }
 
-// wake schedules p to resume at the current virtual time (via the
-// same-timestamp fast lane).
-func (p *Proc) wake() { p.k.scheduleProc(p, p.k.now) }
+// Await parks the process until a state machine hands control back with
+// Kernel.Handoff. The wait site appears in DeadlockReport like any other
+// blocking primitive. Unlike the waiter-queue primitives there is no
+// queue and no wake event: the matching Handoff resumes the process
+// inline, inside the event that completed the work on its behalf.
+func (p *Proc) Await(obj, op string) { p.parkBlocked(obj, op) }
 
 // Delay advances this process's virtual time by d. A non-positive d
 // yields to other events scheduled at the current time.

@@ -119,6 +119,91 @@ func BenchmarkKernelMailboxPingPong(b *testing.B) {
 	k.Run()
 }
 
+// BenchmarkKernelCallbackPingPong is BenchmarkKernelMailboxPingPong on
+// the callback API: the same two-mailbox bounce driven by bare tasks
+// with pre-bound continuations, so each hop is a dispatch in kernel
+// context instead of a goroutine park/resume round trip. The ratio
+// between the two benchmarks is the payoff of the event-driven fast
+// path.
+func BenchmarkKernelCallbackPingPong(b *testing.B) {
+	k := NewKernel()
+	defer k.Close()
+	ab := NewMailbox(k, "ab", 0)
+	ba := NewMailbox(k, "ba", 0)
+	var msg struct{}
+	remaining := b.N
+	ta := k.NewTask("a")
+	tb := k.NewTask("b")
+
+	var aStep func(v any, ok bool)
+	aPutDone := func(err error) { ba.GetFunc(ta, aStep) }
+	aStep = func(v any, ok bool) {
+		if remaining <= 0 {
+			ab.Close()
+			return
+		}
+		remaining--
+		ab.PutFunc(ta, msg, aPutDone)
+	}
+	var bStep func(v any, ok bool)
+	bPutDone := func(err error) { ab.GetFunc(tb, bStep) }
+	bStep = func(v any, ok bool) {
+		if !ok {
+			return
+		}
+		ba.PutFunc(tb, msg, bPutDone)
+	}
+	ab.GetFunc(tb, bStep)
+	b.ReportAllocs()
+	b.ResetTimer()
+	aStep(nil, true)
+	k.Run()
+}
+
+// BenchmarkKernelCallbackResource is BenchmarkKernelResourceContention
+// on the callback API: four task state machines contend for a
+// capacity-1 resource through AcquireFunc.
+func BenchmarkKernelCallbackResource(b *testing.B) {
+	k := NewKernel()
+	defer k.Close()
+	r := NewResource(k, "r", 1)
+	grants := b.N
+	start := make([]func(), 0, 4)
+	for w := 0; w < 4; w++ {
+		t := k.NewTask("w")
+		var next, acquired, release func()
+		next = func() {
+			if grants <= 0 {
+				return
+			}
+			grants--
+			r.AcquireFunc(t, 1, acquired)
+		}
+		release = func() { r.Release(1); next() }
+		acquired = func() { k.After(1, release) }
+		start = append(start, next)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for _, next := range start {
+		next()
+	}
+	k.Run()
+}
+
+// BenchmarkKernelTaskCreate measures bare-task creation and retirement —
+// the pooled counterpart of BenchmarkKernelSpawn.
+func BenchmarkKernelTaskCreate(b *testing.B) {
+	k := NewKernel()
+	defer k.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := k.NewTask("t")
+		t.Finish()
+	}
+}
+
 // BenchmarkKernelResourceContention hammers a capacity-1 resource with
 // four holders, exercising the waiter queue (park, FIFO admit, wake)
 // on nearly every acquisition.

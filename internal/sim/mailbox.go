@@ -1,53 +1,53 @@
 package sim
 
-// wakeAll wakes every process parked in q, in FIFO order, leaving the
+// wakeAll wakes every task parked in q, in FIFO order, leaving the
 // queue empty (its storage is retained for reuse).
-func wakeAll(q *fifo[*Proc]) {
+func wakeAll(q *fifo[*Task]) {
 	for q.len() > 0 {
 		q.pop().wake()
 	}
 }
 
-// waiter is one parked process plus the wait token that was current when
-// it enqueued. An entry whose token no longer matches the process's is
-// stale — the process was woken by a timeout (or an earlier grant) and
+// waiter is one parked task plus the wait token that was current when
+// it enqueued. An entry whose token no longer matches the task's is
+// stale — the task was woken by a timeout (or an earlier grant) and
 // has left this wait — and wakers skip it. Stored by value; enqueueing
 // never allocates.
 type waiter struct {
-	p   *Proc
+	t   *Task
 	seq uint64
 }
 
-// enqueue records p in q with its current wait token.
-func enqueue(q *fifo[waiter], p *Proc) {
-	q.push(waiter{p: p, seq: p.waitSeq})
+// enqueue records t in q with its current wait token.
+func enqueue(q *fifo[waiter], t *Task) {
+	q.push(waiter{t: t, seq: t.waitSeq})
 }
 
 // claim consumes w's wait token, reporting whether the entry was still
 // live. A successful claim invalidates every other pending wake source
 // for this wait (stale queue entries, a pending timeout).
 func (w waiter) claim() bool {
-	if w.p.waitSeq != w.seq {
+	if w.t.waitSeq != w.seq {
 		return false
 	}
-	w.p.waitSeq++
+	w.t.waitSeq++
 	return true
 }
 
-// wakeAllWaiters wakes every live process parked in q, in FIFO order.
+// wakeAllWaiters wakes every live task parked in q, in FIFO order.
 func wakeAllWaiters(q *fifo[waiter]) {
 	for q.len() > 0 {
 		if w := q.pop(); w.claim() {
-			w.p.wake()
+			w.t.wake()
 		}
 	}
 }
 
-// wakeFirstWaiter wakes the longest-parked live process in q, if any.
+// wakeFirstWaiter wakes the longest-parked live task in q, if any.
 func wakeFirstWaiter(q *fifo[waiter]) {
 	for q.len() > 0 {
 		if w := q.pop(); w.claim() {
-			w.p.wake()
+			w.t.wake()
 			return
 		}
 	}
@@ -94,7 +94,7 @@ func (m *Mailbox) Closed() bool { return m.closed }
 // condition callers model as a dead endpoint, not a programming error.
 func (m *Mailbox) Put(p *Proc, v any) error {
 	for m.capacity > 0 && m.items.len() >= m.capacity && !m.closed {
-		enqueue(&m.putters, p)
+		enqueue(&m.putters, &p.Task)
 		p.parkBlocked(m.name, "put")
 	}
 	if m.closed {
@@ -104,6 +104,44 @@ func (m *Mailbox) Put(p *Proc, v any) error {
 	m.puts++
 	wakeFirstWaiter(&m.getters)
 	return nil
+}
+
+// PutFunc is Put for callback tasks: it enqueues v and then runs fn
+// with the outcome — immediately in the caller's context when the
+// mailbox has room (or is closed), otherwise later in kernel context
+// once a getter frees a slot. fn may be nil when the caller does not
+// continue after the put (fire-and-forget into an unbounded mailbox).
+func (m *Mailbox) PutFunc(t *Task, v any, fn func(error)) {
+	t.putVal = v
+	t.putCont = fn
+	m.completePut(t)
+}
+
+// completePut attempts t's pending put, re-parking if the mailbox is
+// still full. It is called from PutFunc and again from dispatch each
+// time the task is woken, mirroring the retry loop in Put.
+func (m *Mailbox) completePut(t *Task) {
+	if m.capacity > 0 && m.items.len() >= m.capacity && !m.closed {
+		t.waitMb = m
+		t.parkWait(taskWaitPut, m.name, "put")
+		enqueue(&m.putters, t)
+		return
+	}
+	fn := t.putCont
+	v := t.putVal
+	t.putCont, t.putVal, t.waitMb = nil, nil, nil
+	if m.closed {
+		if fn != nil {
+			fn(ErrClosed)
+		}
+		return
+	}
+	m.items.push(v)
+	m.puts++
+	wakeFirstWaiter(&m.getters)
+	if fn != nil {
+		fn(nil)
+	}
 }
 
 // TryPut enqueues v if the mailbox has room, reporting success.
@@ -122,7 +160,7 @@ func (m *Mailbox) TryPut(v any) bool {
 // otherwise it returns (msg, true).
 func (m *Mailbox) Get(p *Proc) (any, bool) {
 	for m.items.len() == 0 && !m.closed {
-		enqueue(&m.getters, p)
+		enqueue(&m.getters, &p.Task)
 		p.parkBlocked(m.name, "get")
 	}
 	if m.items.len() == 0 {
@@ -132,6 +170,39 @@ func (m *Mailbox) Get(p *Proc) (any, bool) {
 	m.gets++
 	wakeFirstWaiter(&m.putters)
 	return v, true
+}
+
+// GetFunc is Get for callback tasks: it runs fn with the dequeued
+// message — immediately in the caller's context when one is available
+// (or the mailbox is closed and drained, with ok=false), otherwise
+// later in kernel context when a message arrives.
+func (m *Mailbox) GetFunc(t *Task, fn func(v any, ok bool)) {
+	t.getCont = fn
+	m.completeGet(t)
+}
+
+// completeGet attempts t's pending get, re-parking if the mailbox is
+// still empty (another waiter woken at the same timestamp may have
+// taken the message first). It is called from GetFunc and again from
+// dispatch each time the task is woken, mirroring the retry loop in
+// Get.
+func (m *Mailbox) completeGet(t *Task) {
+	if m.items.len() == 0 && !m.closed {
+		t.waitMb = m
+		t.parkWait(taskWaitGet, m.name, "get")
+		enqueue(&m.getters, t)
+		return
+	}
+	fn := t.getCont
+	t.getCont, t.waitMb = nil, nil
+	if m.items.len() == 0 {
+		fn(nil, false)
+		return
+	}
+	v := m.items.pop()
+	m.gets++
+	wakeFirstWaiter(&m.putters)
+	fn(v, true)
 }
 
 // GetTimeout is Get with a deadline d from now. It returns ErrTimeout if
@@ -155,7 +226,7 @@ func (m *Mailbox) GetTimeout(p *Proc, d Time) (any, error) {
 				p.wake()
 			}
 		})
-		enqueue(&m.getters, p)
+		enqueue(&m.getters, &p.Task)
 		p.parkBlocked(m.name, "get")
 		if p.timedOut {
 			p.timedOut = false
@@ -203,7 +274,7 @@ type Barrier struct {
 	parties int
 	arrived int
 	gen     int64
-	waiters fifo[*Proc]
+	waiters fifo[*Task]
 	rounds  int64
 }
 
@@ -229,7 +300,7 @@ func (b *Barrier) Wait(p *Proc) {
 		wakeAll(&b.waiters)
 		return
 	}
-	b.waiters.push(p)
+	b.waiters.push(&p.Task)
 	for b.gen == gen {
 		p.parkBlocked(b.name, "barrier")
 	}
@@ -239,7 +310,7 @@ func (b *Barrier) Wait(p *Proc) {
 // Fire block; once fired, Wait returns immediately forever after.
 type Signal struct {
 	fired   bool
-	waiters fifo[*Proc]
+	waiters fifo[*Task]
 }
 
 // NewSignal creates an unfired signal.
@@ -260,16 +331,39 @@ func (s *Signal) Fire() {
 // Wait blocks p until the signal fires.
 func (s *Signal) Wait(p *Proc) {
 	for !s.fired {
-		s.waiters.push(p)
+		s.waiters.push(&p.Task)
 		p.parkBlocked("", "signal")
 	}
+}
+
+// WaitFunc runs fn once the signal has fired: immediately in the
+// caller's context if it already has, otherwise in kernel context when
+// Fire releases the waiters.
+func (s *Signal) WaitFunc(t *Task, fn func()) {
+	if s.fired {
+		fn()
+		return
+	}
+	t.sigCont = fn
+	t.parkWait(taskWaitSignal, "", "signal")
+	s.waiters.push(t)
+}
+
+// Reset returns a fired signal to the unfired state so pooled
+// completion signals can be reused. Resetting with waiters still parked
+// panics: they would never be woken.
+func (s *Signal) Reset() {
+	if s.waiters.len() > 0 {
+		panic("sim: Reset on a signal with parked waiters")
+	}
+	s.fired = false
 }
 
 // WaitGroup counts outstanding work items; Wait blocks until the count
 // reaches zero. The zero value is unusable — create with NewWaitGroup.
 type WaitGroup struct {
 	count   int
-	waiters fifo[*Proc]
+	waiters fifo[*Task]
 }
 
 // NewWaitGroup returns a wait group with an initial count.
@@ -295,7 +389,7 @@ func (wg *WaitGroup) Count() int { return wg.count }
 // Wait blocks p until the count is zero.
 func (wg *WaitGroup) Wait(p *Proc) {
 	for wg.count > 0 {
-		wg.waiters.push(p)
+		wg.waiters.push(&p.Task)
 		p.parkBlocked("", "waitgroup")
 	}
 }

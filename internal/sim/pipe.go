@@ -71,6 +71,38 @@ func (pp *Pipe) Transfer(p *Proc, bytes int64) {
 	pp.transfers++
 }
 
+// TransferFunc is Transfer for callback tasks: it arbitrates for a
+// channel, holds it for the transfer duration, and then runs fn in
+// kernel context. The state machine's step continuations are bound
+// method values created once per task and reused for every transfer, so
+// the whole round trip stays allocation-free in steady state. A task
+// may have only one transfer in flight at a time.
+func (pp *Pipe) TransferFunc(t *Task, bytes int64, fn func()) {
+	if t.xferAcqFn == nil {
+		t.xferAcqFn = t.xferAcquired
+		t.xferEndFn = t.xferComplete
+	}
+	t.xferPipe, t.xferBytes, t.xferCont = pp, bytes, fn
+	pp.res.AcquireFunc(t, 1, t.xferAcqFn)
+}
+
+// xferAcquired runs when the task holds a pipe channel: start the hold
+// timer for the serialization delay.
+func (t *Task) xferAcquired() {
+	t.k.After(t.xferPipe.TransferDuration(t.xferBytes), t.xferEndFn)
+}
+
+// xferComplete releases the channel, books the transfer and continues.
+func (t *Task) xferComplete() {
+	pp := t.xferPipe
+	pp.res.Release(1)
+	pp.bytesMoved += t.xferBytes
+	pp.transfers++
+	fn := t.xferCont
+	t.xferPipe, t.xferCont = nil, nil
+	fn()
+}
+
 // TransferSegmented moves bytes as a sequence of segments of at most
 // segment bytes, re-arbitrating for a channel between segments. This
 // models loop/bus arbitration at frame granularity: long transfers do

@@ -79,7 +79,7 @@ func TestEventRingWraparound(t *testing.T) {
 		}
 	}
 	for i := range r.buf {
-		if e := &r.buf[i]; e.t != 0 || e.seq != 0 || e.fn != nil || e.p != nil {
+		if e := &r.buf[i]; e.t != 0 || e.seq != 0 || e.fn != nil || e.tk != nil {
 			t.Errorf("ring slot %d not cleared after pop: %+v", i, *e)
 		}
 	}
@@ -89,7 +89,7 @@ func TestEventRingWraparound(t *testing.T) {
 // element must not be retained by the backing array.
 func TestFifoClearsPoppedSlots(t *testing.T) {
 	var q fifo[*Proc]
-	procs := []*Proc{{id: 1}, {id: 2}, {id: 3}}
+	procs := []*Proc{{Task: Task{id: 1}}, {Task: Task{id: 2}}, {Task: Task{id: 3}}}
 	for _, p := range procs {
 		q.push(p)
 	}

@@ -24,13 +24,13 @@ type Resource struct {
 }
 
 // resWaiter records one parked acquisition. It is stored by value in the
-// resource's waiter queue; the grant flag lives on the Proc (a process
+// resource's waiter queue; the grant flag lives on the Task (a task
 // waits on at most one resource at a time), so enqueueing never
-// allocates. seq is the process's wait token at enqueue time: a timed-out
+// allocates. seq is the task's wait token at enqueue time: a timed-out
 // waiter invalidates its entry by bumping the token, and admit skips the
 // stale entry instead of granting to a process that has left.
 type resWaiter struct {
-	p      *Proc
+	t      *Task
 	amount int64
 	seq    uint64
 }
@@ -92,10 +92,35 @@ func (r *Resource) Acquire(p *Proc, amount int64) {
 		return
 	}
 	p.granted = false
-	r.waiters.push(resWaiter{p: p, amount: amount, seq: p.waitSeq})
+	r.waiters.push(resWaiter{t: &p.Task, amount: amount, seq: p.waitSeq})
 	for !p.granted {
 		p.parkBlocked(r.name, "acquire")
 	}
+}
+
+// AcquireFunc is Acquire for callback tasks: it runs fn once amount
+// units are claimed — immediately in the caller's context when they are
+// free (and no earlier waiter is queued), otherwise in kernel context
+// when a release admits the task.
+func (r *Resource) AcquireFunc(t *Task, amount int64, fn func()) {
+	if amount <= 0 {
+		fn()
+		return
+	}
+	if amount > r.capacity {
+		panic(fmt.Sprintf("sim: acquire %d exceeds capacity %d of %s", amount, r.capacity, r.name))
+	}
+	if r.waiters.len() == 0 && r.inUse+amount <= r.capacity {
+		r.account()
+		r.inUse += amount
+		r.grants++
+		fn()
+		return
+	}
+	t.granted = false
+	t.acqCont = fn
+	t.parkWait(taskWaitAcquire, r.name, "acquire")
+	r.waiters.push(resWaiter{t: t, amount: amount, seq: t.waitSeq})
 }
 
 // AcquireTimeout is Acquire with a deadline d from now: it returns nil
@@ -126,7 +151,7 @@ func (r *Resource) AcquireTimeout(p *Proc, amount int64, d Time) error {
 			p.wake()
 		}
 	})
-	r.waiters.push(resWaiter{p: p, amount: amount, seq: seq})
+	r.waiters.push(resWaiter{t: &p.Task, amount: amount, seq: seq})
 	for !p.granted {
 		p.parkBlocked(r.name, "acquire")
 		if p.timedOut {
@@ -173,7 +198,7 @@ func (r *Resource) Release(amount int64) {
 func (r *Resource) admit() {
 	for r.waiters.len() > 0 {
 		head := r.waiters.peek()
-		if head.p.waitSeq != head.seq {
+		if head.t.waitSeq != head.seq {
 			r.waiters.pop() // stale: the waiter timed out and left
 			continue
 		}
@@ -183,9 +208,9 @@ func (r *Resource) admit() {
 		w := r.waiters.pop()
 		r.inUse += w.amount
 		r.grants++
-		w.p.granted = true
-		w.p.waitSeq++
-		w.p.wake()
+		w.t.granted = true
+		w.t.waitSeq++
+		w.t.wake()
 	}
 }
 

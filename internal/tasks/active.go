@@ -15,6 +15,7 @@ import (
 // runActive executes one task on an Active Disk configuration.
 func runActive(cfg arch.Config, task workload.TaskID, ds workload.Dataset, res *Result, plan *fault.Plan) {
 	k := sim.NewKernel()
+	defer k.Close()
 	s := cfg.BuildActive(k)
 	s.InstallFaults(plan)
 	deg := &degrade{}

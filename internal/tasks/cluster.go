@@ -49,6 +49,7 @@ func (w *sendWindow) drain(p *sim.Proc) {
 // runCluster executes one task on a commodity-cluster configuration.
 func runCluster(cfg arch.Config, task workload.TaskID, ds workload.Dataset, res *Result, plan *fault.Plan) {
 	k := sim.NewKernel()
+	defer k.Close()
 	m := cfg.BuildCluster(k)
 	m.InstallFaults(plan)
 	deg := &degrade{}

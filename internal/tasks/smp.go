@@ -16,6 +16,7 @@ import (
 // block transfers / remote queues for data movement between processors.
 func runSMP(cfg arch.Config, task workload.TaskID, ds workload.Dataset, res *Result, plan *fault.Plan) {
 	k := sim.NewKernel()
+	defer k.Close()
 	m := cfg.BuildSMP(k)
 	m.InstallFaults(plan)
 	deg := &degrade{}

@@ -1,0 +1,57 @@
+// Command benchfigures runs the end-to-end figure benchmarks (the root
+// package's BenchmarkFigure* — each renders one of the paper's figures)
+// at reduced dataset scale and writes the wall-clock results as JSON
+// (default BENCH_figures.json), the figure-level counterpart of
+// BENCH_kernel.json:
+//
+//	go run ./scripts/benchfigures           # or: make benchfigures
+//	go run ./scripts/benchfigures -scale 0.02 -count 3 -out /tmp/f.json
+//
+// Figure times are dominated by simulated-event volume, so they move
+// when the kernel's event path does — the JSON records whether a hot
+// path change actually shows up at figure granularity.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+
+	"howsim/internal/benchfmt"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_figures.json", "output file")
+		pattern = flag.String("bench", "BenchmarkFigure", "benchmark regexp")
+		pkg     = flag.String("pkg", ".", "package to benchmark")
+		scale   = flag.Float64("scale", 0.05, "HOWSIM_BENCH_SCALE dataset scale factor")
+		count   = flag.Int("count", 1, "benchmark repetitions (best ns/op wins)")
+	)
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", *pattern, "-benchtime", "1x", "-benchmem",
+		"-count", strconv.Itoa(*count), *pkg)
+	cmd.Env = append(os.Environ(), fmt.Sprintf("HOWSIM_BENCH_SCALE=%g", *scale))
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchfigures: go test failed: %v\n%s", err, raw)
+		os.Exit(1)
+	}
+
+	rep := benchfmt.NewReport(*pkg, *pattern, *count)
+	rep.Benchmarks = benchfmt.ParseOutput(raw)
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchfigures: no benchmark lines parsed")
+		os.Exit(1)
+	}
+	if err := rep.WriteFile(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchfigures:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks, scale %g)\n", *out, len(rep.Benchmarks), *scale)
+}

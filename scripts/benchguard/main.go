@@ -1,0 +1,78 @@
+// Command benchguard compares a freshly measured benchmark report
+// against the committed baseline and fails if a guarded benchmark
+// regressed past the tolerance. CI runs it after the bench-smoke pass:
+//
+//	go run ./scripts/benchkernel -count 1 -out /tmp/BENCH_kernel.json
+//	go run ./scripts/benchguard -baseline BENCH_kernel.json -current /tmp/BENCH_kernel.json
+//
+// Only ns/op is gated (with a generous default tolerance — CI runners
+// are noisy); allocs/op is gated exactly, because the kernel's hot
+// paths are designed to be allocation-free and any new allocation is a
+// real change, not noise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"howsim/internal/benchfmt"
+)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_kernel.json", "committed baseline report")
+		currentPath  = flag.String("current", "/tmp/BENCH_kernel.json", "freshly measured report")
+		names        = flag.String("guard", "BenchmarkKernelEventThroughput", "comma-separated benchmarks to gate")
+		tolerance    = flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression")
+	)
+	flag.Parse()
+
+	baseline, err := benchfmt.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+	current, err := benchfmt.ReadFile(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+
+	failed := false
+	for _, name := range strings.Split(*names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		base, ok := baseline.Find(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchguard: %s missing from baseline %s\n", name, *baselinePath)
+			failed = true
+			continue
+		}
+		cur, ok := current.Find(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchguard: %s missing from current %s\n", name, *currentPath)
+			failed = true
+			continue
+		}
+		limit := base.NsPerOp * (1 + *tolerance)
+		verdict := "ok"
+		if cur.NsPerOp > limit {
+			verdict = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("%-40s baseline %.1f ns/op  current %.1f ns/op  limit %.1f  %s\n",
+			name, base.NsPerOp, cur.NsPerOp, limit, verdict)
+		if cur.AllocsPerOp > base.AllocsPerOp {
+			fmt.Printf("%-40s allocs/op grew %.0f -> %.0f  REGRESSED\n",
+				name, base.AllocsPerOp, cur.AllocsPerOp)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

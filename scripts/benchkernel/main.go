@@ -7,38 +7,14 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/exec"
-	"runtime"
 	"strconv"
-	"strings"
-	"time"
+
+	"howsim/internal/benchfmt"
 )
-
-// Benchmark is one parsed `go test -bench` result line.
-type Benchmark struct {
-	Name        string             `json:"name"`
-	Iterations  int64              `json:"iterations"`
-	NsPerOp     float64            `json:"ns_per_op"`
-	BytesPerOp  float64            `json:"bytes_per_op"`
-	AllocsPerOp float64            `json:"allocs_per_op"`
-	Metrics     map[string]float64 `json:"metrics,omitempty"`
-}
-
-// Report is the BENCH_kernel.json document.
-type Report struct {
-	Generated  string      `json:"generated"`
-	GoVersion  string      `json:"go_version"`
-	GOARCH     string      `json:"goarch"`
-	NumCPU     int         `json:"num_cpu"`
-	Package    string      `json:"package"`
-	Pattern    string      `json:"pattern"`
-	Count      int         `json:"count"`
-	Benchmarks []Benchmark `json:"benchmarks"`
-}
 
 func main() {
 	var (
@@ -58,85 +34,15 @@ func main() {
 		os.Exit(1)
 	}
 
-	best := map[string]Benchmark{}
-	var order []string
-	for _, line := range strings.Split(string(raw), "\n") {
-		b, ok := parseLine(line)
-		if !ok {
-			continue
-		}
-		if prev, seen := best[b.Name]; !seen {
-			order = append(order, b.Name)
-			best[b.Name] = b
-		} else if b.NsPerOp < prev.NsPerOp {
-			best[b.Name] = b
-		}
-	}
-	if len(order) == 0 {
+	rep := benchfmt.NewReport(*pkg, *pattern, *count)
+	rep.Benchmarks = benchfmt.ParseOutput(raw)
+	if len(rep.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchkernel: no benchmark lines parsed")
 		os.Exit(1)
 	}
-
-	rep := Report{
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Package:   *pkg,
-		Pattern:   *pattern,
-		Count:     *count,
-	}
-	for _, name := range order {
-		rep.Benchmarks = append(rep.Benchmarks, best[name])
-	}
-
-	enc, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchkernel:", err)
-		os.Exit(1)
-	}
-	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+	if err := rep.WriteFile(*out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchkernel:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
-}
-
-// parseLine parses one result line, e.g.
-//
-//	BenchmarkKernelEventThroughput-8  10646050  114.6 ns/op  8726570 events/s  0 B/op  0 allocs/op
-func parseLine(line string) (Benchmark, bool) {
-	f := strings.Fields(line)
-	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
-		return Benchmark{}, false
-	}
-	name := f[0]
-	if i := strings.LastIndex(name, "-"); i > 0 {
-		name = name[:i] // strip -GOMAXPROCS suffix
-	}
-	iters, err := strconv.ParseInt(f[1], 10, 64)
-	if err != nil {
-		return Benchmark{}, false
-	}
-	b := Benchmark{Name: name, Iterations: iters}
-	for i := 2; i+1 < len(f); i += 2 {
-		v, err := strconv.ParseFloat(f[i], 64)
-		if err != nil {
-			return Benchmark{}, false
-		}
-		switch unit := f[i+1]; unit {
-		case "ns/op":
-			b.NsPerOp = v
-		case "B/op":
-			b.BytesPerOp = v
-		case "allocs/op":
-			b.AllocsPerOp = v
-		default:
-			if b.Metrics == nil {
-				b.Metrics = map[string]float64{}
-			}
-			b.Metrics[unit] = v
-		}
-	}
-	return b, true
 }
