@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench-kernel bench-figures benchfigures bench-guard fault-smoke
+.PHONY: build vet test race bench-kernel bench-figures benchfigures bench-guard fault-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -47,3 +47,16 @@ fault-smoke:
 		-faults seed=42,media=0.002,slow=0.001,fail=3@50ms,replica
 	$(GO) run ./cmd/experiments -scale 0.02 -sizes 16 \
 		-faults seed=42,fail=3@50ms
+
+# Observability smoke: run one probed sort on each architecture, write
+# the Chrome traces plus a breakdown report, and validate every trace
+# with tracecheck (parses, has spans, carries the thread metadata).
+# CI uploads /tmp/howsim-traces as an artifact.
+trace-smoke:
+	mkdir -p /tmp/howsim-traces
+	$(GO) run ./cmd/experiments -scale 0.02 -sizes 16 -faulttask sort \
+		-trace /tmp/howsim-traces/sort.json -breakdown \
+		> /tmp/howsim-traces/breakdown.txt
+	$(GO) run ./scripts/tracecheck /tmp/howsim-traces/sort.active.json \
+		/tmp/howsim-traces/sort.cluster.json /tmp/howsim-traces/sort.smp.json
+	grep -q "accounted" /tmp/howsim-traces/breakdown.txt

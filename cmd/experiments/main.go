@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -27,6 +28,7 @@ import (
 	"howsim/internal/arch"
 	"howsim/internal/experiments"
 	"howsim/internal/fault"
+	"howsim/internal/probe"
 	"howsim/internal/profiling"
 	"howsim/internal/sim"
 	"howsim/internal/tasks"
@@ -41,8 +43,10 @@ func main() {
 		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		faults   = flag.String("faults", "", "fault plan; runs the fault experiment instead of the figures")
 		ftask    = flag.String("faulttask", "select", "task for the -faults experiment")
-		farch    = flag.String("faultarch", "all", "architecture for -faults: active|cluster|smp|all")
-		procmode = flag.String("procmode", "event", "simulator execution mode: event|goroutine")
+		farch     = flag.String("faultarch", "all", "architecture for -faults: active|cluster|smp|all")
+		procmode  = flag.String("procmode", "event", "simulator execution mode: event|goroutine")
+		tracePath = flag.String("trace", "", "run -faulttask on -faultarch once, writing Chrome trace JSON (suffixed per architecture when faultarch=all)")
+		breakdown = flag.Bool("breakdown", false, "run -faulttask on -faultarch once and print the utilization/phase breakdown")
 	)
 	flag.Parse()
 
@@ -66,6 +70,14 @@ func main() {
 
 	stop := profiling.Start()
 	defer stop()
+
+	if *tracePath != "" || *breakdown {
+		if err := runProbedExperiment(*tracePath, *breakdown, *faults, *ftask, *farch, sizes[0], *scale); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	if *faults != "" {
 		if err := runFaultExperiment(*faults, *ftask, *farch, sizes[0], *scale); err != nil {
@@ -170,4 +182,73 @@ func runFaultExperiment(planStr, taskName, archName string, size int, scale floa
 		fmt.Println()
 	}
 	return nil
+}
+
+// runProbedExperiment runs one task on the requested architecture(s)
+// with an observability sink attached, writing one Chrome trace per run
+// and/or printing the utilization/phase breakdown. An optional fault
+// plan is injected into the same probed run, so traces of degraded
+// executions come for free. Like the fault experiment, the output is a
+// pure function of (plan, task, configuration, dataset): repeated
+// invocations produce byte-identical traces and reports.
+func runProbedExperiment(tracePath string, breakdown bool, planStr, taskName, archName string, size int, scale float64) error {
+	var plan *fault.Plan
+	if planStr != "" {
+		var err error
+		plan, err = fault.ParsePlan(planStr)
+		if err != nil {
+			return err
+		}
+	}
+	task, err := workload.ParseTask(taskName)
+	if err != nil {
+		return err
+	}
+	ds := workload.ForTask(task)
+	if scale < 1.0 {
+		ds = ds.Scaled(int64(float64(ds.TotalBytes) * scale))
+	}
+	cfgs := map[string]arch.Config{
+		"active":  arch.ActiveDisks(size),
+		"cluster": arch.Cluster(size),
+		"smp":     arch.SMP(size),
+	}
+	order := []string{"active", "cluster", "smp"}
+	if archName != "all" {
+		if _, ok := cfgs[archName]; !ok {
+			return fmt.Errorf("unknown architecture %q", archName)
+		}
+		order = []string{archName}
+	}
+	for _, name := range order {
+		sink := probe.NewSink()
+		res := tasks.RunDatasetProbed(cfgs[name], task, ds, plan, sink)
+		if tracePath != "" {
+			path := tracePath
+			if len(order) > 1 {
+				path = archSuffixed(tracePath, name)
+			}
+			if err := sink.WriteTraceFile(path); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "trace written to %s (%d spans, %d dropped)\n",
+				path, sink.SpansRecorded(), sink.Dropped())
+		}
+		if breakdown {
+			fmt.Print(sink.BuildReport(task.String(), cfgs[name].Name(), int64(res.Elapsed)).Render())
+			fmt.Println()
+		}
+		if res.Fault != nil {
+			fmt.Print(res.Fault.Render())
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+// archSuffixed inserts the architecture name before the path's
+// extension: out.json + active -> out.active.json.
+func archSuffixed(path, name string) string {
+	ext := filepath.Ext(path)
+	return strings.TrimSuffix(path, ext) + "." + name + ext
 }

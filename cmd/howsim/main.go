@@ -7,6 +7,7 @@
 //	howsim -task sort -arch active -disks 64 [-fastio] [-mem 64]
 //	       [-feonly] [-fastdisk] [-scale 0.01]
 //	       [-faults seed=42,media=0.001,fail=3@2s,replica]
+//	       [-trace out.json] [-breakdown]
 //	       [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
@@ -18,6 +19,7 @@ import (
 
 	"howsim/internal/arch"
 	"howsim/internal/fault"
+	"howsim/internal/probe"
 	"howsim/internal/profiling"
 	"howsim/internal/sim"
 	"howsim/internal/tasks"
@@ -36,8 +38,10 @@ func main() {
 		fsw      = flag.Int("fibreswitch", 0, "split the Active Disk farm across N switched loops (0 = single loop)")
 		scale    = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = full Table 2 size)")
 		sweep    = flag.Bool("sweep", false, "run the task across 16/32/64/128 disks and print a scaling table")
-		faults   = flag.String("faults", "", "fault plan, e.g. seed=42,media=0.001,fail=3@2s,replica")
-		procmode = flag.String("procmode", "event", "simulator execution mode: event|goroutine")
+		faults    = flag.String("faults", "", "fault plan, e.g. seed=42,media=0.001,fail=3@2s,replica")
+		procmode  = flag.String("procmode", "event", "simulator execution mode: event|goroutine")
+		tracePath = flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file")
+		breakdown = flag.Bool("breakdown", false, "print the utilization/phase breakdown report")
 	)
 	flag.Parse()
 
@@ -108,7 +112,19 @@ func main() {
 		return
 	}
 
-	res := tasks.RunDatasetFaulted(cfg, task, ds, plan)
+	var sink *probe.Sink
+	if *tracePath != "" || *breakdown {
+		sink = probe.NewSink()
+	}
+	res := tasks.RunDatasetProbed(cfg, task, ds, plan, sink)
+	if *tracePath != "" {
+		if err := sink.WriteTraceFile(*tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (%d spans, %d dropped)\n",
+			*tracePath, sink.SpansRecorded(), sink.Dropped())
+	}
 
 	fmt.Printf("task       %s\n", task)
 	fmt.Printf("config     %s\n", cfg.Name())
@@ -132,5 +148,9 @@ func main() {
 	}
 	if res.Fault != nil {
 		fmt.Print(res.Fault.Render())
+	}
+	if *breakdown {
+		fmt.Println()
+		fmt.Print(sink.BuildReport(task.String(), cfg.Name(), int64(res.Elapsed)).Render())
 	}
 }

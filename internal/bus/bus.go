@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"howsim/internal/fault"
+	"howsim/internal/probe"
 	"howsim/internal/sim"
 )
 
@@ -29,13 +30,19 @@ type Bus struct {
 	stalls    int64
 
 	opFree []*busOp // recycled TransferFunc state machines
+
+	// pr is the same probe instance the underlying pipe registered
+	// (Register dedupes), so stall spans land next to the pipe's
+	// occupancy spans in reports and traces.
+	pr probe.Ref
 }
 
 // New creates a bus with the given number of independent channels, each
 // at bytesPerSec, charging startup per arbitration and re-arbitrating
 // every frame bytes.
 func New(k *sim.Kernel, name string, channels int, bytesPerSec float64, startup sim.Time, frame int64) *Bus {
-	return &Bus{k: k, pipe: sim.NewPipe(k, name, channels, bytesPerSec, startup), Frame: frame}
+	return &Bus{k: k, pipe: sim.NewPipe(k, name, channels, bytesPerSec, startup), Frame: frame,
+		pr: k.Probe().Register("link", name)}
 }
 
 // SetOutages installs outage windows: intervals of virtual time during
@@ -69,6 +76,7 @@ func (b *Bus) stallForOutage(p *sim.Proc) {
 			d := w.End - now
 			b.stallTime += d
 			b.stalls++
+			b.pr.Span(probe.KindStall, int64(now), int64(w.End))
 			p.Delay(d)
 		}
 	}
@@ -156,6 +164,7 @@ func (op *busOp) step() {
 				d := w.End - now
 				b.stallTime += d
 				b.stalls++
+				b.pr.Span(probe.KindStall, int64(now), int64(w.End))
 				b.k.After(d, op.stepFn)
 				return
 			}

@@ -6,7 +6,10 @@
 // lmbench on a reference machine).
 package cpu
 
-import "howsim/internal/sim"
+import (
+	"howsim/internal/probe"
+	"howsim/internal/sim"
+)
 
 // CPU is one processor. Processes submit work with Compute; concurrent
 // submissions serialize FIFO, modeling a single hardware context.
@@ -16,11 +19,13 @@ type CPU struct {
 	res  *sim.Resource
 	busy sim.Time
 	work int64 // total cycles executed
+	pr   probe.Ref
 }
 
 // New creates a processor with the given clock rate in Hz.
 func New(k *sim.Kernel, name string, hz float64) *CPU {
-	return &CPU{name: name, hz: hz, res: sim.NewResource(k, name, 1)}
+	return &CPU{name: name, hz: hz, res: sim.NewResource(k, name, 1),
+		pr: k.Probe().Register("cpu", name)}
 }
 
 // Name returns the processor's name.
@@ -54,6 +59,10 @@ func (c *CPU) Compute(p *sim.Proc, n int64) {
 	c.res.Release(1)
 	c.busy += d
 	c.work += n
+	if c.pr.On() {
+		end := p.Now()
+		c.pr.SpanArg(probe.KindCompute, int64(end-d), int64(end), n)
+	}
 }
 
 // Busy executes a fixed amount of time on the processor regardless of
@@ -67,6 +76,10 @@ func (c *CPU) Busy(p *sim.Proc, d sim.Time) {
 	p.Delay(d)
 	c.res.Release(1)
 	c.busy += d
+	if c.pr.On() {
+		end := p.Now()
+		c.pr.Span(probe.KindCompute, int64(end-d), int64(end))
+	}
 }
 
 // BusyFunc is Busy for callback tasks: it holds the processor for d and
@@ -82,6 +95,10 @@ func (c *CPU) BusyFunc(t *sim.Task, d sim.Time, fn func()) {
 		t.Kernel().After(d, func() {
 			c.res.Release(1)
 			c.busy += d
+			if c.pr.On() {
+				end := t.Now()
+				c.pr.Span(probe.KindCompute, int64(end-d), int64(end))
+			}
 			fn()
 		})
 	})

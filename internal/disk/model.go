@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"howsim/internal/probe"
 	"howsim/internal/sim"
 )
 
@@ -142,6 +143,11 @@ type Disk struct {
 	onArriveFn func(any, bool)
 	onDoneFn   func()
 
+	pr probe.Ref
+	// statsAt snapshots the counters when event-mode service began, so
+	// onServiced can emit per-request seek/rotate/transfer deltas.
+	statsAt Stats
+
 	inj    FaultInjector
 	retry  RetryPolicy
 	reqSeq int64
@@ -182,6 +188,7 @@ func New(k *sim.Kernel, name string, spec *Spec) *Disk {
 		segs:      make([]segment, spec.CacheSegments),
 		segBytes:  spec.CacheBytes / int64(spec.CacheSegments),
 		rotPeriod: spec.RotationPeriod(),
+		pr:        k.Probe().Register("disk", name),
 	}
 	if k.ExecMode() == sim.ModeGoroutine {
 		k.Spawn(name+".server", d.serve)
@@ -276,6 +283,9 @@ func (d *Disk) Submit(req *Request) *Request {
 	}
 	req.done = sim.NewSignal()
 	req.Queued = d.k.Now()
+	if d.pr.On() {
+		d.pr.Sample(probe.KindQueue, int64(d.QueueLen()))
+	}
 	if d.failed {
 		req.Err = ErrDiskFailed
 		req.Finished = d.k.Now()
@@ -333,6 +343,10 @@ func (d *Disk) serve(p *sim.Proc) {
 		req := d.nextRequest()
 		d.accrueIdlePrefetch(p.Now())
 		req.Started = p.Now()
+		var before Stats
+		if d.pr.On() {
+			before = d.stats
+		}
 		service := d.serviceTime(req)
 		if d.inj != nil {
 			service += d.applyFaults(req)
@@ -347,6 +361,7 @@ func (d *Disk) serve(p *sim.Proc) {
 			d.stats.BytesRead += req.Length
 		}
 		d.idleSince = p.Now()
+		d.emitServed(req, before)
 		req.done.Fire()
 	}
 }
@@ -387,6 +402,9 @@ func (d *Disk) beginService() {
 	req := d.nextRequest()
 	d.accrueIdlePrefetch(d.k.Now())
 	req.Started = d.k.Now()
+	if d.pr.On() {
+		d.statsAt = d.stats
+	}
 	service := d.serviceTime(req)
 	if d.inj != nil {
 		service += d.applyFaults(req)
@@ -408,8 +426,44 @@ func (d *Disk) onServiced() {
 		d.stats.BytesRead += req.Length
 	}
 	d.idleSince = d.k.Now()
+	d.emitServed(req, d.statsAt)
 	req.done.Fire()
 	d.serveStep()
+}
+
+// emitServed records a serviced request into the probe sink: the whole
+// service span (arg = payload bytes), seek/rotate/transfer sub-spans
+// laid out consecutively from the service start, and cache-hit/retry
+// counters. before is the counter snapshot taken when service began;
+// the deltas against it attribute this request's share. Sub-span layout
+// is a rendering approximation (controller overhead and fault delay
+// land in the tail), but it is the same deterministic function of the
+// deltas in both execution modes.
+func (d *Disk) emitServed(req *Request, before Stats) {
+	if !d.pr.On() {
+		return
+	}
+	d.pr.SpanArg(probe.KindService, int64(req.Started), int64(req.Finished), req.Length)
+	at := req.Started
+	for _, part := range [...]struct {
+		k probe.Kind
+		d sim.Time
+	}{
+		{probe.KindSeek, d.stats.SeekTime - before.SeekTime},
+		{probe.KindRotate, d.stats.RotationTime - before.RotationTime},
+		{probe.KindTransfer, d.stats.TransferTime - before.TransferTime},
+	} {
+		if part.d > 0 {
+			d.pr.Span(part.k, int64(at), int64(at+part.d))
+			at += part.d
+		}
+	}
+	if hit := d.stats.CacheHitBytes - before.CacheHitBytes; hit > 0 {
+		d.pr.Count(probe.KindCacheHit, hit)
+	}
+	if n := d.stats.Retries - before.Retries; n > 0 {
+		d.pr.Count(probe.KindRetry, n)
+	}
 }
 
 // applyFaults consults the injector for the request being serviced and

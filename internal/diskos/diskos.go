@@ -22,6 +22,7 @@ import (
 	"howsim/internal/disk"
 	"howsim/internal/fault"
 	"howsim/internal/osmodel"
+	"howsim/internal/probe"
 	"howsim/internal/sim"
 )
 
@@ -114,6 +115,14 @@ type ActiveDisk struct {
 	sys     *System
 	commBuf *sim.Resource // receive-side communication buffer credits
 	inbox   *sim.Mailbox
+	pr      probe.Ref
+}
+
+// sampleBuf records the receive-buffer occupancy after a credit grant.
+func (ad *ActiveDisk) sampleBuf() {
+	if ad.pr.On() {
+		ad.pr.Sample(probe.KindBufUse, ad.commBuf.InUse())
+	}
 }
 
 // FrontEnd is the host that coordinates the Active Disk farm and relays
@@ -201,7 +210,9 @@ func NewSystem(k *sim.Kernel, cfg Config) *System {
 			sys:     s,
 			commBuf: sim.NewResource(k, fmt.Sprintf("ad%d.commbuf", i), commBuf),
 			inbox:   sim.NewMailbox(k, fmt.Sprintf("ad%d.inbox", i), 0),
+			pr:      k.Probe().Register("diskos", fmt.Sprintf("ad%d", i)),
 		}
+		ad.pr.SetCapacity(commBuf)
 		s.Disks = append(s.Disks, ad)
 	}
 	return s
@@ -407,6 +418,7 @@ func (s *System) streamProc(p *sim.Proc, src, dst int, bytes int64, payload any)
 		}
 		remaining -= n
 		d.commBuf.Acquire(p, n) // backpressure: wait for receive buffers
+		d.sampleBuf()
 		if s.Cfg.DirectComm {
 			s.diskToDisk(p, src, dst, n)
 		} else {
@@ -420,6 +432,7 @@ func (s *System) streamProc(p *sim.Proc, src, dst int, bytes int64, payload any)
 		if !d.inbox.TryPut(Chunk{Src: src, Bytes: n, Payload: pl}) {
 			panic("diskos: disk inbox rejected chunk")
 		}
+		d.pr.Count(probe.KindChunk, 1)
 	}
 }
 
@@ -467,6 +480,7 @@ func (op *streamOp) step() {
 
 // acquired holds the chunk's buffer credit; start its first hop.
 func (op *streamOp) acquired() {
+	op.s.Disks[op.dst].sampleBuf()
 	op.stage = 0
 	op.advance()
 }
@@ -523,9 +537,11 @@ func (op *streamOp) deliver() {
 	if last {
 		pl = op.payload
 	}
-	if !op.s.Disks[op.dst].inbox.TryPut(Chunk{Src: op.src, Bytes: op.n, Payload: pl}) {
+	d := op.s.Disks[op.dst]
+	if !d.inbox.TryPut(Chunk{Src: op.src, Bytes: op.n, Payload: pl}) {
 		panic("diskos: disk inbox rejected chunk")
 	}
+	d.pr.Count(probe.KindChunk, 1)
 	op.step()
 }
 
@@ -556,6 +572,7 @@ func (s *System) FrontEndSend(p *sim.Proc, dst int, bytes int64, payload any) {
 		}
 		remaining -= n
 		d.commBuf.Acquire(p, n)
+		d.sampleBuf()
 		fe.CPU.Busy(p, fe.OS.MessageSend)
 		fe.PCI.Transfer(p, n)
 		s.feToDisk(p, dst, n)
@@ -567,6 +584,7 @@ func (s *System) FrontEndSend(p *sim.Proc, dst int, bytes int64, payload any) {
 		if !d.inbox.TryPut(Chunk{Src: FromFrontEnd, Bytes: n, Payload: pl}) {
 			panic("diskos: disk inbox rejected front-end chunk")
 		}
+		d.pr.Count(probe.KindChunk, 1)
 	}
 }
 

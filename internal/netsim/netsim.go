@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"howsim/internal/fault"
+	"howsim/internal/probe"
 	"howsim/internal/sim"
 )
 
@@ -67,6 +68,11 @@ type Link struct {
 	outages   []fault.Window // sorted outage windows; nil on the fault-free path
 	stallTime sim.Time
 	dropped   int64 // frames dropped on a closed next-hop queue
+
+	// pr is the same probe instance the link's pipe registered (Register
+	// dedupes): stall spans, frame drops and input-queue depth samples
+	// join the pipe's occupancy spans under one instance.
+	pr probe.Ref
 }
 
 // LinkConfig parameterizes a link.
@@ -90,6 +96,7 @@ func (n *Network) NewLink(name string, cfg LinkConfig) *Link {
 		queue: sim.NewMailbox(n.k, name+".q", cfg.QueueFrames),
 		pipe:  sim.NewPipe(n.k, name, cfg.Channels, cfg.BytesPerSec, cfg.Latency),
 		net:   n,
+		pr:    n.k.Probe().Register("link", name),
 	}
 	for i := 0; i < cfg.Channels; i++ {
 		if n.k.ExecMode() == sim.ModeGoroutine {
@@ -140,6 +147,7 @@ func (l *Link) stallForOutage(p *sim.Proc) {
 		if w.Contains(now) {
 			d := w.End - now
 			l.stallTime += d
+			l.pr.Span(probe.KindStall, int64(now), int64(w.End))
 			p.Delay(d)
 		}
 	}
@@ -165,8 +173,13 @@ func (l *Link) transmit(p *sim.Proc) {
 		l.frames++
 		f.path = f.path[1:]
 		if len(f.path) > 0 {
-			if err := f.path[0].queue.Put(p, f); err != nil {
+			next := f.path[0]
+			if next.pr.On() {
+				next.pr.Sample(probe.KindQueue, int64(next.queue.Len()))
+			}
+			if err := next.queue.Put(p, f); err != nil {
 				l.dropped++
+				l.pr.Count(probe.KindDrop, 1)
 			}
 			continue
 		}
@@ -223,6 +236,7 @@ func (tx *linkTx) send() {
 			if w.Contains(now) {
 				d := w.End - now
 				l.stallTime += d
+				l.pr.Span(probe.KindStall, int64(now), int64(w.End))
 				l.net.k.After(d, tx.stallFn)
 				return
 			}
@@ -237,7 +251,11 @@ func (tx *linkTx) onSent() {
 	l.frames++
 	f.path = f.path[1:]
 	if len(f.path) > 0 {
-		f.path[0].queue.PutFunc(tx.t, f, tx.putFn)
+		next := f.path[0]
+		if next.pr.On() {
+			next.pr.Sample(probe.KindQueue, int64(next.queue.Len()))
+		}
+		next.queue.PutFunc(tx.t, f, tx.putFn)
 		return
 	}
 	tx.f = nil
@@ -248,6 +266,7 @@ func (tx *linkTx) onSent() {
 func (tx *linkTx) onPut(err error) {
 	if err != nil {
 		tx.l.dropped++
+		tx.l.pr.Count(probe.KindDrop, 1)
 	}
 	tx.f = nil
 	tx.next()
@@ -352,11 +371,15 @@ func (n *Network) Send(p *sim.Proc, src, dst, tag int, bytes int64, payload any)
 		}
 		remaining -= fb
 		f := &frame{bytes: fb, path: path, msg: m}
+		if path[0].pr.On() {
+			path[0].pr.Sample(probe.KindQueue, int64(path[0].queue.Len()))
+		}
 		if err := path[0].queue.Put(p, f); err != nil {
 			// First hop is down: the frame is lost at injection. The
 			// message will never be delivered; timeout-aware receivers
 			// observe the loss.
 			path[0].dropped++
+			path[0].pr.Count(probe.KindDrop, 1)
 		}
 	}
 	return m

@@ -1,0 +1,207 @@
+package probe
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRingOverflowDropsOldest pins the overflow contract: the ring
+// keeps the newest spans, evicts the oldest, and reports exactly how
+// many were pushed out.
+func TestRingOverflowDropsOldest(t *testing.T) {
+	s := NewSinkCap(4)
+	r := s.Register("disk", "d0")
+	for i := 0; i < 6; i++ {
+		r.Span(KindService, Time(i*10), Time(i*10+5))
+	}
+	if got := s.SpansRecorded(); got != 4 {
+		t.Fatalf("SpansRecorded = %d, want 4", got)
+	}
+	if got := s.Dropped(); got != 2 {
+		t.Fatalf("Dropped = %d, want 2", got)
+	}
+	var starts []Time
+	s.EachSpan(func(sp Span) { starts = append(starts, sp.Start) })
+	want := []Time{20, 30, 40, 50}
+	for i, st := range starts {
+		if st != want[i] {
+			t.Fatalf("ring starts = %v, want %v (oldest evicted first)", starts, want)
+		}
+	}
+	// Aggregates are immune to the overflow: all six spans counted.
+	dur, count, _ := s.Cell(0, KindService)
+	if count != 6 || dur != 30 {
+		t.Fatalf("aggregate (dur=%d count=%d), want (30, 6)", dur, count)
+	}
+}
+
+// TestDisabledAndNilRefs verifies the zero-cost contract's semantics:
+// a nil sink yields a permanently disabled Ref, and a disabled sink
+// records nothing while still accepting registrations.
+func TestDisabledAndNilRefs(t *testing.T) {
+	var nilSink *Sink
+	r := nilSink.Register("disk", "d0")
+	if r.On() {
+		t.Fatal("ref from nil sink reports On")
+	}
+	r.Span(KindSeek, 0, 10) // must not panic
+	r.Count(KindBytes, 1)
+	r.Sample(KindQueue, 1)
+
+	s := NewSink()
+	s.SetEnabled(false)
+	r2 := s.Register("disk", "d0")
+	r2.Span(KindSeek, 0, 10)
+	r2.Count(KindBytes, 1)
+	if s.SpansRecorded() != 0 {
+		t.Fatal("disabled sink recorded a span")
+	}
+	if _, count, _ := s.Cell(0, KindBytes); count != 0 {
+		t.Fatal("disabled sink recorded a counter")
+	}
+	if s.Instances() != 1 {
+		t.Fatal("registration should work while disabled")
+	}
+}
+
+// TestRegisterDedupes checks that the same (component, name) pair maps
+// to one instance.
+func TestRegisterDedupes(t *testing.T) {
+	s := NewSink()
+	a := s.Register("link", "fcal0")
+	b := s.Register("link", "fcal0")
+	a.Count(KindBytes, 2)
+	b.Count(KindBytes, 3)
+	if s.Instances() != 1 {
+		t.Fatalf("Instances = %d, want 1", s.Instances())
+	}
+	if _, _, sum := s.Cell(0, KindBytes); sum != 5 {
+		t.Fatalf("bytes sum = %d, want 5", sum)
+	}
+}
+
+// TestKindNamedMintsAndGrows mints a kind after an instance registered
+// and checks the aggregate row grows to hold it.
+func TestKindNamedMintsAndGrows(t *testing.T) {
+	s := NewSink()
+	r := s.Register("task", "sort")
+	k1 := s.KindNamed("phase1")
+	if k1 < kindBuiltin {
+		t.Fatalf("minted kind %d collides with builtins", k1)
+	}
+	if s.KindNamed("phase1") != k1 {
+		t.Fatal("KindNamed is not idempotent")
+	}
+	r.Span(k1, 0, 100)
+	dur, count, _ := s.Cell(0, k1)
+	if dur != 100 || count != 1 {
+		t.Fatalf("minted-kind cell (dur=%d count=%d), want (100, 1)", dur, count)
+	}
+	if s.KindName(k1) != "phase1" {
+		t.Fatalf("KindName = %q", s.KindName(k1))
+	}
+}
+
+// TestSampleAggregates checks count/sum/max and the log2 histogram.
+func TestSampleAggregates(t *testing.T) {
+	s := NewSink()
+	r := s.Register("disk", "d0")
+	for _, v := range []int64{0, 1, 2, 3, 8} {
+		r.Sample(KindQueue, v)
+	}
+	_, count, sum := s.Cell(0, KindQueue)
+	if count != 5 || sum != 14 {
+		t.Fatalf("sample (count=%d sum=%d), want (5, 14)", count, sum)
+	}
+	if max := s.SampleMax(0, KindQueue); max != 8 {
+		t.Fatalf("SampleMax = %d, want 8", max)
+	}
+	h := s.Histogram(0, KindQueue)
+	if h == nil {
+		t.Fatal("histogram missing")
+	}
+	// 0 -> bucket 0; 1 -> bucket 1; 2,3 -> bucket 2; 8 -> bucket 4.
+	want := map[int]int64{0: 1, 1: 1, 2: 2, 4: 1}
+	for b, c := range h {
+		if c != want[b] {
+			t.Fatalf("bucket %d = %d, want %d (hist %v)", b, c, want[b], h)
+		}
+	}
+}
+
+// TestWriteTraceValidJSON renders a trace and re-parses it with
+// encoding/json, checking scheduler exclusion and drop reporting.
+func TestWriteTraceValidJSON(t *testing.T) {
+	s := NewSinkCap(2)
+	d := s.Register("disk", "d0")
+	sched := s.Register(SchedComponent, "kernel")
+	d.SpanArg(KindService, 0, 10, 512)
+	d.Span(KindSeek, 10, 20)
+	d.Span(KindTransfer, 20, 30) // evicts the service span
+	sched.Count(KindEvents, 3)
+
+	var sb strings.Builder
+	if err := s.WriteTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(out), &events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, out)
+	}
+	var complete, droppedMeta int
+	for _, e := range events {
+		switch e["ph"] {
+		case "X":
+			complete++
+			if e["cat"] == SchedComponent {
+				t.Fatal("scheduler span leaked into the trace")
+			}
+		case "M":
+			if e["name"] == "probe_dropped_spans" {
+				droppedMeta++
+			}
+		}
+	}
+	if complete != 2 {
+		t.Fatalf("complete events = %d, want 2 (ring cap)", complete)
+	}
+	if droppedMeta != 1 {
+		t.Fatal("dropped-span metadata record missing")
+	}
+	if strings.Contains(out, `"cat":"sched"`) {
+		t.Fatal("sched component serialized")
+	}
+}
+
+// TestReportAccounting builds a report whose task phases partition the
+// timeline and checks the accounting arithmetic and the residual row.
+func TestReportAccounting(t *testing.T) {
+	s := NewSink()
+	pr := s.Register("task", "sort")
+	pr.Span(s.KindNamed("phase1"), 0, 600)
+	pr.Span(s.KindNamed("phase2"), 600, 1000)
+	rep := s.BuildReport("sort", "active-8", 1000)
+	if got := rep.Accounted(); got != 1.0 {
+		t.Fatalf("Accounted = %v, want 1.0", got)
+	}
+	out := rep.Render()
+	for _, want := range []string{"phase1", "phase2", "(residual)", "accounted 100.00%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	// A gap shows up as residual, never silently.
+	s2 := NewSink()
+	pr2 := s2.Register("task", "scan")
+	pr2.Span(s2.KindNamed("run"), 0, 900)
+	rep2 := s2.BuildReport("scan", "smp-8", 1000)
+	if got := rep2.Accounted(); got != 0.9 {
+		t.Fatalf("Accounted = %v, want 0.9", got)
+	}
+	if !strings.Contains(rep2.Render(), "accounted 90.00%") {
+		t.Fatalf("residual accounting missing:\n%s", rep2.Render())
+	}
+}

@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"strings"
+
+	"howsim/internal/probe"
 )
 
 // event is a scheduled occurrence: either a kernel-context callback (fn)
@@ -43,6 +45,12 @@ type Kernel struct {
 	taskFree  []*Task
 	liveTasks int
 	running   *Proc // the process currently executing, nil in kernel context
+
+	// probe is the attached observability sink (nil when unattached) and
+	// sched the kernel's own emission handle for scheduler diagnostics.
+	// Model components bind their handles at construction via Probe().
+	probe *probe.Sink
+	sched probe.Ref
 }
 
 // NewKernel returns an empty simulation kernel at time zero, executing
@@ -61,6 +69,19 @@ func (k *Kernel) ExecMode() ExecMode { return k.mode }
 // building any model components: they consult the mode at construction
 // time to decide between a service process and a callback state machine.
 func (k *Kernel) SetExecMode(m ExecMode) { k.mode = m }
+
+// SetProbe attaches an observability sink. Call it before building any
+// model components: they bind their emission handles at construction.
+// A nil sink detaches. Attaching a disabled sink costs one predictable
+// branch per emission point — the kernel benches gate that it stays
+// allocation-free.
+func (k *Kernel) SetProbe(s *probe.Sink) {
+	k.probe = s
+	k.sched = s.Register(probe.SchedComponent, "kernel")
+}
+
+// Probe returns the attached observability sink (nil when unattached).
+func (k *Kernel) Probe() *probe.Sink { return k.probe }
 
 // Live reports the number of processes that have been spawned and have
 // not yet run to completion.
@@ -81,6 +102,7 @@ func (k *Kernel) DeadlockReport() string {
 	if k.blocked == 0 {
 		return ""
 	}
+	k.sched.Count(probe.KindDeadlock, int64(k.blocked))
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "deadlock: %d process(es) parked with no pending wake:", k.blocked)
 	for _, p := range k.procs {
@@ -151,6 +173,7 @@ func (k *Kernel) Run() Time {
 		}
 		e := k.events.pop()
 		k.now = e.t
+		k.sched.Count(probe.KindEvents, 1)
 		if e.fn != nil {
 			e.fn()
 			continue
@@ -212,6 +235,7 @@ func (k *Kernel) Handoff(p *Proc) {
 	if k.running != nil {
 		panic(fmt.Sprintf("sim: Handoff(%q) from process %q; Handoff is only valid in kernel context", p.name, k.running.name))
 	}
+	k.sched.Count(probe.KindHandoffs, 1)
 	k.activate(p)
 }
 
@@ -311,6 +335,7 @@ func (p *Proc) park() {
 // site (obj may be empty for unnamed primitives) for deadlock reporting.
 func (p *Proc) parkBlocked(obj, op string) {
 	p.waitObj, p.waitOp = obj, op
+	p.k.sched.Count(probe.KindParks, 1)
 	p.k.blocked++
 	p.park()
 	p.k.blocked--

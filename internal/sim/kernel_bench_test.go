@@ -1,6 +1,10 @@
 package sim
 
-import "testing"
+import (
+	"testing"
+
+	"howsim/internal/probe"
+)
 
 // The kernel microbenchmarks isolate the hot paths every simulation
 // funnels through: heap push/pop of timer events, the park/resume
@@ -202,6 +206,78 @@ func BenchmarkKernelTaskCreate(b *testing.B) {
 		t := k.NewTask("t")
 		t.Finish()
 	}
+}
+
+// BenchmarkKernelEventThroughputProbeOff is BenchmarkKernelEventThroughput
+// with an observability sink attached but disabled — the configuration
+// every plain run pays for. The probe branches on the dispatch path must
+// keep this at 0 allocs/op and within the benchguard ns/op gate.
+func BenchmarkKernelEventThroughputProbeOff(b *testing.B) {
+	k := NewKernel()
+	sink := probe.NewSink()
+	sink.SetEnabled(false)
+	k.SetProbe(sink)
+	const timers = 256
+	remaining := b.N
+	fns := make([]func(), timers)
+	for i := range fns {
+		d := Time(i%97 + 1)
+		fns[i] = func() {
+			if remaining > 0 {
+				remaining--
+				k.After(d, fns[i%timers])
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i, fn := range fns {
+		k.After(Time(i+1), fn)
+	}
+	k.Run()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// benchPipeTransfers drives back-to-back callback-mode pipe transfers —
+// the emission-heaviest component path (a queue sample, an occupancy
+// span and a byte counter per transfer when probing is on).
+func benchPipeTransfers(b *testing.B, sink *probe.Sink) {
+	k := NewKernel()
+	defer k.Close()
+	k.SetProbe(sink)
+	pp := NewPipe(k, "p", 1, 1e9, 0)
+	t := k.NewTask("t")
+	remaining := 1 // warm-up transfer: binds continuations, allocates lazy probe state
+	var step func()
+	step = func() {
+		if remaining <= 0 {
+			return
+		}
+		remaining--
+		pp.TransferFunc(t, 4096, step)
+	}
+	step()
+	k.Run()
+	remaining = b.N
+	b.ReportAllocs()
+	b.ResetTimer()
+	step()
+	k.Run()
+}
+
+// BenchmarkKernelPipeTransferProbeOff must stay at 0 allocs/op: the
+// sink is attached but disabled, so every emission is a branch.
+func BenchmarkKernelPipeTransferProbeOff(b *testing.B) {
+	sink := probe.NewSink()
+	sink.SetEnabled(false)
+	benchPipeTransfers(b, sink)
+}
+
+// BenchmarkKernelPipeTransferProbeOn must also stay at 0 allocs/op in
+// steady state: spans go to a preallocated ring (overflowing by
+// dropping, never growing) and aggregates to dense tables.
+func BenchmarkKernelPipeTransferProbeOn(b *testing.B) {
+	benchPipeTransfers(b, probe.NewSinkCap(1<<12))
 }
 
 // BenchmarkKernelResourceContention hammers a capacity-1 resource with

@@ -1,5 +1,7 @@
 package sim
 
+import "howsim/internal/probe"
+
 // Pipe models a bandwidth-limited channel with fixed per-transfer startup
 // latency — the paper's "simple queue-based model [with] parameters for
 // startup latency, transfer speed and the capacity of the interconnect".
@@ -15,6 +17,7 @@ type Pipe struct {
 	bytesMoved int64
 	transfers  int64
 	busyInt    float64 // integral of busy channels over time (via res)
+	pr         probe.Ref
 }
 
 // NewPipe creates a pipe with the given number of independent channels,
@@ -24,12 +27,15 @@ func NewPipe(k *Kernel, name string, channels int, bytesPerSec float64, startup 
 	if channels <= 0 {
 		panic("sim: pipe must have at least one channel")
 	}
-	return &Pipe{
+	pp := &Pipe{
 		name:        name,
 		res:         NewResource(k, name+".chan", int64(channels)),
 		Startup:     startup,
 		BytesPerSec: bytesPerSec,
+		pr:          k.Probe().Register("link", name),
 	}
+	pp.pr.SetCapacity(int64(channels))
+	return pp
 }
 
 // Name returns the pipe's name.
@@ -64,11 +70,19 @@ func (pp *Pipe) TransferDuration(bytes int64) Time {
 // so bus/loop models can issue millions of transfers without GC
 // pressure.
 func (pp *Pipe) Transfer(p *Proc, bytes int64) {
+	if pp.pr.On() {
+		pp.pr.Sample(probe.KindQueue, int64(pp.res.QueueLen()))
+	}
 	pp.res.Acquire(p, 1)
 	p.Delay(pp.TransferDuration(bytes))
 	pp.res.Release(1)
 	pp.bytesMoved += bytes
 	pp.transfers++
+	if pp.pr.On() {
+		end := p.Now()
+		pp.pr.SpanArg(probe.KindXfer, int64(end-pp.TransferDuration(bytes)), int64(end), bytes)
+		pp.pr.Count(probe.KindBytes, bytes)
+	}
 }
 
 // TransferFunc is Transfer for callback tasks: it arbitrates for a
@@ -81,6 +95,9 @@ func (pp *Pipe) TransferFunc(t *Task, bytes int64, fn func()) {
 	if t.xferAcqFn == nil {
 		t.xferAcqFn = t.xferAcquired
 		t.xferEndFn = t.xferComplete
+	}
+	if pp.pr.On() {
+		pp.pr.Sample(probe.KindQueue, int64(pp.res.QueueLen()))
 	}
 	t.xferPipe, t.xferBytes, t.xferCont = pp, bytes, fn
 	pp.res.AcquireFunc(t, 1, t.xferAcqFn)
@@ -98,6 +115,11 @@ func (t *Task) xferComplete() {
 	pp.res.Release(1)
 	pp.bytesMoved += t.xferBytes
 	pp.transfers++
+	if pp.pr.On() {
+		end := t.k.now
+		pp.pr.SpanArg(probe.KindXfer, int64(end-pp.TransferDuration(t.xferBytes)), int64(end), t.xferBytes)
+		pp.pr.Count(probe.KindBytes, t.xferBytes)
+	}
 	fn := t.xferCont
 	t.xferPipe, t.xferCont = nil, nil
 	fn()

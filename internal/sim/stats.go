@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"howsim/internal/probe"
 )
 
 // Breakdown accumulates named buckets of virtual time — the mechanism
@@ -91,11 +93,16 @@ type PhaseTimer struct {
 	b       *Breakdown
 	current string
 	since   Time
+	pr      probe.Ref
 }
 
 // NewPhaseTimer starts attributing p's time to the named bucket of b.
+// When an observability sink is attached to p's kernel, each closed
+// bucket segment is also emitted as a task-component span, so phase
+// timelines appear in traces without extra wiring.
 func NewPhaseTimer(p *Proc, b *Breakdown, bucket string) *PhaseTimer {
-	return &PhaseTimer{p: p, b: b, current: bucket, since: p.Now()}
+	return &PhaseTimer{p: p, b: b, current: bucket, since: p.Now(),
+		pr: p.k.Probe().Register("task", p.name)}
 }
 
 // Mark closes the current bucket at the current time and switches
@@ -103,6 +110,7 @@ func NewPhaseTimer(p *Proc, b *Breakdown, bucket string) *PhaseTimer {
 func (t *PhaseTimer) Mark(bucket string) {
 	now := t.p.Now()
 	t.b.Add(t.current, now-t.since)
+	t.emit(now)
 	t.current = bucket
 	t.since = now
 }
@@ -110,7 +118,14 @@ func (t *PhaseTimer) Mark(bucket string) {
 // Stop closes the current bucket. The timer must not be used afterwards.
 func (t *PhaseTimer) Stop() {
 	t.b.Add(t.current, t.p.Now()-t.since)
+	t.emit(t.p.Now())
 	t.current = ""
+}
+
+func (t *PhaseTimer) emit(now Time) {
+	if t.pr.On() {
+		t.pr.Span(t.pr.KindNamed(t.current), int64(t.since), int64(now))
+	}
 }
 
 // Counter is a named monotonically increasing tally (bytes shipped,

@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"howsim/internal/probe"
+)
 
 // ExecMode selects how a kernel's model infrastructure executes its hot
 // service loops.
@@ -196,7 +200,10 @@ func (t *Task) Finish() {
 // wake schedules the task's resumption at the current virtual time (via
 // the same-timestamp fast lane): a goroutine handoff for processes, a
 // continuation dispatch for bare tasks.
-func (t *Task) wake() { t.k.schedule(t.k.now, nil, t) }
+func (t *Task) wake() {
+	t.k.sched.Count(probe.KindWakes, 1)
+	t.k.schedule(t.k.now, nil, t)
+}
 
 // parkWait records that a bare task is blocked on a primitive. The
 // matching unpark happens in dispatch when the wake event fires.
@@ -209,6 +216,7 @@ func (t *Task) parkWait(kind taskWait, obj, op string) {
 	}
 	t.waitKind = kind
 	t.waitObj, t.waitOp = obj, op
+	t.k.sched.Count(probe.KindParks, 1)
 	t.k.blocked++
 }
 

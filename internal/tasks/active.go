@@ -7,15 +7,18 @@ import (
 	"howsim/internal/disk"
 	"howsim/internal/diskos"
 	"howsim/internal/fault"
+	"howsim/internal/probe"
 	"howsim/internal/relational"
 	"howsim/internal/sim"
 	"howsim/internal/workload"
 )
 
 // runActive executes one task on an Active Disk configuration.
-func runActive(cfg arch.Config, task workload.TaskID, ds workload.Dataset, res *Result, plan *fault.Plan) {
+func runActive(cfg arch.Config, task workload.TaskID, ds workload.Dataset, res *Result,
+	plan *fault.Plan, sink *probe.Sink) {
 	k := sim.NewKernel()
 	defer k.Close()
+	k.SetProbe(sink)
 	s := cfg.BuildActive(k)
 	s.InstallFaults(plan)
 	deg := &degrade{}
@@ -63,6 +66,7 @@ func runActive(cfg arch.Config, task workload.TaskID, ds workload.Dataset, res *
 	res.Details["media_read_bytes"] = float64(mediaRead)
 	res.Details["media_write_bytes"] = float64(mediaWrite)
 	faultEpilogue(res, k, plan, deg, completed, disks)
+	probeEpilogue(res, k)
 }
 
 // replicaRegionOf places each disk's replica copy of a peer's partition:

@@ -8,6 +8,7 @@ import (
 	"howsim/internal/disk"
 	"howsim/internal/fault"
 	"howsim/internal/mpi"
+	"howsim/internal/probe"
 	"howsim/internal/relational"
 	"howsim/internal/sim"
 	"howsim/internal/workload"
@@ -47,9 +48,11 @@ func (w *sendWindow) drain(p *sim.Proc) {
 }
 
 // runCluster executes one task on a commodity-cluster configuration.
-func runCluster(cfg arch.Config, task workload.TaskID, ds workload.Dataset, res *Result, plan *fault.Plan) {
+func runCluster(cfg arch.Config, task workload.TaskID, ds workload.Dataset, res *Result,
+	plan *fault.Plan, sink *probe.Sink) {
 	k := sim.NewKernel()
 	defer k.Close()
+	k.SetProbe(sink)
 	m := cfg.BuildCluster(k)
 	m.InstallFaults(plan)
 	deg := &degrade{}
@@ -97,6 +100,7 @@ func runCluster(cfg arch.Config, task workload.TaskID, ds workload.Dataset, res 
 	res.Details["media_read_bytes"] = float64(mediaRead)
 	res.Details["media_write_bytes"] = float64(mediaWrite)
 	faultEpilogue(res, k, plan, deg, completed, disks)
+	probeEpilogue(res, k)
 }
 
 // clusterScan: every node scans its local partition; emitted bytes are
@@ -261,6 +265,7 @@ func clusterSort(k *sim.Kernel, m *cluster.Machine, ds workload.Dataset, res *Re
 
 	done := sim.NewSignal()
 	workers := sim.NewWaitGroup(d)
+	var p1End sim.Time // latest shuffle/run-formation finish across nodes
 	for i := range m.Nodes {
 		i := i
 		n := m.Nodes[i]
@@ -335,12 +340,17 @@ func clusterSort(k *sim.Kernel, m *cluster.Machine, ds workload.Dataset, res *Re
 				runSizes = append(runSizes, sz)
 			}
 			// Merge phase on the local disk.
+			if now := p.Now(); now > p1End {
+				p1End = now
+			}
 			clusterMerge(p, n, runSizes, runRegion, outRegion, ds.TupleBytes)
 			workers.Done()
 		})
 	}
 	k.Spawn("coord", func(p *sim.Proc) {
 		workers.Wait(p)
+		res.Details["p1_seconds"] = p1End.Seconds()
+		res.Details["p2_seconds"] = (p.Now() - p1End).Seconds()
 		done.Fire()
 	})
 	return done

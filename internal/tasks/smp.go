@@ -5,6 +5,7 @@ import (
 
 	"howsim/internal/arch"
 	"howsim/internal/fault"
+	"howsim/internal/probe"
 	"howsim/internal/relational"
 	"howsim/internal/sim"
 	"howsim/internal/smp"
@@ -14,9 +15,11 @@ import (
 // runSMP executes one task on an SMP configuration: one process per
 // processor, shared self-scheduling block queues over striped files, and
 // block transfers / remote queues for data movement between processors.
-func runSMP(cfg arch.Config, task workload.TaskID, ds workload.Dataset, res *Result, plan *fault.Plan) {
+func runSMP(cfg arch.Config, task workload.TaskID, ds workload.Dataset, res *Result,
+	plan *fault.Plan, sink *probe.Sink) {
 	k := sim.NewKernel()
 	defer k.Close()
+	k.SetProbe(sink)
 	m := cfg.BuildSMP(k)
 	m.InstallFaults(plan)
 	deg := &degrade{}
@@ -53,6 +56,7 @@ func runSMP(cfg arch.Config, task workload.TaskID, ds workload.Dataset, res *Res
 	res.Details["blockxfer_bytes"] = float64(m.BlockTransferred())
 	deg.replica = m.ReplicaBytes()
 	faultEpilogue(res, k, plan, deg, completed, m.Disks)
+	probeEpilogue(res, k)
 }
 
 // allDisks returns 0..n-1.

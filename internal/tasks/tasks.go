@@ -2,10 +2,12 @@ package tasks
 
 import (
 	"fmt"
+	"sort"
 
 	"howsim/internal/arch"
 	"howsim/internal/disk"
 	"howsim/internal/fault"
+	"howsim/internal/probe"
 	"howsim/internal/sim"
 	"howsim/internal/stats"
 	"howsim/internal/workload"
@@ -63,6 +65,16 @@ func RunFaulted(cfg arch.Config, task workload.TaskID, plan *fault.Plan) *Result
 // task that has no degraded path) is reported as a deadlock in the
 // FaultReport instead of panicking.
 func RunDatasetFaulted(cfg arch.Config, task workload.TaskID, ds workload.Dataset, plan *fault.Plan) *Result {
+	return RunDatasetProbed(cfg, task, ds, plan, nil)
+}
+
+// RunDatasetProbed executes a task with an observability sink attached
+// to the run's kernel: every model component registers with (and, when
+// the sink is enabled, emits into) it, and the task's phase timeline is
+// recorded at completion. A nil sink selects the plain path; an
+// attached-but-disabled sink costs only registration.
+func RunDatasetProbed(cfg arch.Config, task workload.TaskID, ds workload.Dataset,
+	plan *fault.Plan, sink *probe.Sink) *Result {
 	if plan != nil && plan.Empty() {
 		plan = nil
 	}
@@ -74,11 +86,11 @@ func RunDatasetFaulted(cfg arch.Config, task workload.TaskID, ds workload.Datase
 	}
 	switch cfg.Kind {
 	case arch.KindActiveDisk:
-		runActive(cfg, task, ds, res, plan)
+		runActive(cfg, task, ds, res, plan, sink)
 	case arch.KindCluster:
-		runCluster(cfg, task, ds, res, plan)
+		runCluster(cfg, task, ds, res, plan, sink)
 	case arch.KindSMP:
-		runSMP(cfg, task, ds, res, plan)
+		runSMP(cfg, task, ds, res, plan, sink)
 	default:
 		panic(fmt.Sprintf("tasks: unknown architecture %v", cfg.Kind))
 	}
@@ -126,6 +138,68 @@ func faultEpilogue(res *Result, k *sim.Kernel, plan *fault.Plan, deg *degrade,
 		}
 	}
 	res.Fault = fr
+}
+
+// probeEpilogue emits the task's phase timeline into the kernel's probe
+// sink. The boundary timestamps the tasks record in Details partition
+// [0, Elapsed] into named phases: the phase-1/phase-2 split of sort and
+// cube, per-pass boundaries of data mining, the shuffle boundary — and
+// a run with no recorded boundaries becomes a single "run" phase.
+// Because the phases partition the whole timeline, the breakdown report
+// accounts for 100% of end-to-end time up to boundary rounding (the
+// Details values are in float64 seconds). Phases are emitted after the
+// run completes, so they are the newest spans in the ring and survive
+// any overflow. Both execution modes record identical Details, so the
+// emitted spans are byte-identical across -procmode settings.
+func probeEpilogue(res *Result, k *sim.Kernel) {
+	s := k.Probe()
+	if !s.Enabled() {
+		return
+	}
+	type mark struct {
+		name string
+		end  sim.Time
+	}
+	toTime := func(sec float64) sim.Time {
+		t := sim.Time(sec * float64(sim.Second))
+		if t < 0 {
+			t = 0
+		}
+		if t > res.Elapsed {
+			t = res.Elapsed
+		}
+		return t
+	}
+	var marks []mark
+	tail := "run"
+	if v, ok := res.Details["p1_seconds"]; ok {
+		marks = append(marks, mark{"phase1", toTime(v)})
+		tail = "phase2"
+	}
+	if v, ok := res.Details["shuffle_seconds"]; ok {
+		marks = append(marks, mark{"shuffle", toTime(v)})
+		tail = "finish"
+	}
+	for pass := 1; ; pass++ {
+		v, ok := res.Details[passKey(pass)]
+		if !ok {
+			break
+		}
+		marks = append(marks, mark{fmt.Sprintf("pass%d", pass), toTime(v)})
+		tail = "finish"
+	}
+	sort.Slice(marks, func(i, j int) bool { return marks[i].end < marks[j].end })
+	pr := s.Register("task", res.Task.String())
+	start := sim.Time(0)
+	for _, m := range marks {
+		if m.end > start {
+			pr.Span(pr.KindNamed(m.name), int64(start), int64(m.end))
+			start = m.end
+		}
+	}
+	if res.Elapsed > start {
+		pr.Span(pr.KindNamed(tail), int64(start), int64(res.Elapsed))
+	}
 }
 
 // perNodeBytes splits total across n nodes, rounded up to whole I/O

@@ -26,6 +26,9 @@ func main() {
 		currentPath  = flag.String("current", "/tmp/BENCH_kernel.json", "freshly measured report")
 		names        = flag.String("guard", "BenchmarkKernelEventThroughput", "comma-separated benchmarks to gate")
 		tolerance    = flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression")
+		zeroAlloc    = flag.String("zeroalloc",
+			"BenchmarkKernelEventThroughputProbeOff,BenchmarkKernelPipeTransferProbeOff,BenchmarkKernelPipeTransferProbeOn",
+			"comma-separated benchmarks that must report exactly 0 allocs/op in the current report")
 	)
 	flag.Parse()
 
@@ -71,6 +74,27 @@ func main() {
 				name, base.AllocsPerOp, cur.AllocsPerOp)
 			failed = true
 		}
+	}
+	// The zero-alloc gate is absolute, not baseline-relative: the probe
+	// layer's contract is that a sink attached to the kernel costs no
+	// allocation on the hot paths — disabled or (in steady state) enabled.
+	for _, name := range strings.Split(*zeroAlloc, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		cur, ok := current.Find(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchguard: %s missing from current %s\n", name, *currentPath)
+			failed = true
+			continue
+		}
+		verdict := "ok"
+		if cur.AllocsPerOp != 0 {
+			verdict = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("%-40s allocs/op %.0f (must be 0)  %s\n", name, cur.AllocsPerOp, verdict)
 	}
 	if failed {
 		os.Exit(1)

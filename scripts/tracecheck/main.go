@@ -1,0 +1,108 @@
+// Command tracecheck validates Chrome trace_event JSON files produced
+// by the probe exporter: each file must parse as a JSON array, contain
+// at least one complete ("X") span with non-negative timestamps, and
+// carry the process/thread metadata chrome://tracing needs to label
+// the timeline. CI's trace-smoke step runs it over the trace artifacts
+// so a malformed exporter change fails loudly instead of shipping an
+// unloadable file.
+//
+//	tracecheck trace.json [more.json ...]
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+)
+
+type event struct {
+	Ph   string      `json:"ph"`
+	Pid  int         `json:"pid"`
+	Tid  int         `json:"tid"`
+	Ts   json.Number `json:"ts"`
+	Dur  json.Number `json:"dur"`
+	Cat  string      `json:"cat"`
+	Name string      `json:"name"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck trace.json [more.json ...]")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range os.Args[1:] {
+		if err := check(path); err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func check(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var events []event
+	if err := json.Unmarshal(data, &events); err != nil {
+		return fmt.Errorf("not a JSON event array: %w", err)
+	}
+	var spans, procMeta, threadMeta int
+	cats := map[string]int{}
+	for i, e := range events {
+		switch e.Ph {
+		case "M":
+			switch e.Name {
+			case "process_name":
+				procMeta++
+			case "thread_name":
+				threadMeta++
+			}
+		case "X":
+			spans++
+			cats[e.Cat]++
+			for _, f := range []struct {
+				name string
+				v    json.Number
+			}{{"ts", e.Ts}, {"dur", e.Dur}} {
+				t, err := strconv.ParseFloat(f.v.String(), 64)
+				if err != nil {
+					return fmt.Errorf("event %d: bad %s %q: %v", i, f.name, f.v, err)
+				}
+				if t < 0 {
+					return fmt.Errorf("event %d: negative %s %q", i, f.name, f.v)
+				}
+			}
+			if e.Name == "" || e.Cat == "" {
+				return fmt.Errorf("event %d: span missing name/cat", i)
+			}
+		case "":
+			return fmt.Errorf("event %d: missing ph", i)
+		}
+	}
+	if procMeta == 0 {
+		return fmt.Errorf("no process_name metadata")
+	}
+	if threadMeta == 0 {
+		return fmt.Errorf("no thread_name metadata")
+	}
+	if spans == 0 {
+		return fmt.Errorf("no complete events")
+	}
+	if cats["sched"] > 0 {
+		return fmt.Errorf("%d scheduler spans leaked into the trace", cats["sched"])
+	}
+	fmt.Printf("%s: ok (%d events, %d spans, %d threads", path, len(events), spans, threadMeta)
+	for _, c := range []string{"disk", "link", "cpu", "task", "diskos"} {
+		if cats[c] > 0 {
+			fmt.Printf(", %s:%d", c, cats[c])
+		}
+	}
+	fmt.Println(")")
+	return nil
+}
