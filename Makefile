@@ -5,13 +5,21 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench-kernel bench-figures benchfigures bench-guard fault-smoke trace-smoke
+.PHONY: build vet lint test race bench-kernel bench-figures benchfigures bench-guard fault-smoke trace-smoke
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Standard vet plus the howsimvet invariant checkers (determinism and
+# dual-mode execution safety — see DESIGN.md "Static analysis"). The
+# repo must stay at zero findings; suppressions need a
+# `//howsim:allow <analyzer> -- reason` comment.
+lint: vet
+	$(GO) build -o /tmp/howsimvet ./cmd/howsimvet
+	$(GO) vet -vettool=/tmp/howsimvet ./...
 
 test:
 	$(GO) test ./...

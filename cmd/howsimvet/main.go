@@ -1,0 +1,68 @@
+// Command howsimvet is the simulator's invariant checker: a
+// go/analysis vettool bundling the determinism and dual-mode execution
+// safety rules from internal/analysis (nowallclock, norandglobal,
+// sortedrange, noblockincallback, proberef).
+//
+// Two ways to run it:
+//
+//	go vet -vettool=$(which howsimvet) ./...   # the vet protocol
+//	howsimvet ./...                            # standalone; re-execs go vet
+//
+// `make lint` builds it and runs the second form over the whole repo.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	hsanalysis "howsim/internal/analysis"
+)
+
+func main() {
+	if patterns := standalonePatterns(os.Args[1:]); patterns != nil {
+		os.Exit(runStandalone(patterns))
+	}
+	unitchecker.Main(hsanalysis.Analyzers()...)
+}
+
+// standalonePatterns decides how we were invoked. Under `go vet
+// -vettool` every argument is either a flag (-V=full, -flags) or a
+// *.cfg file; anything else — package patterns like ./... — means a
+// human ran us directly and wants the standalone mode.
+func standalonePatterns(args []string) []string {
+	var patterns []string
+	for _, a := range args {
+		if strings.HasPrefix(a, "-") || strings.HasSuffix(a, ".cfg") {
+			return nil
+		}
+		patterns = append(patterns, a)
+	}
+	return patterns
+}
+
+// runStandalone re-execs `go vet -vettool=<self> <patterns>`, which
+// hands the package loading, export data and facts plumbing to the go
+// command and feeds each package back to this binary via the
+// unitchecker protocol.
+func runStandalone(patterns []string) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "howsimvet:", err)
+		return 1
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintln(os.Stderr, "howsimvet:", err)
+		return 1
+	}
+	return 0
+}

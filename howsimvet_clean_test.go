@@ -1,0 +1,37 @@
+// Clean-sweep gate for the howsimvet invariant checkers: the repository
+// must carry zero findings at all times. The test builds cmd/howsimvet
+// and runs it over every package via `go vet -vettool`, so a stray
+// time.Now in a model package or an unsorted map range feeding a report
+// fails `go test ./...` the same way it fails CI's lint job. New
+// exemptions go through a `//howsim:allow <analyzer> -- reason` comment,
+// which keeps every suppression greppable and reviewed.
+package repro_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+func TestHowsimvetClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping vettool sweep")
+	}
+	goTool := filepath.Join(runtime.GOROOT(), "bin", "go")
+	if _, err := os.Stat(goTool); err != nil {
+		t.Skipf("go tool not found at %s: %v", goTool, err)
+	}
+
+	vettool := filepath.Join(t.TempDir(), "howsimvet")
+	build := exec.Command(goTool, "build", "-o", vettool, "./cmd/howsimvet")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building howsimvet: %v\n%s", err, out)
+	}
+
+	sweep := exec.Command(goTool, "vet", "-vettool="+vettool, "./...")
+	if out, err := sweep.CombinedOutput(); err != nil {
+		t.Errorf("howsimvet found violations (exit: %v):\n%s", err, out)
+	}
+}

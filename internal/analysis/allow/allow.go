@@ -1,0 +1,152 @@
+// Package allow holds the pieces every howsimvet analyzer shares: the
+// model-package gate that scopes determinism rules to the simulator
+// core, and the `//howsim:allow <analyzer>` escape hatch that marks an
+// individually reviewed exemption. Keeping both here means every
+// analyzer agrees on what "model code" is and honors the same
+// suppression comments.
+package allow
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// modelSegments are the directories under howsim/internal/ whose code
+// runs inside a simulation and therefore must be a pure function of
+// (inputs, seed): no wall clock, no global rand. benchfmt, profiling
+// and the arch/cost/experiment drivers are host-side tooling and are
+// deliberately absent.
+var modelSegments = map[string]bool{
+	"sim": true, "disk": true, "bus": true, "netsim": true,
+	"diskos": true, "cpu": true, "tasks": true, "smp": true,
+	"cluster": true, "mpi": true, "osmodel": true, "fault": true,
+	"probe": true, "stats": true,
+}
+
+// IsModelPackage reports whether the import path names simulator model
+// code — a package whose first segment under internal/ is one of the
+// model substrates. Fixture packages in testdata use the same shape
+// (e.g. howsim/internal/sim/fx), so the gate needs no test hooks.
+func IsModelPackage(path string) bool {
+	rest, ok := strings.CutPrefix(path, "howsim/internal/")
+	if !ok {
+		return false
+	}
+	seg, _, _ := strings.Cut(rest, "/")
+	return modelSegments[seg]
+}
+
+// IsTestFile reports whether pos lies in a _test.go file. Test code may
+// use the wall clock and global rand freely; determinism rules apply to
+// the model, not its harnesses.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// Prefix is the comment directive that exempts a line from a named
+// analyzer: `//howsim:allow sortedrange` on the flagged line or the
+// line above it. Everything after `--` is a free-form justification.
+const Prefix = "//howsim:allow"
+
+// Suppressor answers "is this diagnostic exempted?" for one pass. Build
+// it once per analyzer run; it indexes every allow comment in the
+// package by (file, line, analyzer).
+type Suppressor struct {
+	fset  *token.FileSet
+	lines map[suppKey]bool
+}
+
+type suppKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// NewSuppressor scans the pass's files for allow directives.
+func NewSuppressor(pass *analysis.Pass) *Suppressor {
+	s := &Suppressor{fset: pass.Fset, lines: map[suppKey]bool{}}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, Prefix)
+				if !ok {
+					continue
+				}
+				text, _, _ = strings.Cut(text, "--")
+				p := s.fset.Position(c.Pos())
+				for _, name := range strings.Fields(text) {
+					// The directive covers its own line and the next, so
+					// it works both trailing and as a lead-in comment.
+					s.lines[suppKey{p.Filename, p.Line, name}] = true
+					s.lines[suppKey{p.Filename, p.Line + 1, name}] = true
+				}
+			}
+		}
+	}
+	return s
+}
+
+// Allowed reports whether a diagnostic from the named analyzer at pos
+// is covered by an allow directive.
+func (s *Suppressor) Allowed(analyzer string, pos token.Pos) bool {
+	p := s.fset.Position(pos)
+	return s.lines[suppKey{p.Filename, p.Line, analyzer}]
+}
+
+// Reportf emits a diagnostic unless an allow directive covers it.
+func Reportf(pass *analysis.Pass, s *Suppressor, pos token.Pos, format string, args ...any) {
+	if s.Allowed(pass.Analyzer.Name, pos) {
+		return
+	}
+	pass.Reportf(pos, format, args...)
+}
+
+// ExprString renders an expression for use as a matching key (guard
+// expression vs emission receiver). It is deliberately lexical: two
+// spellings of the same value compare equal only if written the same
+// way, which is the discipline the analyzers want to enforce anyway.
+func ExprString(e ast.Expr) string {
+	var b strings.Builder
+	writeExpr(&b, e)
+	return b.String()
+}
+
+func writeExpr(b *strings.Builder, e ast.Expr) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		b.WriteString(e.Name)
+	case *ast.SelectorExpr:
+		writeExpr(b, e.X)
+		b.WriteByte('.')
+		b.WriteString(e.Sel.Name)
+	case *ast.IndexExpr:
+		writeExpr(b, e.X)
+		b.WriteByte('[')
+		writeExpr(b, e.Index)
+		b.WriteByte(']')
+	case *ast.ParenExpr:
+		writeExpr(b, e.X)
+	case *ast.StarExpr:
+		b.WriteByte('*')
+		writeExpr(b, e.X)
+	case *ast.BasicLit:
+		b.WriteString(e.Value)
+	case *ast.CallExpr:
+		writeExpr(b, e.Fun)
+		b.WriteByte('(')
+		for i, a := range e.Args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			writeExpr(b, a)
+		}
+		b.WriteByte(')')
+	default:
+		// Unhandled forms never match anything, which fails safe: the
+		// emission is treated as unguarded.
+		b.WriteString("?!")
+	}
+}

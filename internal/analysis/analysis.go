@@ -1,0 +1,34 @@
+// Package analysis registers howsim's custom go/analysis suite: the
+// invariant checkers behind the repo's reproducibility guarantees
+// (byte-identical figures, fault reports and probe traces across runs,
+// seeds and -procmode settings). cmd/howsimvet wires these into a
+// vettool; howsimvet_clean_test.go keeps the repo itself at zero
+// findings.
+//
+// An individually reviewed exemption is written as
+//
+//	//howsim:allow <analyzer> -- why this site is safe
+//
+// on the flagged line or the line above it (see internal/analysis/allow).
+package analysis
+
+import (
+	"golang.org/x/tools/go/analysis"
+
+	"howsim/internal/analysis/noblockincallback"
+	"howsim/internal/analysis/norandglobal"
+	"howsim/internal/analysis/nowallclock"
+	"howsim/internal/analysis/proberef"
+	"howsim/internal/analysis/sortedrange"
+)
+
+// Analyzers returns the howsimvet suite in a stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		nowallclock.Analyzer,
+		norandglobal.Analyzer,
+		sortedrange.Analyzer,
+		noblockincallback.Analyzer,
+		proberef.Analyzer,
+	}
+}

@@ -1,0 +1,274 @@
+// Package atest is a self-contained analysistest replacement: it runs
+// a go/analysis analyzer over fixture packages and checks the reported
+// diagnostics against `// want "regexp"` comments, exactly like
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// The real analysistest depends on go/packages and a driver binary;
+// this repo vendors only the analysis core that ships inside the Go
+// toolchain, so atest loads fixtures with the standard library alone:
+// go/parser for syntax, go/types with the source importer for standard
+// imports, and a local importer for fixture-to-fixture imports.
+//
+// Layout matches analysistest: Run(t, dir, analyzer, "some/pkg") loads
+// every .go file under dir/src/some/pkg as one package whose import
+// path is some/pkg — so fixtures can exercise import-path-gated rules
+// (e.g. the model-package gate keys on howsim/internal/… paths).
+package atest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads each fixture package and applies the analyzer, comparing
+// diagnostics with the fixtures' // want annotations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	ld := &loader{
+		testdata: testdata,
+		fset:     token.NewFileSet(),
+		pkgs:     map[string]*fixturePkg{},
+		results:  map[resultKey]any{},
+	}
+	ld.std = importer.ForCompiler(ld.fset, "source", nil)
+	for _, path := range pkgpaths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		diags, err := ld.run(a, pkg)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		checkWants(t, ld.fset, pkg, diags)
+	}
+}
+
+type fixturePkg struct {
+	path  string
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+type resultKey struct {
+	analyzer *analysis.Analyzer
+	pkg      string
+}
+
+type loader struct {
+	testdata string
+	fset     *token.FileSet
+	std      types.Importer
+	pkgs     map[string]*fixturePkg
+	results  map[resultKey]any
+}
+
+// Import lets the loader serve as the type-checker's importer: fixture
+// paths resolve to fixture directories, everything else to the
+// standard library via the source importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if _, err := os.Stat(filepath.Join(ld.testdata, "src", path)); err == nil {
+		p, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.pkg, nil
+	}
+	return ld.std.Import(path)
+}
+
+func (ld *loader) load(path string) (*fixturePkg, error) {
+	if p, ok := ld.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(ld.testdata, "src", path)
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: ld}
+	pkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	p := &fixturePkg{path: path, files: files, pkg: pkg, info: info}
+	ld.pkgs[path] = p
+	return p, nil
+}
+
+// run executes the analyzer (and, memoized, its Requires closure) on a
+// loaded package and returns the diagnostics.
+func (ld *loader) run(a *analysis.Analyzer, pkg *fixturePkg) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	resultOf := map[*analysis.Analyzer]any{}
+	for _, dep := range a.Requires {
+		res, err := ld.runDep(dep, pkg)
+		if err != nil {
+			return nil, err
+		}
+		resultOf[dep] = res
+	}
+	pass := ld.newPass(a, pkg, resultOf)
+	pass.Report = func(d analysis.Diagnostic) { diags = append(diags, d) }
+	if _, err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	return diags, nil
+}
+
+// runDep runs a dependency analyzer for its result value, discarding
+// diagnostics.
+func (ld *loader) runDep(a *analysis.Analyzer, pkg *fixturePkg) (any, error) {
+	key := resultKey{a, pkg.path}
+	if res, ok := ld.results[key]; ok {
+		return res, nil
+	}
+	resultOf := map[*analysis.Analyzer]any{}
+	for _, dep := range a.Requires {
+		res, err := ld.runDep(dep, pkg)
+		if err != nil {
+			return nil, err
+		}
+		resultOf[dep] = res
+	}
+	pass := ld.newPass(a, pkg, resultOf)
+	pass.Report = func(analysis.Diagnostic) {}
+	res, err := a.Run(pass)
+	if err != nil {
+		return nil, err
+	}
+	ld.results[key] = res
+	return res, nil
+}
+
+func (ld *loader) newPass(a *analysis.Analyzer, pkg *fixturePkg, resultOf map[*analysis.Analyzer]any) *analysis.Pass {
+	return &analysis.Pass{
+		Analyzer:   a,
+		Fset:       ld.fset,
+		Files:      pkg.files,
+		Pkg:        pkg.pkg,
+		TypesInfo:  pkg.info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   resultOf,
+		ReadFile:   os.ReadFile,
+	}
+}
+
+// expectation is one `// want "re"` annotation.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	src  string
+	hit  bool
+}
+
+// checkWants performs the analysistest comparison: every diagnostic
+// must match a want on its line, every want must be matched.
+func checkWants(t *testing.T, fset *token.FileSet, pkg *fixturePkg, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := cutWant(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				res, err := parseWantStrings(text)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+				}
+				for _, s := range res {
+					re, err := regexp.Compile(s)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, s, err)
+					}
+					wants = append(wants, &expectation{pos.Filename, pos.Line, re, s, false})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.src)
+		}
+	}
+}
+
+func cutWant(comment string) (string, bool) {
+	text := strings.TrimPrefix(comment, "//")
+	text = strings.TrimSpace(text)
+	return strings.CutPrefix(text, "want ")
+}
+
+// wantLit matches one leading Go string literal: interpreted (with
+// escapes) or raw.
+var wantLit = regexp.MustCompile("^(\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)")
+
+// parseWantStrings parses a sequence of Go string literals ("…" or
+// `…`), analysistest's annotation syntax.
+func parseWantStrings(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		lit := wantLit.FindString(s)
+		if lit == "" {
+			return nil, fmt.Errorf("expected string literal at %q", s)
+		}
+		unq, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, fmt.Errorf("unquoting %s: %v", lit, err)
+		}
+		out = append(out, unq)
+		s = strings.TrimSpace(s[len(lit):])
+	}
+	return out, nil
+}

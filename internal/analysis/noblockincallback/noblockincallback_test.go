@@ -1,0 +1,12 @@
+package noblockincallback_test
+
+import (
+	"testing"
+
+	"howsim/internal/analysis/atest"
+	"howsim/internal/analysis/noblockincallback"
+)
+
+func TestNoBlockInCallback(t *testing.T) {
+	atest.Run(t, "../testdata", noblockincallback.Analyzer, "nbfx")
+}

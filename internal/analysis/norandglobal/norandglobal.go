@@ -1,0 +1,68 @@
+// Package norandglobal forbids the process-global random number
+// generator in simulator model code.
+//
+// Every random decision a model makes — most importantly fault
+// injection — must be a pure function of (seed, disk, seq) so that two
+// runs with the same plan inject the same faults at the same virtual
+// times (internal/fault derives everything from splitmix64 for exactly
+// this reason). math/rand's top-level functions draw from a shared
+// source that other code can advance, and math/rand/v2's are seeded
+// from the OS; either way the sequence is not the simulation's own.
+// Constructing an explicitly seeded generator (rand.New(rand.NewSource
+// (seed))) is fine and is what the allowed New* constructors are for.
+package norandglobal
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"howsim/internal/analysis/allow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "norandglobal",
+	Doc: "forbid math/rand top-level functions (the process-global generator) in simulator model packages; " +
+		"random model decisions must flow from an explicitly seeded source so fault injection stays a pure " +
+		"function of (seed, disk, seq)",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !allow.IsModelPackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	sup := allow.NewSuppressor(pass)
+	ins.Preorder([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node) {
+		sel := n.(*ast.SelectorExpr)
+		if allow.IsTestFile(pass.Fset, sel.Pos()) {
+			return
+		}
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return
+		}
+		path := fn.Pkg().Path()
+		if path != "math/rand" && path != "math/rand/v2" {
+			return
+		}
+		if fn.Type().(*types.Signature).Recv() != nil {
+			return // methods on an explicit *rand.Rand are the sanctioned form
+		}
+		if strings.HasPrefix(fn.Name(), "New") {
+			return // rand.New / rand.NewSource / rand.NewZipf build seeded generators
+		}
+		allow.Reportf(pass, sup, sel.Pos(),
+			"global rand.%s in model package %s: derive randomness from an explicitly seeded source "+
+				"(e.g. rand.New(rand.NewSource(seed)) or the fault plan's splitmix64)",
+			fn.Name(), pass.Pkg.Path())
+	})
+	return nil, nil
+}

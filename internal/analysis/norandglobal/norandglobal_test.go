@@ -1,0 +1,15 @@
+package norandglobal_test
+
+import (
+	"testing"
+
+	"howsim/internal/analysis/atest"
+	"howsim/internal/analysis/norandglobal"
+)
+
+func TestNoRandGlobal(t *testing.T) {
+	atest.Run(t, "../testdata", norandglobal.Analyzer,
+		"howsim/internal/fault/nrgfx", // model package: global rand flagged
+		"howsim/cmd/hostfx",           // host tooling: exempt
+	)
+}

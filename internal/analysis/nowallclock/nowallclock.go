@@ -1,0 +1,64 @@
+// Package nowallclock forbids wall-clock time in simulator model code.
+//
+// Model code runs in virtual time: every latency is computed from the
+// kernel clock, and the headline guarantee — byte-identical figures,
+// fault reports and probe traces across runs and -procmode settings —
+// holds only if nothing consults the host's clock. A single time.Now()
+// in a model package turns a reproducible simulation into a
+// heisenbench. Host-side tooling (internal/benchfmt, internal/profiling,
+// scripts/, _test.go files) may use the wall clock freely.
+package nowallclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"howsim/internal/analysis/allow"
+)
+
+// banned are the package time functions that read or wait on the host
+// clock. Conversions, constants (time.Millisecond) and types
+// (time.Duration) remain available for virtual-time arithmetic.
+var banned = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nowallclock",
+	Doc: "forbid wall-clock time (time.Now, time.Since, time.Sleep, ...) in simulator model packages; " +
+		"model latencies must come from the kernel's virtual clock so runs stay byte-reproducible",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !allow.IsModelPackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	sup := allow.NewSuppressor(pass)
+	ins.Preorder([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node) {
+		sel := n.(*ast.SelectorExpr)
+		if allow.IsTestFile(pass.Fset, sel.Pos()) {
+			return
+		}
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+			return
+		}
+		if fn.Type().(*types.Signature).Recv() != nil || !banned[fn.Name()] {
+			return
+		}
+		allow.Reportf(pass, sup, sel.Pos(),
+			"wall-clock time.%s in model package %s: model code must use virtual time (sim.Time / Kernel.Now)",
+			fn.Name(), pass.Pkg.Path())
+	})
+	return nil, nil
+}

@@ -1,0 +1,15 @@
+package nowallclock_test
+
+import (
+	"testing"
+
+	"howsim/internal/analysis/atest"
+	"howsim/internal/analysis/nowallclock"
+)
+
+func TestNoWallClock(t *testing.T) {
+	atest.Run(t, "../testdata", nowallclock.Analyzer,
+		"howsim/internal/sim/nwcfx", // model package: wall clock flagged
+		"howsim/cmd/hostfx",         // host tooling: exempt
+	)
+}

@@ -1,0 +1,304 @@
+// Package proberef enforces the probe discipline from the
+// observability layer's design rules (internal/probe): zero cost when
+// disabled, nil-safe everywhere, and structurally balanced paired
+// spans.
+//
+// Three rules:
+//
+//  1. An emission whose arguments do real work (contain a function or
+//     method call, not a mere conversion) must sit under an
+//     `if ref.On()` guard — otherwise the "expensive" argument is
+//     computed even when no sink is attached, violating the
+//     zero-cost-disabled rule the kernel benchmarks gate.
+//  2. Ref.Begin / Ref.End paired spans must balance per (ref, kind)
+//     within a function: an unmatched Begin is a span that never
+//     reaches the ring, an unmatched End records garbage.
+//  3. Sink methods reached through a bare Kernel.Probe() chain must be
+//     nil-safe ones (Register, Enabled): every other Sink method
+//     dereferences the sink, and Probe() is nil until SetProbe runs.
+package proberef
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"howsim/internal/analysis/allow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "proberef",
+	Doc: "enforce the probe.Ref discipline: computed emissions guarded by ref.On(), Begin/End paired spans " +
+		"balanced within a function, and only nil-safe Sink methods called through a bare Kernel.Probe() chain",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// emissions are Ref methods that record; Begin is excluded because it
+// is a pure marker (it records nothing and costs nothing).
+var emissions = map[string]bool{
+	"Span": true, "SpanArg": true, "Count": true, "Sample": true,
+	"End": true, "EndArg": true,
+}
+
+// nilSafeSink are the *probe.Sink methods documented to work on a nil
+// receiver.
+var nilSafeSink = map[string]bool{
+	"Register": true, "Enabled": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	sup := allow.NewSuppressor(pass)
+
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil || allow.IsTestFile(pass.Fset, fd.Pos()) {
+			return
+		}
+		checkGuards(pass, sup, fd.Body)
+		checkBalance(pass, sup, fd)
+	})
+
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		if allow.IsTestFile(pass.Fset, call.Pos()) {
+			return
+		}
+		checkBareSink(pass, sup, call)
+	})
+	return nil, nil
+}
+
+// guardSpan is a region of the function in which emissions on ref are
+// known to run only while the sink records.
+type guardSpan struct {
+	ref        string
+	start, end token.Pos
+}
+
+// checkGuards enforces rule 1 over one function body.
+func checkGuards(pass *analysis.Pass, sup *allow.Suppressor, body *ast.BlockStmt) {
+	var guards []guardSpan
+	// Collect guarded regions first: `if ref.On() { … }` covers its
+	// body; `if !ref.On() { return }` covers the rest of the function.
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		if ref, ok := onCondRef(pass, ifs.Cond, false); ok {
+			guards = append(guards, guardSpan{ref, ifs.Body.Pos(), ifs.Body.End()})
+		}
+		if ref, ok := onCondRef(pass, ifs.Cond, true); ok && returnsEarly(ifs.Body) {
+			guards = append(guards, guardSpan{ref, ifs.End(), body.End()})
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		ref, name, ok := refEmission(pass, call)
+		if !ok || !argsDoWork(pass, call) {
+			return true
+		}
+		for _, g := range guards {
+			if g.ref == ref && call.Pos() >= g.start && call.End() <= g.end {
+				return true
+			}
+		}
+		allow.Reportf(pass, sup, call.Pos(),
+			"probe emission %s.%s computes its arguments outside an `if %s.On()` guard; "+
+				"the work runs even with no sink attached (zero-cost-disabled rule)",
+			ref, name, ref)
+		return true
+	})
+}
+
+// onCondRef matches a guard condition: `ref.On()` (negated=false) or
+// `!ref.On()` (negated=true), possibly as the head of an && chain.
+func onCondRef(pass *analysis.Pass, cond ast.Expr, negated bool) (string, bool) {
+	if bin, ok := cond.(*ast.BinaryExpr); ok && bin.Op == token.LAND && !negated {
+		if ref, ok := onCondRef(pass, bin.X, false); ok {
+			return ref, true
+		}
+		return onCondRef(pass, bin.Y, false)
+	}
+	if negated {
+		un, ok := cond.(*ast.UnaryExpr)
+		if !ok || un.Op != token.NOT {
+			return "", false
+		}
+		cond = un.X
+	}
+	call, ok := cond.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "On" || !isProbeRef(pass, sel.X) {
+		return "", false
+	}
+	return allow.ExprString(sel.X), true
+}
+
+func returnsEarly(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	_, ok := body.List[len(body.List)-1].(*ast.ReturnStmt)
+	return ok
+}
+
+// refEmission matches a recording call on a probe.Ref and returns the
+// receiver's lexical key and the method name.
+func refEmission(pass *analysis.Pass, call *ast.CallExpr) (ref, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || !emissions[sel.Sel.Name] || !isProbeRef(pass, sel.X) {
+		return "", "", false
+	}
+	return allow.ExprString(sel.X), sel.Sel.Name, true
+}
+
+// argsDoWork reports whether any argument contains a genuine call
+// (method or function — work that a disabled sink should skip).
+// Type conversions like int64(x) do not count.
+func argsDoWork(pass *analysis.Pass, call *ast.CallExpr) bool {
+	work := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			c, ok := n.(*ast.CallExpr)
+			if !ok || work {
+				return !work
+			}
+			if isConversion(pass, c) {
+				return true
+			}
+			work = true
+			return false
+		})
+	}
+	return work
+}
+
+func isConversion(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// isProbeRef reports whether e's type is the Ref type of a package
+// named probe.
+func isProbeRef(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	o := named.Obj()
+	return o.Name() == "Ref" && o.Pkg() != nil && o.Pkg().Name() == "probe"
+}
+
+// checkBalance enforces rule 2: Begin and End/EndArg counts per
+// (ref, kind) must match within a function.
+func checkBalance(pass *analysis.Pass, sup *allow.Suppressor, fd *ast.FuncDecl) {
+	type key struct{ ref, kind string }
+	type site struct {
+		n   int
+		pos token.Pos
+	}
+	begins := map[key]*site{}
+	ends := map[key]*site{}
+	bump := func(m map[key]*site, k key, pos token.Pos) {
+		if s := m[k]; s != nil {
+			s.n++
+		} else {
+			m[k] = &site{1, pos}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !isProbeRef(pass, sel.X) || len(call.Args) == 0 {
+			return true
+		}
+		k := key{allow.ExprString(sel.X), allow.ExprString(call.Args[0])}
+		switch sel.Sel.Name {
+		case "Begin":
+			bump(begins, k, call.Pos())
+		case "End", "EndArg":
+			bump(ends, k, call.Pos())
+		}
+		return true
+	})
+	for k, b := range begins {
+		e := ends[k]
+		if e == nil {
+			allow.Reportf(pass, sup, b.pos,
+				"probe span %s.Begin(%s) has no matching End in %s; the span never reaches the ring",
+				k.ref, k.kind, fd.Name.Name)
+		} else if e.n != b.n {
+			allow.Reportf(pass, sup, b.pos,
+				"probe span Begin/End mismatch for %s kind %s in %s: %d Begin vs %d End",
+				k.ref, k.kind, fd.Name.Name, b.n, e.n)
+		}
+	}
+	for k, e := range ends {
+		if begins[k] == nil {
+			allow.Reportf(pass, sup, e.pos,
+				"probe span %s.End(%s) has no matching Begin in %s",
+				k.ref, k.kind, fd.Name.Name)
+		}
+	}
+}
+
+// checkBareSink enforces rule 3.
+func checkBareSink(pass *analysis.Pass, sup *allow.Suppressor, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || nilSafeSink[sel.Sel.Name] {
+		return
+	}
+	inner, ok := sel.X.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	innerSel, ok := inner.Fun.(*ast.SelectorExpr)
+	if !ok || innerSel.Sel.Name != "Probe" {
+		return
+	}
+	// Only fire when the chain really lands on a *Sink method.
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return
+	}
+	t := recv.Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Sink" || named.Obj().Pkg() == nil || named.Obj().Pkg().Name() != "probe" {
+		return
+	}
+	allow.Reportf(pass, sup, call.Pos(),
+		"Sink.%s called on a bare Probe() chain: Probe() is nil until SetProbe and %s is not nil-safe; "+
+			"go through a registered Ref or check the sink first", sel.Sel.Name, sel.Sel.Name)
+}

@@ -1,0 +1,12 @@
+package proberef_test
+
+import (
+	"testing"
+
+	"howsim/internal/analysis/atest"
+	"howsim/internal/analysis/proberef"
+)
+
+func TestProbeRef(t *testing.T) {
+	atest.Run(t, "../testdata", proberef.Analyzer, "prfx")
+}

@@ -1,0 +1,237 @@
+// Package sortedrange flags map iteration whose order can leak into
+// simulator output.
+//
+// Go randomizes map iteration order per run. Any `for k := range m`
+// whose body writes to an output stream, emits into the probe sink, or
+// appends to a slice that is never subsequently sorted therefore
+// produces byte-different output run to run — the classic killer of
+// the repo's byte-identical figure/report/trace guarantee. The fix is
+// always the same: collect the keys, sort them, iterate the sorted
+// slice. The analyzer blesses exactly that idiom — an append inside a
+// map range is fine if the same slice is passed to a sort call later
+// in the function.
+package sortedrange
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"howsim/internal/analysis/allow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "sortedrange",
+	Doc: "flag `for … range` over a map whose body reaches an output or accumulation sink " +
+		"(fmt.Fprint*, writer methods, probe emissions, appends to slices that are never sorted); " +
+		"map order is randomized per run, so these sites break byte-identical output",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// sinkMethods are method names that commit bytes or probe records in
+// iteration order.
+var sinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true,
+	"WriteRune": true, "Encode": true,
+}
+
+// probeMethods are emissions on a probe.Ref; records enter the span
+// ring in call order, so emitting under map order breaks trace
+// determinism.
+var probeMethods = map[string]bool{
+	"Span": true, "SpanArg": true, "Count": true, "Sample": true,
+	"Begin": true, "End": true, "EndArg": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	sup := allow.NewSuppressor(pass)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil || allow.IsTestFile(pass.Fset, fd.Pos()) {
+			return
+		}
+		checkFunc(pass, sup, fd.Body)
+	})
+	return nil, nil
+}
+
+// checkFunc scans one function body for map ranges and judges each
+// sink found inside them against the rest of the body.
+func checkFunc(pass *analysis.Pass, sup *allow.Suppressor, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if rng.Key == nil { // `for range m`: iterations are indistinguishable
+			return true
+		}
+		if _, isMap := pass.TypesInfo.TypeOf(rng.X).Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRange(pass, sup, body, rng)
+		return true
+	})
+}
+
+func checkMapRange(pass *analysis.Pass, sup *allow.Suppressor, fnBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isOutputSink(pass, call):
+			allow.Reportf(pass, sup, call.Pos(),
+				"output written while ranging over a map (order is randomized per run); "+
+					"iterate sorted keys instead")
+		case isProbeEmission(pass, call):
+			allow.Reportf(pass, sup, call.Pos(),
+				"probe emission while ranging over a map (order is randomized per run); "+
+					"iterate sorted keys instead")
+		default:
+			if obj := appendTarget(pass, call, rng); obj != nil && !sortedLater(pass, fnBody, rng, obj) {
+				allow.Reportf(pass, sup, call.Pos(),
+					"append to %s under map iteration order with no later sort of %s in this function; "+
+						"sort it (or iterate sorted keys) before it reaches output",
+					obj.Name(), obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+// isOutputSink reports whether call commits bytes somewhere a human or
+// a diff will read them: the fmt print family, io.WriteString, or a
+// Write*/Encode method on any receiver.
+func isOutputSink(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Type().(*types.Signature).Recv() == nil {
+		switch fn.Pkg().Path() {
+		case "fmt":
+			switch fn.Name() {
+			case "Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println":
+				return true
+			}
+		case "io":
+			return fn.Name() == "WriteString"
+		}
+		return false
+	}
+	return sinkMethods[fn.Name()]
+}
+
+// isProbeEmission reports whether call records into a probe.Ref (a
+// value of named type Ref declared in a package named probe).
+func isProbeEmission(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !probeMethods[sel.Sel.Name] {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	o := named.Obj()
+	return o.Name() == "Ref" && o.Pkg() != nil && o.Pkg().Name() == "probe"
+}
+
+// appendTarget returns the object a `dst = append(dst, …)` inside the
+// range accumulates into — a local declared before the range began or
+// a struct field (a per-iteration local carries no cross-iteration
+// order).
+func appendTarget(pass *analysis.Pass, call *ast.CallExpr, rng *ast.RangeStmt) types.Object {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return nil
+	}
+	if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil
+	}
+	var obj types.Object
+	switch dst := call.Args[0].(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[dst]
+	case *ast.SelectorExpr: // res.Frequent = append(res.Frequent, …)
+		obj = pass.TypesInfo.Uses[dst.Sel]
+	}
+	if obj == nil || obj.Pos() >= rng.Pos() {
+		return nil
+	}
+	return obj
+}
+
+// sortedLater reports whether, after the range statement, the function
+// passes obj to something that imposes an order: any call into package
+// sort or slices, or a method named Sort.
+func sortedLater(pass *analysis.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || found {
+			return !found
+		}
+		if !isSortCall(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// isSortCall recognizes order-imposing calls: anything in package sort
+// or slices, a method named Sort, or a helper whose name contains
+// "sort" (the repo's sortItemsets-style local sorters).
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	var fn *types.Func
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ = pass.TypesInfo.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+	}
+	if fn == nil {
+		return false
+	}
+	if strings.Contains(strings.ToLower(fn.Name()), "sort") {
+		return true
+	}
+	if pkg := fn.Pkg(); pkg != nil && fn.Type().(*types.Signature).Recv() == nil {
+		return pkg.Path() == "sort" || pkg.Path() == "slices"
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package sortedrange_test
+
+import (
+	"testing"
+
+	"howsim/internal/analysis/atest"
+	"howsim/internal/analysis/sortedrange"
+)
+
+func TestSortedRange(t *testing.T) {
+	atest.Run(t, "../testdata", sortedrange.Analyzer, "srfx")
+}

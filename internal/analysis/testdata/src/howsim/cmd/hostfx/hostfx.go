@@ -1,0 +1,15 @@
+// Fixture shared by nowallclock and norandglobal: a package outside
+// the model tree (howsim/cmd/...). Host-side tooling may use the wall
+// clock and the global generator freely, so nothing here is flagged.
+package hostfx
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Stamp() time.Time { return time.Now() }
+
+func Jitter() time.Duration {
+	return time.Duration(rand.Intn(1000)) * time.Millisecond
+}

@@ -1,0 +1,31 @@
+// Fixture for the norandglobal analyzer: a model package (import path
+// under howsim/internal/fault) where only explicitly seeded sources
+// are legal.
+package nrgfx
+
+import "math/rand"
+
+func bad() int {
+	rand.Seed(42)       // want `global rand\.Seed in model package`
+	return rand.Intn(6) // want `global rand\.Intn in model package`
+}
+
+func badFloat() float64 {
+	return rand.Float64() // want `global rand\.Float64 in model package`
+}
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global rand\.Shuffle in model package`
+}
+
+// An explicitly seeded generator is the sanctioned form: the sequence
+// is a pure function of the seed.
+func clean(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+func allowed() int {
+	//howsim:allow norandglobal -- demo path, output never diffed
+	return rand.Int()
+}

@@ -1,0 +1,33 @@
+// Fixture for the nowallclock analyzer: this package's import path
+// places it inside the model tree (howsim/internal/sim/...), so
+// wall-clock uses are flagged.
+package nwcfx
+
+import "time"
+
+// Time mirrors sim.Time: virtual nanoseconds.
+type Time = int64
+
+func bad() Time {
+	t0 := time.Now()             // want `wall-clock time\.Now in model package`
+	time.Sleep(time.Millisecond) // want `wall-clock time\.Sleep in model package`
+	return Time(time.Since(t0))  // want `wall-clock time\.Since in model package`
+}
+
+func badTimers() {
+	<-time.After(time.Second)       // want `wall-clock time\.After in model package`
+	_ = time.NewTimer(time.Second)  // want `wall-clock time\.NewTimer in model package`
+	_ = time.NewTicker(time.Second) // want `wall-clock time\.NewTicker in model package`
+}
+
+// Virtual-time arithmetic with time's types and constants is the
+// sanctioned idiom.
+func clean(d time.Duration) Time {
+	const tick = 250 * time.Microsecond
+	return Time(d + tick)
+}
+
+func allowed() time.Time {
+	//howsim:allow nowallclock -- host-side banner timestamp, never enters model state
+	return time.Now()
+}

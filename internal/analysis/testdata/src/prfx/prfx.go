@@ -1,0 +1,75 @@
+// Fixture for the proberef analyzer.
+package prfx
+
+import "prfx/probe"
+
+type queue struct {
+	pr  probe.Ref
+	len int
+}
+
+func (q *queue) depth() int64 { return int64(q.len) }
+
+type kernel struct{ s *probe.Sink }
+
+func (k *kernel) Probe() *probe.Sink { return k.s }
+
+// Emission with computed arguments under its ref's guard: clean.
+func (q *queue) goodGuarded() {
+	if q.pr.On() {
+		q.pr.Sample(probe.KindQueue, q.depth())
+	}
+}
+
+// The negated-return guard form: clean.
+func (q *queue) goodNegated() {
+	if !q.pr.On() {
+		return
+	}
+	q.pr.Sample(probe.KindQueue, q.depth())
+}
+
+// Plain arguments (fields, vars, conversions) need no guard — the
+// emission itself is a two-comparison branch.
+func (q *queue) goodPlain(n int64) {
+	q.pr.Count(probe.KindBytes, n)
+	q.pr.Sample(probe.KindQueue, int64(q.len))
+}
+
+func (q *queue) badUnguarded() {
+	q.pr.Sample(probe.KindQueue, q.depth()) // want `probe emission q\.pr\.Sample computes its arguments outside`
+}
+
+// A guard on some other ref does not cover this one.
+func (q *queue) badWrongGuard(other *queue) {
+	if other.pr.On() {
+		q.pr.Sample(probe.KindQueue, q.depth()) // want `probe emission q\.pr\.Sample computes its arguments outside`
+	}
+}
+
+// Balanced paired span: clean.
+func (q *queue) goodPair(now int64) {
+	start := q.pr.Begin(probe.KindXfer, now)
+	q.pr.End(probe.KindXfer, start, now+5)
+}
+
+func (q *queue) badBeginOnly(now int64) {
+	_ = q.pr.Begin(probe.KindXfer, now) // want `probe span q\.pr\.Begin\(probe\.KindXfer\) has no matching End`
+}
+
+func (q *queue) badEndOnly(now int64) {
+	q.pr.End(probe.KindXfer, now, now+1) // want `probe span q\.pr\.End\(probe\.KindXfer\) has no matching Begin`
+}
+
+func (q *queue) allowedUnguarded() {
+	//howsim:allow proberef -- cold path, argument cost reviewed
+	q.pr.Sample(probe.KindQueue, q.depth())
+}
+
+// Bare Probe() chains: Register and Enabled are nil-safe, the rest of
+// the Sink API is not.
+func bind(k *kernel) probe.Ref {
+	_ = k.Probe().Enabled()
+	_ = k.Probe().KindNamed("phase") // want `Sink\.KindNamed called on a bare Probe\(\) chain`
+	return k.Probe().Register("disk", "d0")
+}

@@ -1,0 +1,13 @@
+// Minimal stand-in for internal/probe: the sortedrange analyzer keys
+// on the (package name, type name, method name) shape, not the import
+// path, so fixtures can carry their own.
+package probe
+
+type Kind int32
+
+const KindBytes Kind = 0
+
+type Ref struct{}
+
+func (r Ref) On() bool            { return false }
+func (r Ref) Count(k Kind, n int64) {}

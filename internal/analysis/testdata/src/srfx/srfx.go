@@ -1,0 +1,108 @@
+// Fixture for the sortedrange analyzer.
+package srfx
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"srfx/probe"
+)
+
+func badPrint(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `output written while ranging over a map`
+	}
+}
+
+func badBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `output written while ranging over a map`
+	}
+	return b.String()
+}
+
+func badAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to out under map iteration order with no later sort`
+	}
+	return out
+}
+
+type result struct{ rows []string }
+
+func badFieldAppend(res *result, m map[string]int) {
+	for k := range m {
+		res.rows = append(res.rows, k) // want `append to rows under map iteration order with no later sort`
+	}
+}
+
+func badProbe(pr probe.Ref, m map[string]int64) {
+	for _, v := range m {
+		pr.Count(probe.KindBytes, v) // want `probe emission while ranging over a map`
+	}
+}
+
+// The blessed idiom: collect keys under map order, sort, iterate the
+// sorted slice.
+func cleanSortedKeys(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// A local sorting helper counts as the sort step.
+func sortRows(rows []string) { sort.Strings(rows) }
+
+func cleanHelperSorted(m map[string]int) []string {
+	var rows []string
+	for k := range m {
+		rows = append(rows, k)
+	}
+	sortRows(rows)
+	return rows
+}
+
+// Commutative aggregation carries no iteration order.
+func cleanAggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Ranging a slice is always fine.
+func cleanSliceRange(w io.Writer, s []int) {
+	for _, v := range s {
+		fmt.Fprintln(w, v)
+	}
+}
+
+// A slice declared inside the range body is a per-iteration temp.
+func cleanLocalTemp(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var tmp []int
+		for _, v := range vs {
+			tmp = append(tmp, v)
+		}
+		n += len(tmp)
+	}
+	return n
+}
+
+func allowedPrint(w io.Writer, m map[string]int) {
+	for k := range m {
+		//howsim:allow sortedrange -- debug dump, order-insensitive consumer
+		fmt.Fprintln(w, k)
+	}
+}

@@ -55,13 +55,13 @@ func (c *CPU) Compute(p *sim.Proc, n int64) {
 	}
 	c.res.Acquire(p, 1)
 	d := c.CycleTime(n)
+	start := c.pr.Begin(probe.KindCompute, probe.Time(p.Now()))
 	p.Delay(d)
 	c.res.Release(1)
 	c.busy += d
 	c.work += n
 	if c.pr.On() {
-		end := p.Now()
-		c.pr.SpanArg(probe.KindCompute, int64(end-d), int64(end), n)
+		c.pr.EndArg(probe.KindCompute, start, int64(p.Now()), n)
 	}
 }
 
@@ -73,12 +73,12 @@ func (c *CPU) Busy(p *sim.Proc, d sim.Time) {
 		return
 	}
 	c.res.Acquire(p, 1)
+	start := c.pr.Begin(probe.KindCompute, probe.Time(p.Now()))
 	p.Delay(d)
 	c.res.Release(1)
 	c.busy += d
 	if c.pr.On() {
-		end := p.Now()
-		c.pr.Span(probe.KindCompute, int64(end-d), int64(end))
+		c.pr.End(probe.KindCompute, start, int64(p.Now()))
 	}
 }
 

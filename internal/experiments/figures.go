@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"howsim/internal/arch"
@@ -108,7 +109,15 @@ func RunFigure2(o Options) *Figure2 {
 				"200MB(S)": arch.SMP(n),
 				"400MB(S)": arch.SMP(n).WithFastIO(),
 			}
-			for name, cfg := range variants {
+			// Submit in sorted-name order: map order is randomized per
+			// run and would shuffle the job list run to run.
+			names := make([]string, 0, len(variants))
+			for name := range variants {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				cfg := variants[name]
 				h := new(*tasks.Result)
 				jobs = append(jobs, job{cfg: cfg, task: t, out: h})
 				n, t, name := n, t, name
@@ -179,7 +188,14 @@ func RunFigure3(o Options) *Figure3 {
 			"Fast Disk": arch.ActiveDisks(n).WithFastDisk(),
 			"Fast I/O":  arch.ActiveDisks(n).WithFastIO(),
 		}
-		for name, cfg := range variants {
+		// Sorted-name submission order, for the same reason as RunFigure2.
+		names := make([]string, 0, len(variants))
+		for name := range variants {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			cfg := variants[name]
 			h := new(*tasks.Result)
 			jobs = append(jobs, job{cfg: cfg, task: workload.Sort, out: h})
 			n, name := n, name

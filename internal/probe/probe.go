@@ -337,6 +337,24 @@ func (r Ref) SetCapacity(n int64) {
 // Span records a virtual-time interval.
 func (r Ref) Span(k Kind, start, end Time) { r.SpanArg(k, start, end, 0) }
 
+// Begin opens a paired span: it marks now as the span's opening edge
+// and returns it for the matching End. Begin records nothing and costs
+// nothing — it exists so the opening edge is named at the point where
+// the measured work starts, and so howsimvet's proberef analyzer can
+// check that every Begin has its End within the function:
+//
+//	start := r.Begin(probe.KindCompute, now)
+//	… the measured work …
+//	r.End(probe.KindCompute, start, t.Now())
+func (r Ref) Begin(k Kind, now Time) Time { return now }
+
+// End records the span opened by the matching Begin.
+func (r Ref) End(k Kind, start, end Time) { r.SpanArg(k, start, end, 0) }
+
+// EndArg is End with a payload argument (bytes, cycles — whatever the
+// kind measures).
+func (r Ref) EndArg(k Kind, start, end Time, arg int64) { r.SpanArg(k, start, end, arg) }
+
 // SpanArg records a virtual-time interval with a payload argument
 // (bytes, cycles — whatever the kind measures).
 func (r Ref) SpanArg(k Kind, start, end Time, arg int64) {

@@ -74,13 +74,14 @@ func (pp *Pipe) Transfer(p *Proc, bytes int64) {
 		pp.pr.Sample(probe.KindQueue, int64(pp.res.QueueLen()))
 	}
 	pp.res.Acquire(p, 1)
-	p.Delay(pp.TransferDuration(bytes))
+	dur := pp.TransferDuration(bytes)
+	p.Delay(dur)
 	pp.res.Release(1)
 	pp.bytesMoved += bytes
 	pp.transfers++
 	if pp.pr.On() {
 		end := p.Now()
-		pp.pr.SpanArg(probe.KindXfer, int64(end-pp.TransferDuration(bytes)), int64(end), bytes)
+		pp.pr.SpanArg(probe.KindXfer, int64(end-dur), int64(end), bytes)
 		pp.pr.Count(probe.KindBytes, bytes)
 	}
 }
@@ -103,13 +104,17 @@ func (pp *Pipe) TransferFunc(t *Task, bytes int64, fn func()) {
 	pp.res.AcquireFunc(t, 1, t.xferAcqFn)
 }
 
-// xferAcquired runs when the task holds a pipe channel: start the hold
+// xferAcquired runs when the task holds a pipe channel: it computes the
+// hold duration once, carries it in the in-flight op, and starts the
 // timer for the serialization delay.
 func (t *Task) xferAcquired() {
-	t.k.After(t.xferPipe.TransferDuration(t.xferBytes), t.xferEndFn)
+	t.xferDur = t.xferPipe.TransferDuration(t.xferBytes)
+	t.k.After(t.xferDur, t.xferEndFn)
 }
 
 // xferComplete releases the channel, books the transfer and continues.
+// The span uses the duration cached at acquisition — the completion
+// path does no float math when probing is on.
 func (t *Task) xferComplete() {
 	pp := t.xferPipe
 	pp.res.Release(1)
@@ -117,7 +122,7 @@ func (t *Task) xferComplete() {
 	pp.transfers++
 	if pp.pr.On() {
 		end := t.k.now
-		pp.pr.SpanArg(probe.KindXfer, int64(end-pp.TransferDuration(t.xferBytes)), int64(end), t.xferBytes)
+		pp.pr.SpanArg(probe.KindXfer, int64(end-t.xferDur), int64(end), t.xferBytes)
 		pp.pr.Count(probe.KindBytes, t.xferBytes)
 	}
 	fn := t.xferCont

@@ -115,9 +115,12 @@ type Task struct {
 
 	// In-flight Pipe.TransferFunc state. The two step continuations are
 	// bound method values created once per task and reused for every
-	// transfer, keeping the pipe fast path allocation-free.
+	// transfer, keeping the pipe fast path allocation-free. xferDur
+	// carries the transfer duration computed at acquisition so the
+	// completion path never recomputes TransferDuration.
 	xferPipe  *Pipe
 	xferBytes int64
+	xferDur   Time
 	xferCont  func()
 	xferAcqFn func()
 	xferEndFn func()

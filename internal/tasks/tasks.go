@@ -190,6 +190,9 @@ func probeEpilogue(res *Result, k *sim.Kernel) {
 	}
 	sort.Slice(marks, func(i, j int) bool { return marks[i].end < marks[j].end })
 	pr := s.Register("task", res.Task.String())
+	if !pr.On() {
+		return
+	}
 	start := sim.Time(0)
 	for _, m := range marks {
 		if m.end > start {
