@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race bench-kernel bench-figures benchfigures bench-guard fault-smoke trace-smoke
+.PHONY: build vet lint test race bench-kernel bench-figures benchfigures bench-parallel bench-guard fault-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -41,11 +41,21 @@ bench-figures:
 benchfigures:
 	$(GO) run ./scripts/benchfigures -count 3 -out BENCH_figures.json
 
-# Gate the kernel hot path against the committed baseline (what CI's
-# bench-smoke job runs).
+# Refresh BENCH_parallel.json: wall-clock speedup of -procmode parallel
+# over the single-kernel event mode on a 64-disk select. The recorded
+# numbers are honest for the machine that ran them (num_cpu is in the
+# report); benchguard only enforces the speedup floor on >= 4 cores.
+bench-parallel:
+	$(GO) run ./scripts/benchparallel -out BENCH_parallel.json
+
+# Gate the kernel hot path against the committed baseline, and the
+# sharded-execution speedup against its floor (what CI's bench-smoke
+# job runs).
 bench-guard:
 	$(GO) run ./scripts/benchkernel -count 1 -out /tmp/BENCH_kernel.json
-	$(GO) run ./scripts/benchguard -baseline BENCH_kernel.json -current /tmp/BENCH_kernel.json
+	$(GO) run ./scripts/benchparallel -out /tmp/BENCH_parallel.json
+	$(GO) run ./scripts/benchguard -baseline BENCH_kernel.json -current /tmp/BENCH_kernel.json \
+		-parallel /tmp/BENCH_parallel.json
 
 # Fault-injection smoke: one disk fails mid-scan on each architecture,
 # once recovering via replicas and once completing degraded. Every run

@@ -44,9 +44,10 @@ func main() {
 		faults   = flag.String("faults", "", "fault plan; runs the fault experiment instead of the figures")
 		ftask    = flag.String("faulttask", "select", "task for the -faults experiment")
 		farch     = flag.String("faultarch", "all", "architecture for -faults: active|cluster|smp|all")
-		procmode  = flag.String("procmode", "event", "simulator execution mode: event|goroutine")
-		tracePath = flag.String("trace", "", "run -faulttask on -faultarch once, writing Chrome trace JSON (suffixed per architecture when faultarch=all)")
-		breakdown = flag.Bool("breakdown", false, "run -faulttask on -faultarch once and print the utilization/phase breakdown")
+		procmode  = flag.String("procmode", "event", "simulator execution mode: event|goroutine|parallel")
+		tracePath = flag.String("trace", "", "write Chrome trace JSON: with -only, one per figure run (suffixed per config and task); otherwise one -faulttask run per architecture")
+		breakdown = flag.Bool("breakdown", false, "print the utilization/phase breakdown: with -only, per figure run; otherwise one -faulttask run per architecture")
+		ringSpans = flag.Int("ring-spans", 1, "span-ring capacity multiplier for probed runs (x 256Ki spans)")
 	)
 	flag.Parse()
 
@@ -66,17 +67,24 @@ func main() {
 		}
 		sizes = append(sizes, n)
 	}
-	opt := experiments.Options{Scale: *scale, Sizes: sizes, Parallel: *parallel}
+	opt := experiments.Options{Scale: *scale, Sizes: sizes, Parallel: *parallel, RingSpans: *ringSpans}
 
 	stop := profiling.Start()
 	defer stop()
 
 	if *tracePath != "" || *breakdown {
-		if err := runProbedExperiment(*tracePath, *breakdown, *faults, *ftask, *farch, sizes[0], *scale); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+		if *only == "all" {
+			// Legacy single-task probed run on each architecture.
+			if err := runProbedExperiment(*tracePath, *breakdown, *faults, *ftask, *farch, sizes[0], *scale, *ringSpans); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			return
 		}
-		return
+		// With -only, the figure driver itself runs probed: every
+		// simulation gets a sink and emits its trace/breakdown.
+		opt.Trace = *tracePath
+		opt.Breakdown = *breakdown
 	}
 
 	if *faults != "" {
@@ -191,7 +199,7 @@ func runFaultExperiment(planStr, taskName, archName string, size int, scale floa
 // executions come for free. Like the fault experiment, the output is a
 // pure function of (plan, task, configuration, dataset): repeated
 // invocations produce byte-identical traces and reports.
-func runProbedExperiment(tracePath string, breakdown bool, planStr, taskName, archName string, size int, scale float64) error {
+func runProbedExperiment(tracePath string, breakdown bool, planStr, taskName, archName string, size int, scale float64, ringSpans int) error {
 	var plan *fault.Plan
 	if planStr != "" {
 		var err error
@@ -220,8 +228,11 @@ func runProbedExperiment(tracePath string, breakdown bool, planStr, taskName, ar
 		}
 		order = []string{archName}
 	}
+	if ringSpans < 1 {
+		ringSpans = 1
+	}
 	for _, name := range order {
-		sink := probe.NewSink()
+		sink := probe.NewSinkCap(ringSpans * probe.DefaultRingSpans)
 		res := tasks.RunDatasetProbed(cfgs[name], task, ds, plan, sink)
 		if tracePath != "" {
 			path := tracePath

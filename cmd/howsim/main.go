@@ -39,9 +39,10 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = full Table 2 size)")
 		sweep    = flag.Bool("sweep", false, "run the task across 16/32/64/128 disks and print a scaling table")
 		faults    = flag.String("faults", "", "fault plan, e.g. seed=42,media=0.001,fail=3@2s,replica")
-		procmode  = flag.String("procmode", "event", "simulator execution mode: event|goroutine")
+		procmode  = flag.String("procmode", "event", "simulator execution mode: event|goroutine|parallel")
 		tracePath = flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file")
 		breakdown = flag.Bool("breakdown", false, "print the utilization/phase breakdown report")
+		ringSpans = flag.Int("ring-spans", 1, "span-ring capacity multiplier for -trace/-breakdown (x 256Ki spans)")
 	)
 	flag.Parse()
 
@@ -114,7 +115,10 @@ func main() {
 
 	var sink *probe.Sink
 	if *tracePath != "" || *breakdown {
-		sink = probe.NewSink()
+		if *ringSpans < 1 {
+			*ringSpans = 1
+		}
+		sink = probe.NewSinkCap(*ringSpans * probe.DefaultRingSpans)
 	}
 	res := tasks.RunDatasetProbed(cfg, task, ds, plan, sink)
 	if *tracePath != "" {

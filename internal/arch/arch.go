@@ -215,6 +215,28 @@ func (c Config) BuildActive(k *sim.Kernel) *diskos.System {
 	return diskos.NewSystem(k, cfg)
 }
 
+// BuildActiveSharded constructs the Active Disk system for this
+// configuration partitioned across a ShardGroup: interconnect and
+// front-end on the hub, one disk per shard. The group must have
+// c.Disks shards.
+func (c Config) BuildActiveSharded(g *sim.ShardGroup) *diskos.System {
+	if c.Kind != KindActiveDisk {
+		panic("arch: BuildActiveSharded on a non-Active configuration")
+	}
+	cfg := diskos.DefaultConfig(c.Disks)
+	cfg.DiskSpec = c.spec()
+	cfg.LoopBytesPerSec = c.LoopBytesPerSec
+	cfg.DiskMemBytes = c.DiskMemBytes
+	cfg.DirectComm = c.DirectComm
+	cfg.FrontEndHz = c.FrontEndHz
+	cfg.SwitchedLoops = c.SwitchedLoops
+	if c.EmbeddedHz > 0 {
+		cfg.EmbeddedHz = c.EmbeddedHz
+	}
+	cfg.SpecFor = c.specFor()
+	return diskos.NewSystemSharded(g, cfg)
+}
+
 // BuildCluster constructs the cluster for this configuration.
 func (c Config) BuildCluster(k *sim.Kernel) *cluster.Machine {
 	if c.Kind != KindCluster {

@@ -159,11 +159,38 @@ type System struct {
 
 // NewSystem builds an Active Disk system on k.
 func NewSystem(k *sim.Kernel, cfg Config) *System {
+	return build(cfg, k, func(int) *sim.Kernel { return k })
+}
+
+// NewSystemSharded builds the same system partitioned across a
+// ShardGroup: the loops and the front-end live on the hub kernel, and
+// disk i's components (media, embedded CPU, scratch, communication
+// buffers, inbox) live on shard i's kernel. g must have exactly
+// cfg.Disks shards.
+//
+// On a sharded system only the leaf-local operations (ReadLocal,
+// WriteLocal, Compute) may be called from disklet processes directly;
+// anything touching the loops or the front-end (SendToFrontEnd in
+// particular) must run on a hub process — disklets reach it through
+// Shard.Call. Components are constructed in the single-kernel order
+// (loops, front-end, then disks ascending) so that merging the leaf
+// probe sinks into the hub's reproduces NewSystem's instance numbering.
+func NewSystemSharded(g *sim.ShardGroup, cfg Config) *System {
+	if g.Shards() != cfg.Disks {
+		panic(fmt.Sprintf("diskos: %d shards for %d disks", g.Shards(), cfg.Disks))
+	}
+	return build(cfg, g.Hub(), func(i int) *sim.Kernel { return g.Shard(i).Kernel() })
+}
+
+// build constructs the system with the shared interconnect and
+// front-end on hub and disk i's components on leaf(i) (the same kernel
+// in the single-kernel layout).
+func build(cfg Config, hub *sim.Kernel, leaf func(int) *sim.Kernel) *System {
 	if cfg.Disks <= 0 {
 		panic("diskos: need at least one disk")
 	}
 	s := &System{
-		K:     k,
+		K:     hub,
 		Cfg:   cfg,
 		chunk: cfg.chunkBytes(),
 	}
@@ -176,7 +203,7 @@ func NewSystem(k *sim.Kernel, cfg Config) *System {
 	}
 	s.perGroup = (cfg.Disks + groups - 1) / groups
 	for g := 0; g < groups; g++ {
-		s.loops = append(s.loops, bus.NewFCAL(k, fmt.Sprintf("fcal%d", g), cfg.Loops, cfg.LoopBytesPerSec))
+		s.loops = append(s.loops, bus.NewFCAL(hub, fmt.Sprintf("fcal%d", g), cfg.Loops, cfg.LoopBytesPerSec))
 	}
 	s.Loop = s.loops[0]
 	feOS := osmodel.FrontEndOS()
@@ -184,11 +211,11 @@ func NewSystem(k *sim.Kernel, cfg Config) *System {
 		feOS = feOS.ScaledTo(cfg.FrontEndHz)
 	}
 	s.FE = &FrontEnd{
-		CPU:     cpu.New(k, "fe.cpu", cfg.FrontEndHz),
+		CPU:     cpu.New(hub, "fe.cpu", cfg.FrontEndHz),
 		OS:      feOS,
-		Adaptor: bus.New(k, "fe.fc", cfg.Loops, cfg.LoopBytesPerSec, bus.FCALStartup, bus.FCALFrame),
-		PCI:     bus.NewPCI(k, "fe.pci"),
-		inbox:   sim.NewMailbox(k, "fe.inbox", 0),
+		Adaptor: bus.New(hub, "fe.fc", cfg.Loops, cfg.LoopBytesPerSec, bus.FCALStartup, bus.FCALFrame),
+		PCI:     bus.NewPCI(hub, "fe.pci"),
+		inbox:   sim.NewMailbox(hub, "fe.inbox", 0),
 	}
 	commBuf := cfg.commBufBytes()
 	scratch := cfg.DiskMemBytes - commBuf
@@ -202,15 +229,16 @@ func NewSystem(k *sim.Kernel, cfg Config) *System {
 				spec = s
 			}
 		}
+		lk := leaf(i)
 		ad := &ActiveDisk{
 			ID:      i,
-			Disk:    disk.New(k, fmt.Sprintf("ad%d", i), spec),
-			CPU:     cpu.New(k, fmt.Sprintf("ad%d.cpu", i), cfg.EmbeddedHz),
-			Scratch: sim.NewResource(k, fmt.Sprintf("ad%d.scratch", i), scratch),
+			Disk:    disk.New(lk, fmt.Sprintf("ad%d", i), spec),
+			CPU:     cpu.New(lk, fmt.Sprintf("ad%d.cpu", i), cfg.EmbeddedHz),
+			Scratch: sim.NewResource(lk, fmt.Sprintf("ad%d.scratch", i), scratch),
 			sys:     s,
-			commBuf: sim.NewResource(k, fmt.Sprintf("ad%d.commbuf", i), commBuf),
-			inbox:   sim.NewMailbox(k, fmt.Sprintf("ad%d.inbox", i), 0),
-			pr:      k.Probe().Register("diskos", fmt.Sprintf("ad%d", i)),
+			commBuf: sim.NewResource(lk, fmt.Sprintf("ad%d.commbuf", i), commBuf),
+			inbox:   sim.NewMailbox(lk, fmt.Sprintf("ad%d.inbox", i), 0),
+			pr:      lk.Probe().Register("diskos", fmt.Sprintf("ad%d", i)),
 		}
 		ad.pr.SetCapacity(commBuf)
 		s.Disks = append(s.Disks, ad)

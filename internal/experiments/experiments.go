@@ -7,15 +7,20 @@
 package experiments
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 
 	"howsim/internal/arch"
+	"howsim/internal/probe"
 	"howsim/internal/tasks"
 	"howsim/internal/workload"
 )
 
-// Options controls experiment scale and parallelism.
+// Options controls experiment scale, parallelism and observability.
 type Options struct {
 	// Scale multiplies the Table 2 dataset sizes (1.0 = full scale;
 	// tests use small fractions).
@@ -24,6 +29,18 @@ type Options struct {
 	Sizes []int
 	// Parallel bounds concurrent simulations (default GOMAXPROCS).
 	Parallel int
+	// Trace, when non-empty, attaches an observability sink to every
+	// simulation a driver runs and writes one Chrome trace per run,
+	// with ".<config>.<task>" inserted before the path's extension.
+	Trace string
+	// Breakdown attaches a sink to every simulation and prints each
+	// run's utilization/phase breakdown report to stdout.
+	Breakdown bool
+	// RingSpans multiplies each sink's span-ring capacity relative to
+	// probe.DefaultRingSpans (values below 1 mean the default). Full
+	// Table 2 scale runs overflow the default ring; raising the
+	// multiplier trades memory for complete timelines.
+	RingSpans int
 }
 
 // Default returns full-scale options over the paper's sizes.
@@ -67,23 +84,77 @@ type job struct {
 	out  **tasks.Result
 }
 
+// probed reports whether the options request per-run observability.
+func (o Options) probed() bool { return o.Trace != "" || o.Breakdown }
+
+// ringSpans returns the span-ring capacity each run's sink is created
+// with.
+func (o Options) ringSpans() int {
+	m := o.RingSpans
+	if m < 1 {
+		m = 1
+	}
+	return m * probe.DefaultRingSpans
+}
+
 // runAll executes jobs with bounded parallelism. Each simulation is
-// fully independent (own kernel), so results are deterministic
-// regardless of scheduling.
+// fully independent (own kernel — and, when probed, its own sink), so
+// results are deterministic regardless of scheduling; probed outputs
+// are emitted in job order only after every run has finished.
 func (o Options) runAll(jobs []job) {
 	sem := make(chan struct{}, o.parallel())
 	var wg sync.WaitGroup
-	for _, j := range jobs {
-		j := j
+	var sinks []*probe.Sink
+	if o.probed() {
+		sinks = make([]*probe.Sink, len(jobs))
+	}
+	for i, j := range jobs {
+		i, j := i, j
 		wg.Add(1)
 		sem <- struct{}{}
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			*j.out = tasks.RunDataset(j.cfg, j.task, o.dataset(j.task))
+			if sinks != nil {
+				sinks[i] = probe.NewSinkCap(o.ringSpans())
+				*j.out = tasks.RunDatasetProbed(j.cfg, j.task, o.dataset(j.task), nil, sinks[i])
+			} else {
+				*j.out = tasks.RunDataset(j.cfg, j.task, o.dataset(j.task))
+			}
 		}()
 	}
 	wg.Wait()
+	if sinks != nil {
+		o.emitProbed(jobs, sinks)
+	}
+}
+
+// emitProbed writes each probed run's trace file and prints its
+// breakdown report, in job order.
+func (o Options) emitProbed(jobs []job, sinks []*probe.Sink) {
+	for i, j := range jobs {
+		sink := sinks[i]
+		if o.Trace != "" {
+			path := suffixed(o.Trace, j.cfg.Name()+"."+j.task.String())
+			if err := sink.WriteTraceFile(path); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "trace written to %s (%d spans, %d dropped)\n",
+				path, sink.SpansRecorded(), sink.Dropped())
+		}
+		if o.Breakdown {
+			fmt.Print(sink.BuildReport(j.task.String(), j.cfg.Name(), int64((*j.out).Elapsed)).Render())
+			fmt.Println()
+		}
+	}
+}
+
+// suffixed inserts a label before the path's extension:
+// out.json + active64.sort -> out.active64.sort.json.
+func suffixed(path, label string) string {
+	ext := filepath.Ext(path)
+	return strings.TrimSuffix(path, ext) + "." + label + ext
 }
 
 // AllTasks is the presentation order used by the paper's figures.

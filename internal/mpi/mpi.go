@@ -13,6 +13,7 @@ import (
 	"howsim/internal/cpu"
 	"howsim/internal/netsim"
 	"howsim/internal/osmodel"
+	"howsim/internal/probe"
 	"howsim/internal/sim"
 )
 
@@ -230,6 +231,14 @@ type Group struct {
 	phase   int
 	// RoundCost is the per-round latency of the dissemination pattern.
 	RoundCost sim.Time
+
+	// pr records each member's collective wait time: one span per rank
+	// per collective, from arrival to release (dissemination latency
+	// included), with the caller's group index as the span argument
+	// (-1 for barriers, which do not identify their caller).
+	pr       probe.Ref
+	kBarrier probe.Kind
+	kReduce  probe.Kind
 }
 
 // NewGroup creates a collective group over the given ranks.
@@ -241,6 +250,9 @@ func (w *World) NewGroup(name string, ranks []int) *Group {
 		vals:      make([]float64, len(ranks)),
 		RoundCost: 120 * sim.Microsecond,
 	}
+	g.pr = w.net.Kernel().Probe().Register("mpi", name)
+	g.kBarrier = g.pr.KindNamed("barrier_wait")
+	g.kReduce = g.pr.KindNamed("reduce_wait")
 	return g
 }
 
@@ -257,13 +269,18 @@ func (g *Group) rounds() int {
 // Barrier synchronizes the group: all members block until everyone has
 // arrived, then pay the dissemination latency.
 func (g *Group) Barrier(p *sim.Proc) {
+	start := p.Now()
 	g.barrier.Wait(p)
 	p.Delay(sim.Time(g.rounds()) * g.RoundCost)
+	if g.pr.On() {
+		g.pr.SpanArg(g.kBarrier, int64(start), int64(p.Now()), -1)
+	}
 }
 
 // AllReduceSum contributes v and returns the sum over the group. index
 // is the caller's position within the group's rank list.
 func (g *Group) AllReduceSum(p *sim.Proc, index int, v float64) float64 {
+	start := p.Now()
 	g.vals[index] = v
 	g.barrier.Wait(p)
 	if index == 0 {
@@ -278,11 +295,15 @@ func (g *Group) AllReduceSum(p *sim.Proc, index int, v float64) float64 {
 	g.barrier.Wait(p)
 	out := g.reduced
 	p.Delay(sim.Time(g.rounds()) * g.RoundCost)
+	if g.pr.On() {
+		g.pr.SpanArg(g.kReduce, int64(start), int64(p.Now()), int64(index))
+	}
 	return out
 }
 
 // AllReduceMax contributes v and returns the maximum over the group.
 func (g *Group) AllReduceMax(p *sim.Proc, index int, v float64) float64 {
+	start := p.Now()
 	g.vals[index] = v
 	g.barrier.Wait(p)
 	if index == 0 {
@@ -297,5 +318,8 @@ func (g *Group) AllReduceMax(p *sim.Proc, index int, v float64) float64 {
 	g.barrier.Wait(p)
 	out := g.reduced
 	p.Delay(sim.Time(g.rounds()) * g.RoundCost)
+	if g.pr.On() {
+		g.pr.SpanArg(g.kReduce, int64(start), int64(p.Now()), int64(index))
+	}
 	return out
 }

@@ -6,6 +6,7 @@ import (
 	"howsim/internal/cpu"
 	"howsim/internal/netsim"
 	"howsim/internal/osmodel"
+	"howsim/internal/probe"
 	"howsim/internal/sim"
 )
 
@@ -265,5 +266,72 @@ func TestIrecvMatchesAlreadyArrived(t *testing.T) {
 	k.Run()
 	if msg == nil || msg.Payload.(string) != "early" {
 		t.Fatalf("got %+v", msg)
+	}
+}
+
+func TestCollectiveProbeSpans(t *testing.T) {
+	k := sim.NewKernel()
+	sink := probe.NewSink()
+	sink.SetEnabled(true)
+	k.SetProbe(sink)
+	n := netsim.New(k, 0)
+	ft := netsim.NewFatTree(n, 4, netsim.DefaultFatTreeConfig())
+	n.SetTopology(ft)
+	cpus := make([]*cpu.CPU, 4)
+	for i := range cpus {
+		cpus[i] = cpu.New(k, "cpu", 300e6)
+	}
+	w := NewWorld(n, cpus, osmodel.FullFunctionOS())
+	g := w.NewGroup("workers", []int{0, 1, 2})
+	var sum float64
+	for i := 0; i < 3; i++ {
+		i := i
+		k.Spawn("member", func(p *sim.Proc) {
+			p.Delay(sim.Time(i) * sim.Millisecond) // staggered arrival: real wait spans
+			g.Barrier(p)
+			v := g.AllReduceSum(p, i, float64(i+1))
+			if i == 0 {
+				sum = v
+			}
+		})
+	}
+	k.Run()
+	if sum != 6 {
+		t.Fatalf("AllReduceSum = %v, want 6", sum)
+	}
+	inst := -1
+	for i := 0; i < sink.Instances(); i++ {
+		if c, name := sink.Instance(i); c == "mpi" && name == "workers" {
+			inst = i
+		}
+	}
+	if inst < 0 {
+		t.Fatal("no (mpi, workers) probe instance registered")
+	}
+	bDur, bCount, bSum := sink.Cell(inst, sink.KindNamed("barrier_wait"))
+	if bCount != 3 || bSum != -3 {
+		t.Errorf("barrier_wait cell = (count %d, sum %d), want 3 spans with arg -1", bCount, bSum)
+	}
+	if bDur <= 0 {
+		t.Errorf("barrier_wait recorded no wait time (dur %d)", bDur)
+	}
+	rDur, rCount, rSum := sink.Cell(inst, sink.KindNamed("reduce_wait"))
+	if rCount != 3 || rSum != 0+1+2 {
+		t.Errorf("reduce_wait cell = (count %d, sum %d), want 3 spans with rank args 0+1+2", rCount, rSum)
+	}
+	if rDur <= 0 {
+		t.Errorf("reduce_wait recorded no wait time (dur %d)", rDur)
+	}
+	// Each member's span must appear in the ring with its rank argument.
+	ranks := map[int64]int{}
+	sink.EachSpan(func(sp probe.Span) {
+		if int(sp.Inst) == inst && sink.KindName(sp.Kind) == "reduce_wait" {
+			ranks[sp.Arg]++
+		}
+	})
+	for r := int64(0); r < 3; r++ {
+		if ranks[r] != 1 {
+			t.Errorf("reduce_wait span for rank %d recorded %d times, want 1", r, ranks[r])
+		}
 	}
 }

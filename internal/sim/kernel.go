@@ -16,8 +16,15 @@ import (
 type event struct {
 	t   Time
 	seq uint64
-	fn  func()
-	tk  *Task
+	// schedT is the virtual time at which the event was scheduled. Among
+	// events sharing a timestamp, seq order respects schedT order (an
+	// event scheduled at an earlier instant was necessarily enqueued
+	// first), which is what lets sharded execution reconstruct the
+	// single-kernel tie-break for requests arriving from different
+	// partitions: order by (t, schedT, shard).
+	schedT Time
+	fn     func()
+	tk     *Task
 }
 
 // Kernel is a discrete-event simulation scheduler. Create one with
@@ -33,8 +40,18 @@ type Kernel struct {
 	live    int // processes spawned and not yet finished
 	blocked int // processes and tasks parked without a pending wake event
 	limit   Time
+	limited bool
 	stopped bool
+	// curSched is the scheduling time of the event currently executing —
+	// the recursive half of the (t, schedT) tie-break key a ShardGroup
+	// uses to slot cross-partition requests into single-kernel order.
+	curSched Time
 	mode    ExecMode
+	// publish, when set, is called with the new virtual time just before
+	// the kernel advances to it — the clock-promise hook a ShardGroup
+	// uses for conservative synchronization. Nil outside sharded runs,
+	// so the hot loop pays one predictable branch.
+	publish func(Time)
 	procSeq int
 	procs   []*Proc // every spawned process, for deadlock reporting
 	// procFree holds finished processes whose worker goroutines are
@@ -131,7 +148,7 @@ func (k *Kernel) DeadlockReport() string {
 // the min-heap. Both paths are allocation-free in steady state.
 func (k *Kernel) schedule(t Time, fn func(), tk *Task) {
 	k.seq++
-	e := event{t: t, seq: k.seq, fn: fn, tk: tk}
+	e := event{t: t, seq: k.seq, schedT: k.now, fn: fn, tk: tk}
 	if t == k.now {
 		k.events.fast.push(e)
 	} else {
@@ -167,12 +184,16 @@ func (k *Kernel) Stop() { k.stopped = true }
 // virtual time.
 func (k *Kernel) Run() Time {
 	for !k.events.empty() && !k.stopped {
-		if k.limit > 0 && k.events.peekTime() > k.limit {
+		if k.limited && k.events.peekTime() > k.limit {
 			k.now = k.limit
 			break
 		}
 		e := k.events.pop()
+		if k.publish != nil && e.t != k.now {
+			k.publish(e.t)
+		}
 		k.now = e.t
+		k.curSched = e.schedT
 		k.sched.Count(probe.KindEvents, 1)
 		if e.fn != nil {
 			e.fn()
@@ -194,9 +215,63 @@ func (k *Kernel) Run() Time {
 // RunUntil executes events with virtual time capped at limit and returns
 // the final time (at most limit).
 func (k *Kernel) RunUntil(limit Time) Time {
-	k.limit = limit
-	defer func() { k.limit = 0 }()
+	k.limit, k.limited = limit, true
+	defer func() { k.limit, k.limited = 0, false }()
 	return k.Run()
+}
+
+// NextEventTime returns the timestamp of the earliest pending event and
+// whether one exists.
+func (k *Kernel) NextEventTime() (Time, bool) {
+	if k.events.empty() {
+		return 0, false
+	}
+	return k.events.peekTime(), true
+}
+
+// AdvanceTo moves the clock forward to t without executing anything.
+// A ShardGroup uses it to align the hub kernel with an inbound
+// cross-shard message before injecting it. Jumping over a pending event
+// (or backwards) panics: that would execute the skipped event in the
+// past.
+func (k *Kernel) AdvanceTo(t Time) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: AdvanceTo %v before now %v", t, k.now))
+	}
+	if nt, ok := k.NextEventTime(); ok && nt < t {
+		panic(fmt.Sprintf("sim: AdvanceTo %v would skip event at %v", t, nt))
+	}
+	k.now = t
+}
+
+// setPublish installs the clock-promise hook: fn is called with the new
+// time whenever the kernel is about to advance its clock. Sharded
+// execution uses it to publish a conservative horizon ("I will send
+// nothing earlier than this") to the other partitions.
+func (k *Kernel) setPublish(fn func(Time)) { k.publish = fn }
+
+// KernelSnapshot is a point-in-time view of a kernel's scheduler state,
+// taken between events. ShardGroup reads it for quiescence detection
+// and stall diagnostics; tests use it to assert partition health.
+type KernelSnapshot struct {
+	Now           Time
+	PendingEvents int
+	Live          int // spawned processes not yet finished
+	LiveTasks     int // bare callback tasks not yet finished
+	Blocked       int // parked without a pending wake event
+}
+
+// Snapshot captures the kernel's scheduler state. Call it only from the
+// goroutine that owns the kernel (between events), like every other
+// kernel method.
+func (k *Kernel) Snapshot() KernelSnapshot {
+	return KernelSnapshot{
+		Now:           k.now,
+		PendingEvents: k.events.len(),
+		Live:          k.live,
+		LiveTasks:     k.liveTasks,
+		Blocked:       k.blocked,
+	}
 }
 
 // Close releases the pooled worker goroutines of finished processes.

@@ -114,6 +114,8 @@ func eventBefore(a, b *event) bool {
 
 func (q *eventQueue) empty() bool { return len(q.heap) == 0 && q.fast.n == 0 }
 
+func (q *eventQueue) len() int { return len(q.heap) + q.fast.n }
+
 // peekTime returns the time of the next event; the queue must be
 // non-empty. Fast-lane events never postdate the heap top (they are
 // scheduled at the instant the kernel is executing), so the fast head

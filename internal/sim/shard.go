@@ -1,0 +1,572 @@
+// Conservative parallel execution: one simulation sharded across OS
+// threads as a hub-and-spoke group of kernels synchronized by clock
+// promises (a null-message variant of Chandy-Misra-Bryant).
+//
+// Partitioning model. A ShardGroup owns one hub kernel plus N leaf
+// kernels. Model state is split so that a leaf only ever touches its
+// own components; everything shared (buses, the front-end, coordination
+// primitives) lives on the hub. The one cross-partition operation is
+// Shard.Call: a leaf process posts a timestamped closure and parks; a
+// proxy process executes the closure on the hub at the same virtual
+// time and the leaf resumes when it completes. Leaves never talk to
+// each other directly — cross-leaf traffic must be expressed as hub
+// work, which is exactly the topology of the Active Disk scan tasks
+// (per-disk media/CPU work is leaf-local, every shared touch goes
+// through the front-end side).
+//
+// Synchronization. Each leaf continuously publishes a horizon — "I will
+// not inject hub work earlier than this" — through the kernel's clock
+// publish hook: its current virtual time while running, +infinity once
+// it is parked in Call or finished (the null message that keeps empty
+// links from deadlocking the group). The hub only executes work
+// strictly below the minimum published horizon (its earliest input
+// time), so a grant or arbitration decision can never be reordered by a
+// message that is still in flight. Leaves, by construction, receive
+// nothing unsolicited: they run as far ahead as their local event
+// queues allow, which is where the parallelism comes from.
+//
+// Exactness. Byte-equivalence with the single-kernel event mode needs
+// more than conservative order — it needs the *same-instant* order. Two
+// rules provide it. First, requests due at the same timestamp are
+// injected after the hub's own events at that timestamp (they would
+// have carried larger sequence numbers in a single kernel) and in shard
+// order (matching spawn order of the leaf processes). Second, a call's
+// completion rendezvouses synchronously with its leaf: the hub pauses
+// inside the proxy's event while the leaf drains everything at that
+// instant, and a follow-on call issued at the same instant runs inline
+// at the proxy's exact event position — precisely where a single-kernel
+// blocking call would have resumed the caller's code.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"howsim/internal/probe"
+)
+
+// horizonInfinity is the published horizon of a shard that promises to
+// inject no further hub work (parked in Call, or finished).
+const horizonInfinity = int64(math.MaxInt64)
+
+// xcall is one cross-shard request: fn runs on a hub proxy process at
+// virtual time at; caller is the leaf process parked until it returns.
+type xcall struct {
+	at Time
+	// sched is the scheduling time of the leaf event that issued the
+	// call: the tie-break that slots same-instant requests from
+	// different shards into single-kernel sequence order (an event
+	// scheduled earlier carries a smaller sequence number).
+	sched  Time
+	src    int32
+	seq    uint64
+	fn     func(*Proc)
+	caller *Proc
+}
+
+// xcallBefore is the deterministic injection order: timestamp, then
+// scheduling time of the issuing event, then source shard.
+func xcallBefore(a, b *xcall) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.sched != b.sched {
+		return a.sched < b.sched
+	}
+	return a.src < b.src
+}
+
+// horizonQueue holds cross-shard requests the hub has not injected yet,
+// ordered by (timestamp, source shard). Each shard has at most one
+// outstanding request (its caller is parked), so the queue stays tiny
+// and a sorted scan beats heap bookkeeping.
+type horizonQueue struct {
+	q []*xcall
+}
+
+func (h *horizonQueue) push(c *xcall) { h.q = append(h.q, c) }
+
+func (h *horizonQueue) len() int { return len(h.q) }
+
+// peek returns the least pending request in injection order, nil when
+// empty.
+func (h *horizonQueue) peek() *xcall {
+	var best *xcall
+	for _, c := range h.q {
+		if best == nil || xcallBefore(c, best) {
+			best = c
+		}
+	}
+	return best
+}
+
+// takeAt removes and returns every request due exactly at t, sorted in
+// injection order — the deterministic batch for one timestamp.
+func (h *horizonQueue) takeAt(t Time) []*xcall {
+	var due []*xcall
+	rest := h.q[:0]
+	for _, c := range h.q {
+		if c.at == t {
+			due = append(due, c)
+		} else {
+			rest = append(rest, c)
+		}
+	}
+	for i := len(rest); i < len(h.q); i++ {
+		h.q[i] = nil
+	}
+	h.q = rest
+	sort.Slice(due, func(i, j int) bool { return xcallBefore(due[i], due[j]) })
+	return due
+}
+
+// leafState tracks a shard's lifecycle for quiescence detection.
+type leafState int32
+
+const (
+	// leafRunning: the leaf goroutine is executing local events; its
+	// horizon is its published clock.
+	leafRunning leafState = iota
+	// leafParked: the leaf's caller is parked in Call with the request
+	// posted; the leaf injects nothing until the hub responds.
+	leafParked
+	// leafFinished: the leaf's event queue drained with no pending call.
+	// Service-loop tasks parked on their queues are normal here — the
+	// same state a single kernel ends a run in.
+	leafFinished
+)
+
+// leafCmd drives a leaf goroutine from the hub side.
+type leafCmd struct {
+	kind   int // cmdDeliver | cmdFree | cmdStop
+	at     Time
+	resume *Proc
+}
+
+const (
+	cmdDeliver = iota // resume the parked caller at .at and drain that instant
+	cmdFree           // run local events to quiescence
+	cmdStop           // exit the leaf goroutine
+)
+
+// leafStatus is a leaf's report after draining a delivery instant.
+type leafStatus struct {
+	call     *xcall // non-nil: parked on a follow-on call at the same instant
+	next     Time   // earliest remaining local event (valid when hasNext)
+	hasNext  bool
+	finished bool
+}
+
+// Shard is one leaf partition: a kernel plus the synchronization state
+// the group needs to reason about it.
+type Shard struct {
+	id int32
+	k  *Kernel
+	g  *ShardGroup
+
+	// horizon is the shard's published clock promise: no hub work will
+	// be injected by this shard earlier than this time (horizonInfinity
+	// once parked or finished). Written by the leaf's publish hook and
+	// by the hub at rendezvous handback; read by the hub's EIT scan.
+	horizon atomic.Int64
+	state   atomic.Int32
+
+	cmds    chan leafCmd
+	replies chan leafStatus
+	pending *xcall // request issued during the current run slice
+	seq     uint64
+}
+
+// Kernel returns the shard's kernel. Build the shard's model components
+// on it; only the leaf's own processes may block on them.
+func (sh *Shard) Kernel() *Kernel { return sh.k }
+
+// ID returns the shard's index within its group.
+func (sh *Shard) ID() int { return int(sh.id) }
+
+// Call executes fn on the hub at the current virtual time and blocks p
+// until it completes. fn runs on a hub proxy process and may use every
+// blocking primitive of the hub's model components; it must not touch
+// leaf state other than values it captured. p resumes at the virtual
+// time fn finished, exactly as if it had executed fn inline — including
+// follow-on Calls at the same instant, which run at the same hub event
+// position an inline continuation would have.
+func (sh *Shard) Call(p *Proc, fn func(*Proc)) {
+	if p.k != sh.k {
+		panic(fmt.Sprintf("sim: Call on shard %d from foreign process %q", sh.id, p.name))
+	}
+	if sh.pending != nil {
+		panic(fmt.Sprintf("sim: shard %d has two concurrent Calls (second from %q)", sh.id, p.name))
+	}
+	sh.seq++
+	sh.pending = &xcall{at: sh.k.now, sched: sh.k.curSched, src: sh.id, seq: sh.seq, fn: fn, caller: p}
+	// Stop the leaf's run the moment the caller parks: the resume time is
+	// hub-determined and may precede every pending local event, so racing
+	// ahead would execute the leaf's future before the caller's present.
+	sh.k.Stop()
+	// The machinery park below is bookkeeping, not model behavior: cancel
+	// its diagnostics count so sharded scheduler counters match the
+	// single-kernel run byte for byte.
+	sh.k.sched.Count(probe.KindParks, -1)
+	p.Await("xshard", "call")
+}
+
+// leafLoop is the leaf goroutine: free-run to local quiescence, then
+// serve hub commands (deliver-and-drain, resume free running, stop).
+func (sh *Shard) leafLoop() {
+	defer sh.g.wg.Done()
+	sh.runSlice()
+	for cmd := range sh.cmds {
+		switch cmd.kind {
+		case cmdStop:
+			return
+		case cmdDeliver:
+			p := cmd.resume
+			sh.k.At(cmd.at, func() { sh.k.Handoff(p) })
+			sh.k.RunUntil(cmd.at)
+			sh.k.stopped = false // a follow-on Call stops the drain early
+			// The wrapper event and its Handoff are machinery, invisible in
+			// a single-kernel run: cancel their diagnostics counts.
+			sh.k.sched.Count(probe.KindEvents, -1)
+			sh.k.sched.Count(probe.KindHandoffs, -1)
+			sh.replies <- sh.takeStatus()
+		case cmdFree:
+			sh.runSlice()
+		}
+	}
+}
+
+// runSlice executes local events until the queue drains or the leaf
+// parks in Call, then publishes the end-of-slice state to the group.
+func (sh *Shard) runSlice() {
+	sh.k.Run()
+	sh.k.stopped = false // Call stops the run when the caller parks
+	g := sh.g
+	g.mu.Lock()
+	if sh.pending != nil {
+		// Post the request and only then promise silence: the hub must
+		// never observe an infinite horizon without the request that
+		// justifies it.
+		g.inbox.push(sh.pending)
+		sh.pending = nil
+		sh.state.Store(int32(leafParked))
+	} else {
+		sh.state.Store(int32(leafFinished))
+	}
+	sh.horizon.Store(horizonInfinity)
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// takeStatus reports the leaf's state after draining a delivery
+// instant: a follow-on call parked at that instant, or the earliest
+// remaining local event.
+func (sh *Shard) takeStatus() leafStatus {
+	if sh.pending != nil {
+		st := leafStatus{call: sh.pending}
+		sh.pending = nil
+		return st
+	}
+	if t, ok := sh.k.NextEventTime(); ok {
+		return leafStatus{next: t, hasNext: true}
+	}
+	return leafStatus{finished: true}
+}
+
+// ShardGroup runs one simulation partitioned across a hub kernel and a
+// set of leaf kernels, one OS goroutine each.
+type ShardGroup struct {
+	hub    *Kernel
+	shards []*Shard
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	inbox horizonQueue
+	// want is the timestamp the hub is currently stalled on (or
+	// horizonInfinity): a leaf whose published clock crosses it
+	// broadcasts the condition variable. Keeping the threshold in an
+	// atomic lets the leaves' hot publish path skip the lock entirely.
+	want atomic.Int64
+
+	wg    sync.WaitGroup
+	ran   bool
+	stall string
+}
+
+// NewShardGroup creates a hub kernel and n leaf kernels wired for
+// conservative parallel execution. Build shared model state on Hub()'s
+// kernel and per-partition state on each Shard(i)'s kernel, spawn the
+// partition processes, then call Run.
+func NewShardGroup(n int) *ShardGroup {
+	if n < 1 {
+		panic("sim: ShardGroup needs at least one shard")
+	}
+	g := &ShardGroup{hub: NewKernel()}
+	g.cond = sync.NewCond(&g.mu)
+	g.want.Store(horizonInfinity)
+	for i := 0; i < n; i++ {
+		sh := &Shard{
+			id:      int32(i),
+			k:       NewKernel(),
+			g:       g,
+			cmds:    make(chan leafCmd),
+			replies: make(chan leafStatus),
+		}
+		sh.horizon.Store(horizonInfinity)
+		sh.k.setPublish(func(t Time) {
+			sh.horizon.Store(int64(t))
+			if int64(t) > g.want.Load() {
+				g.mu.Lock()
+				g.cond.Broadcast()
+				g.mu.Unlock()
+			}
+		})
+		g.shards = append(g.shards, sh)
+	}
+	return g
+}
+
+// Hub returns the group's hub kernel.
+func (g *ShardGroup) Hub() *Kernel { return g.hub }
+
+// Shards returns the number of leaf partitions.
+func (g *ShardGroup) Shards() int { return len(g.shards) }
+
+// Shard returns leaf partition i.
+func (g *ShardGroup) Shard(i int) *Shard { return g.shards[i] }
+
+// Stall describes why the group stopped with work still parked — the
+// sharded analogue of Kernel.DeadlockReport. Empty after a clean run.
+func (g *ShardGroup) Stall() string { return g.stall }
+
+// eit returns the hub's earliest input time: the minimum horizon
+// published by any shard. The hub may execute work strictly below it.
+func (g *ShardGroup) eit() Time {
+	min := Time(math.MaxInt64)
+	for _, sh := range g.shards {
+		if h := Time(sh.horizon.Load()); h < min {
+			min = h
+		}
+	}
+	return min
+}
+
+// Run executes the partitioned simulation to global quiescence and
+// returns the final virtual time (the maximum across all kernels). It
+// drives the hub kernel on the calling goroutine and each leaf kernel
+// on its own goroutine. Run may be called once per group.
+func (g *ShardGroup) Run() Time {
+	if g.ran {
+		panic("sim: ShardGroup.Run called twice")
+	}
+	g.ran = true
+	for _, sh := range g.shards {
+		if t, ok := sh.k.NextEventTime(); ok {
+			sh.horizon.Store(int64(t))
+			sh.state.Store(int32(leafRunning))
+		} else {
+			sh.horizon.Store(horizonInfinity)
+			sh.state.Store(int32(leafFinished))
+		}
+	}
+	for _, sh := range g.shards {
+		g.wg.Add(1)
+		go sh.leafLoop()
+	}
+
+	for {
+		l, okL := g.hub.NextEventTime()
+		g.mu.Lock()
+		rq := g.inbox.peek()
+		g.mu.Unlock()
+
+		target := Time(math.MaxInt64)
+		if okL {
+			target = l
+		}
+		if rq != nil && rq.at < target {
+			target = rq.at
+		}
+		if target == Time(math.MaxInt64) {
+			if g.quiesceOrWait() {
+				break
+			}
+			continue
+		}
+		eit := g.eit()
+		if eit <= target {
+			g.waitHorizon(target)
+			continue
+		}
+		if rq == nil || (okL && l < rq.at) {
+			// A safe local window: every hub event strictly below both
+			// the earliest pending request and the earliest possible new
+			// one. A rendezvous handback inside the window may lower the
+			// kernel's limit if the resumed leaf could inject earlier.
+			winCap := eit - 1
+			if rq != nil && rq.at-1 < winCap {
+				winCap = rq.at - 1
+			}
+			g.hub.RunUntil(winCap)
+			continue
+		}
+		// Requests due at rq.at: drain the hub's own events through that
+		// instant first (they carry earlier sequence numbers in the
+		// single-kernel order), then inject the requests in shard order.
+		if okL && l <= rq.at {
+			g.hub.RunUntil(rq.at)
+		} else if g.hub.now < rq.at {
+			g.hub.AdvanceTo(rq.at)
+		}
+		g.mu.Lock()
+		batch := g.inbox.takeAt(rq.at)
+		g.mu.Unlock()
+		for _, c := range batch {
+			g.startProxy(c)
+		}
+		g.hub.RunUntil(rq.at)
+	}
+
+	for _, sh := range g.shards {
+		sh.cmds <- leafCmd{kind: cmdStop}
+	}
+	g.wg.Wait()
+	final := g.hub.now
+	for _, sh := range g.shards {
+		if t := sh.k.Now(); t > final {
+			final = t
+		}
+	}
+	return final
+}
+
+// Close releases the pooled worker goroutines of every kernel in the
+// group. Call once after Run.
+func (g *ShardGroup) Close() {
+	g.hub.Close()
+	for _, sh := range g.shards {
+		sh.k.Close()
+	}
+}
+
+// startProxy spawns the hub process that executes one cross-shard
+// request — and, via the synchronous rendezvous in respond, any chain
+// of same-instant follow-on calls from the same leaf.
+func (g *ShardGroup) startProxy(rq *xcall) {
+	sh := g.shards[rq.src]
+	// The proxy's start event is machinery with no single-kernel
+	// counterpart: cancel its diagnostics count.
+	g.hub.sched.Count(probe.KindEvents, -1)
+	g.hub.Spawn("xshard.proxy", func(p *Proc) {
+		for {
+			rq.fn(p)
+			next := g.respond(sh, rq.caller)
+			if next == nil {
+				return
+			}
+			rq = next
+		}
+	})
+}
+
+// respond completes a call: it resumes the shard's parked caller at the
+// hub's current time and waits while the leaf drains that instant. A
+// follow-on call parked at the same instant is returned for inline
+// execution. Otherwise the leaf is handed back to free running (its
+// horizon becomes its next event time) — and if that horizon undercuts
+// the hub's current run window, the window is tightened so no hub event
+// can slip ahead of a request the leaf may yet inject.
+func (g *ShardGroup) respond(sh *Shard, caller *Proc) *xcall {
+	at := g.hub.now
+	sh.cmds <- leafCmd{kind: cmdDeliver, at: at, resume: caller}
+	st := <-sh.replies
+	if st.call != nil {
+		if st.call.at == at {
+			return st.call
+		}
+		// A call at a later instant is an ordinary request: queue it so
+		// the hub's own events (and other shards' earlier requests) run
+		// first, exactly as the single-kernel (t, seq) order would.
+		g.mu.Lock()
+		g.inbox.push(st.call)
+		sh.state.Store(int32(leafParked))
+		sh.horizon.Store(horizonInfinity)
+		g.cond.Broadcast()
+		g.mu.Unlock()
+		return nil
+	}
+	if st.finished {
+		sh.horizon.Store(horizonInfinity)
+		sh.state.Store(int32(leafFinished))
+		return nil
+	}
+	sh.horizon.Store(int64(st.next))
+	sh.state.Store(int32(leafRunning))
+	if g.hub.limited && st.next-1 < g.hub.limit {
+		g.hub.limit = st.next - 1
+	}
+	sh.cmds <- leafCmd{kind: cmdFree}
+	return nil
+}
+
+// waitHorizon blocks until either every shard's horizon clears target
+// or a new request arrives (which changes what the hub should do next).
+func (g *ShardGroup) waitHorizon(target Time) {
+	g.mu.Lock()
+	g.want.Store(int64(target))
+	n0 := g.inbox.len()
+	for g.eit() <= target && g.inbox.len() == n0 {
+		g.cond.Wait()
+	}
+	g.want.Store(horizonInfinity)
+	g.mu.Unlock()
+}
+
+// quiesceOrWait handles the hub-idle state: true means the group is
+// globally quiescent (all leaves finished — or irrecoverably stalled,
+// reported via Stall) and Run should return; false means new work
+// arrived.
+func (g *ShardGroup) quiesceOrWait() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for {
+		if g.inbox.len() > 0 {
+			return false
+		}
+		anyRunning, allFinished := false, true
+		for _, sh := range g.shards {
+			switch leafState(sh.state.Load()) {
+			case leafRunning:
+				anyRunning, allFinished = true, false
+			case leafParked:
+				allFinished = false
+			}
+		}
+		if allFinished {
+			return true
+		}
+		if !anyRunning {
+			// Parked shards post their request before flipping state (both
+			// under the group lock), so an empty inbox here means the
+			// protocol wedged. Capture diagnostics and stop instead of
+			// hanging; callers inspect Stall.
+			g.stall = g.stallReportLocked()
+			return true
+		}
+		g.cond.Wait()
+	}
+}
+
+// stallReportLocked assembles the diagnostic for a wedged group.
+func (g *ShardGroup) stallReportLocked() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "shard group stalled at hub time %v:", g.hub.now)
+	for _, sh := range g.shards {
+		fmt.Fprintf(&sb, "\n  shard %d: state=%d horizon=%d", sh.id, sh.state.Load(), sh.horizon.Load())
+	}
+	return sb.String()
+}

@@ -20,6 +20,13 @@ const (
 	// (the original execution model). Retained as a cross-check: both
 	// modes must render byte-identical figures.
 	ModeGoroutine
+	// ModeParallel is ModeEvent plus intra-simulation sharding: runs
+	// whose topology supports it are partitioned into per-disk subkernels
+	// driven by a ShardGroup, each subkernel executing the event-driven
+	// fast path on its own core. Model components treat it exactly like
+	// ModeEvent (they test for ModeGoroutine); the tasks layer decides
+	// whether a given (architecture, task) pair shards.
+	ModeParallel
 )
 
 func (m ExecMode) String() string {
@@ -28,6 +35,8 @@ func (m ExecMode) String() string {
 		return "event"
 	case ModeGoroutine:
 		return "goroutine"
+	case ModeParallel:
+		return "parallel"
 	}
 	return fmt.Sprintf("ExecMode(%d)", int(m))
 }
@@ -39,8 +48,10 @@ func ParseExecMode(s string) (ExecMode, error) {
 		return ModeEvent, nil
 	case "goroutine":
 		return ModeGoroutine, nil
+	case "parallel":
+		return ModeParallel, nil
 	}
-	return ModeEvent, fmt.Errorf("sim: unknown exec mode %q (want event or goroutine)", s)
+	return ModeEvent, fmt.Errorf("sim: unknown exec mode %q (want event, goroutine or parallel)", s)
 }
 
 // DefaultExecMode is copied into every kernel built by NewKernel. The

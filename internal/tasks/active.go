@@ -16,6 +16,10 @@ import (
 // runActive executes one task on an Active Disk configuration.
 func runActive(cfg arch.Config, task workload.TaskID, ds workload.Dataset, res *Result,
 	plan *fault.Plan, sink *probe.Sink) {
+	if sim.DefaultExecMode == sim.ModeParallel && shardable(cfg, task, plan) {
+		runActiveSharded(cfg, task, ds, res, sink)
+		return
+	}
 	k := sim.NewKernel()
 	defer k.Close()
 	k.SetProbe(sink)

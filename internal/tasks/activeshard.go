@@ -1,0 +1,298 @@
+package tasks
+
+// Sharded Active Disk execution (-procmode parallel): the hub-and-spoke
+// tasks — select, aggregate, group-by and datacube — partition cleanly
+// at per-disk boundaries. Each disk's media, embedded CPU and buffers
+// live on their own shard kernel running the event-driven fast path on
+// a separate core; the loops, front-end and coordination primitives
+// live on the hub. A disklet's only shared touches (SendToFrontEnd,
+// WaitGroup.Done) are wrapped in Shard.Call, which executes them on the
+// hub at the same virtual time the inline call would have — so the
+// sharded run is byte-equivalent to the single-kernel event run.
+//
+// Tasks with cross-disk traffic (sort, join, mine, mview: Send/Recv
+// streams, barriers, front-end broadcasts) and fault-plan runs keep the
+// single-kernel path under -procmode parallel; they execute in event
+// mode, trivially byte-identical.
+
+import (
+	"fmt"
+
+	"howsim/internal/arch"
+	"howsim/internal/disk"
+	"howsim/internal/diskos"
+	"howsim/internal/fault"
+	"howsim/internal/probe"
+	"howsim/internal/relational"
+	"howsim/internal/sim"
+	"howsim/internal/workload"
+)
+
+// shardable reports whether a run can execute on a ShardGroup: an
+// Active Disk configuration, a hub-and-spoke task, and no fault plan
+// (fault recovery reads peer disks — cross-shard state).
+func shardable(cfg arch.Config, task workload.TaskID, plan *fault.Plan) bool {
+	if cfg.Kind != arch.KindActiveDisk || plan != nil {
+		return false
+	}
+	switch task {
+	case workload.Select, workload.Aggregate, workload.GroupBy, workload.DataCube:
+		return true
+	}
+	return false
+}
+
+// runActiveSharded executes one shardable task partitioned across a
+// ShardGroup, producing the same Result a single-kernel event run
+// would.
+func runActiveSharded(cfg arch.Config, task workload.TaskID, ds workload.Dataset, res *Result,
+	sink *probe.Sink) {
+	g := sim.NewShardGroup(cfg.Disks)
+	defer g.Close()
+	g.Hub().SetProbe(sink)
+	// Each kernel records into its own sink (sinks are single-threaded);
+	// the leaves' recordings are merged into the hub's after the run.
+	var leafSinks []*probe.Sink
+	if sink != nil {
+		leafSinks = make([]*probe.Sink, cfg.Disks)
+		for i := range leafSinks {
+			ls := probe.NewSinkCap(sink.RingCap())
+			ls.SetEnabled(sink.Enabled())
+			leafSinks[i] = ls
+			g.Shard(i).Kernel().SetProbe(ls)
+		}
+	}
+	s := cfg.BuildActiveSharded(g)
+	var done *sim.Signal
+	switch task {
+	case workload.Select:
+		done = shardScan(g, s, ds, SelectCycles,
+			func(n int64) int64 { return int64(float64(n) * ds.Selectivity) }, 0)
+	case workload.Aggregate:
+		done = shardScan(g, s, ds, AggregateCycles, func(int64) int64 { return 0 }, 512)
+	case workload.GroupBy:
+		done = shardGroupBy(g, s, ds, res)
+	case workload.DataCube:
+		done = shardCube(g, s, ds, res)
+	default:
+		panic(fmt.Sprintf("tasks: task %v is not shardable", task))
+	}
+	res.Elapsed = g.Run()
+	if !done.Fired() {
+		panic(fmt.Sprintf("tasks: %v on %s stalled at %v\n%s\n%s",
+			task, cfg.Name(), res.Elapsed, g.Stall(), g.Hub().DeadlockReport()))
+	}
+	res.Details["loop_bytes"] = float64(s.LoopBytesMoved())
+	res.Details["loop_util"] = s.LoopUtilization()
+	res.Details["loops"] = float64(s.Loops())
+	res.Details["fe_recv_bytes"] = float64(s.FE.ReceivedBytes())
+	res.Details["fe_relay_bytes"] = float64(s.FE.RelayedBytes())
+	var mediaRead, mediaWrite int64
+	disks := make([]*disk.Disk, len(s.Disks))
+	for i, ad := range s.Disks {
+		st := ad.Disk.Stats()
+		mediaRead += st.BytesRead
+		mediaWrite += st.BytesWritten
+		disks[i] = ad.Disk
+	}
+	res.Details["media_read_bytes"] = float64(mediaRead)
+	res.Details["media_write_bytes"] = float64(mediaWrite)
+	for _, ls := range leafSinks {
+		sink.Merge(ls)
+	}
+	probeEpilogue(res, g.Hub())
+}
+
+// shardScan is activeScan partitioned: the scan loop (media read,
+// embedded compute) runs on each disk's shard; every front-end flush —
+// and the final flush plus completion mark — crosses to the hub through
+// one Call each, at the exact virtual times the single-kernel disklet
+// would have touched the loop.
+func shardScan(g *sim.ShardGroup, s *diskos.System, ds workload.Dataset,
+	cycles int64, emit func(chunkBytes int64) int64, finalBytes int64) *sim.Signal {
+	d := len(s.Disks)
+	per := perNodeBytes(ds.TotalBytes, d)
+	done := sim.NewSignal()
+	wg := sim.NewWaitGroup(d)
+	for i := range s.Disks {
+		i := i
+		sh := g.Shard(i)
+		sh.Kernel().Spawn(fmt.Sprintf("scan%d", i), func(p *sim.Proc) {
+			src := s.Disks[i]
+			var pend int64
+			for off := int64(0); off < per; {
+				n := int64(ioChunk)
+				if per-off < n {
+					n = alignSector(per - off)
+				}
+				src.ReadLocal(p, off, n)
+				t := tuplesIn(n, ds.TupleBytes)
+				src.Compute(p, t*cycles)
+				pend += emit(n)
+				if pend >= flushBatch {
+					b := pend
+					sh.Call(p, func(hp *sim.Proc) { src.SendToFrontEnd(hp, b, nil) })
+					pend = 0
+				}
+				off += n
+			}
+			// The tail flushes and the completion mark are all hub work at
+			// one instant: a single Call keeps them at the same event
+			// positions the inline sequence would occupy.
+			b := pend
+			sh.Call(p, func(hp *sim.Proc) {
+				if b > 0 {
+					src.SendToFrontEnd(hp, b, nil)
+				}
+				if finalBytes > 0 {
+					src.SendToFrontEnd(hp, finalBytes, nil)
+				}
+				wg.Done()
+			})
+		})
+	}
+	g.Hub().Spawn("coord", func(p *sim.Proc) {
+		wg.Wait(p)
+		done.Fire()
+	})
+	return done
+}
+
+// shardGroupBy is activeGroupBy partitioned: local hash aggregation on
+// each shard, partial-result forwarding and the front-end merge on the
+// hub.
+func shardGroupBy(g *sim.ShardGroup, s *diskos.System, ds workload.Dataset, res *Result) *sim.Signal {
+	d := len(s.Disks)
+	per := perNodeBytes(ds.TotalBytes, d)
+	result := ds.DistinctGroups * GroupResultTupleBytes
+	fwd := result * GroupDedupFactor / int64(d)
+	res.Details["fwd_bytes_per_disk"] = float64(fwd)
+	ratio := float64(fwd) / float64(per)
+
+	done := sim.NewSignal()
+	wg := sim.NewWaitGroup(d)
+	merged := feMerger(g.Hub(), s, GroupResultTupleBytes, GroupMergeCycles)
+	for i := range s.Disks {
+		ad := s.Disks[i]
+		sh := g.Shard(i)
+		sh.Kernel().Spawn(fmt.Sprintf("gby%d", i), func(p *sim.Proc) {
+			var pend float64
+			chunksOf(per, func(off, n int64) {
+				ad.ReadLocal(p, off, n)
+				t := tuplesIn(n, ds.TupleBytes)
+				ad.Compute(p, t*GroupByCycles)
+				pend += float64(n) * ratio
+				if pend >= flushBatch {
+					b := int64(pend)
+					sh.Call(p, func(hp *sim.Proc) { ad.SendToFrontEnd(hp, b, nil) })
+					pend = 0
+				}
+			})
+			b := int64(pend)
+			sh.Call(p, func(hp *sim.Proc) {
+				if pend >= 1 {
+					ad.SendToFrontEnd(hp, b, nil)
+				}
+				wg.Done()
+			})
+		})
+	}
+	g.Hub().Spawn("coord", func(p *sim.Proc) {
+		wg.Wait(p)
+		s.FE.Inbox().Close()
+		merged.Wait(p)
+		done.Fire()
+	})
+	return done
+}
+
+// shardCube is activeCube partitioned: every pass reads and writes the
+// shard's own media; only spill forwarding (and the completion mark)
+// crosses to the hub.
+func shardCube(g *sim.ShardGroup, s *diskos.System, ds workload.Dataset, res *Result) *sim.Signal {
+	d := len(s.Disks)
+	per := perNodeBytes(ds.TotalBytes, d)
+	shape := relational.PaperCubeShape()
+	if ds.TotalBytes < workload.ForTask(workload.DataCube).TotalBytes {
+		f := float64(ds.TotalBytes) / float64(workload.ForTask(workload.DataCube).TotalBytes)
+		shape.LargestTableBytes = int64(float64(shape.LargestTableBytes) * f)
+		for i := range shape.OtherTablesBytes {
+			shape.OtherTablesBytes[i] = int64(float64(shape.OtherTablesBytes[i]) * f)
+		}
+	}
+	reserve := s.Cfg.DiskMemBytes - s.ScratchBytes() + 1<<20
+	plan := shape.Plan(d, s.Cfg.DiskMemBytes, reserve)
+	res.Details["passes"] = float64(plan.Passes)
+	res.Details["spill_bytes"] = float64(plan.SpillBytes)
+
+	interRegion := alignSector(s.Disks[0].Disk.Capacity() / 3)
+	tableRegion := alignSector(2 * s.Disks[0].Disk.Capacity() / 3)
+	interBytes := alignSector(int64(float64(per) * CubeIntermediateFraction))
+	var tables int64 = shape.LargestTableBytes
+	for _, t := range shape.OtherTablesBytes {
+		tables += t
+	}
+	tablesPer := alignSector(tables / int64(d))
+
+	done := sim.NewSignal()
+	wg := sim.NewWaitGroup(d)
+	var merged *sim.Signal
+	if plan.SpillBytes > 0 {
+		merged = feMerger(g.Hub(), s, 32, GroupMergeCycles)
+	}
+	for i := range s.Disks {
+		ad := s.Disks[i]
+		sh := g.Shard(i)
+		sh.Kernel().Spawn(fmt.Sprintf("cube%d", i), func(p *sim.Proc) {
+			spillShare := plan.SpillBytes / int64(d)
+			spillRatio := float64(spillShare) / float64(per)
+			var pend float64
+			var interWritten int64
+			chunksOf(per, func(off, n int64) {
+				ad.ReadLocal(p, off, n)
+				t := tuplesIn(n, ds.TupleBytes)
+				ad.Compute(p, t*CubeCycles)
+				if spillShare > 0 {
+					pend += float64(n) * spillRatio
+					if pend >= flushBatch {
+						b := int64(pend)
+						sh.Call(p, func(hp *sim.Proc) { ad.SendToFrontEnd(hp, b, nil) })
+						pend = 0
+					}
+				}
+				if interWritten < interBytes {
+					w := n
+					if interBytes-interWritten < w {
+						w = alignSector(interBytes - interWritten)
+					}
+					ad.WriteLocal(p, interRegion+interWritten, w)
+					interWritten += w
+				}
+			})
+			if pend >= 1 {
+				b := int64(pend)
+				sh.Call(p, func(hp *sim.Proc) { ad.SendToFrontEnd(hp, b, nil) })
+			}
+			for pass := 1; pass < plan.Passes; pass++ {
+				chunksOf(interBytes, func(off, n int64) {
+					ad.ReadLocal(p, interRegion+off, n)
+					t := tuplesIn(n, ds.TupleBytes)
+					ad.Compute(p, t*CubeCycles)
+				})
+			}
+			chunksOf(tablesPer, func(off, n int64) {
+				ad.WriteLocal(p, tableRegion+off, n)
+			})
+			sh.Call(p, func(hp *sim.Proc) { wg.Done() })
+		})
+	}
+	g.Hub().Spawn("coord", func(p *sim.Proc) {
+		wg.Wait(p)
+		s.FE.Inbox().Close()
+		if merged != nil {
+			merged.Wait(p)
+		}
+		done.Fire()
+	})
+	return done
+}

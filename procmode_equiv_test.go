@@ -1,17 +1,19 @@
-// Execution-mode equivalence: the event-driven fast path and the
-// goroutine process model must be indistinguishable in simulated
-// results — every rendered figure and fault report byte-identical.
-// These tests run the same experiments under both sim.ExecModes and
-// compare the rendered output directly.
+// Execution-mode equivalence: the event-driven fast path, the goroutine
+// process model and the sharded parallel mode must be indistinguishable
+// in simulated results — every rendered figure and fault report
+// byte-identical. These tests run the same experiments under all three
+// sim.ExecModes and compare the rendered output directly.
 package repro_test
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"howsim/internal/arch"
 	"howsim/internal/experiments"
 	"howsim/internal/fault"
+	"howsim/internal/probe"
 	"howsim/internal/sim"
 	"howsim/internal/tasks"
 	"howsim/internal/workload"
@@ -29,10 +31,12 @@ func inMode(m sim.ExecMode, fn func() string) string {
 func modeCompare(t *testing.T, name string, fn func() string) {
 	t.Helper()
 	event := inMode(sim.ModeEvent, fn)
-	goroutine := inMode(sim.ModeGoroutine, fn)
-	if event != goroutine {
-		t.Errorf("%s: event-mode output differs from goroutine-mode output\n--- event ---\n%s\n--- goroutine ---\n%s",
-			name, event, goroutine)
+	for _, m := range []sim.ExecMode{sim.ModeGoroutine, sim.ModeParallel} {
+		got := inMode(m, fn)
+		if event != got {
+			t.Errorf("%s: %v-mode output differs from event-mode output\n--- event ---\n%s\n--- %v ---\n%s",
+				name, m, event, m, got)
+		}
 	}
 }
 
@@ -60,6 +64,32 @@ func TestExecModeSortContentionEquivalence(t *testing.T) {
 		r := tasks.RunDataset(arch.ActiveDisks(8), workload.Sort, ds)
 		return fmt.Sprintf("%v %v", r.Elapsed, r.Details)
 	})
+}
+
+// TestExecModeShardedTaskEquivalence pins every task the parallel mode
+// actually shards (select, aggregate, group-by, datacube) at a scale
+// where flushes from many disks contend for the loop, with a probe sink
+// attached: the elapsed time, the detail metrics, the rendered
+// breakdown report and the exported trace must all match the
+// single-kernel event run byte for byte.
+func TestExecModeShardedTaskEquivalence(t *testing.T) {
+	for _, task := range []workload.TaskID{
+		workload.Select, workload.Aggregate, workload.GroupBy, workload.DataCube,
+	} {
+		task := task
+		modeCompare(t, "sharded "+task.String(), func() string {
+			ds := workload.ForTask(task).Scaled(1 << 24)
+			sink := probe.NewSink()
+			sink.SetEnabled(true)
+			r := tasks.RunDatasetProbed(arch.ActiveDisks(8), task, ds, nil, sink)
+			var trace strings.Builder
+			if err := sink.WriteTrace(&trace); err != nil {
+				t.Fatal(err)
+			}
+			report := sink.BuildReport(task.String(), r.Config.Name(), int64(r.Elapsed)).Render()
+			return fmt.Sprintf("%v\n%v\n%s\n%s", r.Elapsed, r.Details, report, trace.String())
+		})
+	}
 }
 
 // TestExecModeFaultEquivalence runs tasks under a deterministic fault

@@ -9,9 +9,17 @@
 // are noisy); allocs/op is gated exactly, because the kernel's hot
 // paths are designed to be allocation-free and any new allocation is a
 // real change, not noise.
+//
+// With -parallel, benchguard additionally gates the sharded-execution
+// speedup recorded by scripts/benchparallel. The gate engages only when
+// the report was measured on a machine with at least -mincpu cores
+// (both num_cpu and gomaxprocs): a speedup floor is meaningless on a
+// single-core runner, where the conservative sync protocol can at best
+// break even.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +27,52 @@ import (
 
 	"howsim/internal/benchfmt"
 )
+
+// parallelReport mirrors the fields of scripts/benchparallel's output
+// that the speedup gate reads.
+type parallelReport struct {
+	NumCPU     int     `json:"num_cpu"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Task       string  `json:"task"`
+	Disks      int     `json:"disks"`
+	SingleMs   float64 `json:"single_ms"`
+	ParallelMs float64 `json:"parallel_ms"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// gateParallel applies the speedup floor to a benchparallel report and
+// reports whether the gate failed.
+func gateParallel(path string, minSpeedup float64, minCPU int) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		return true
+	}
+	var rep parallelReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %s: %v\n", path, err)
+		return true
+	}
+	cores := rep.NumCPU
+	if rep.GoMaxProcs < cores {
+		cores = rep.GoMaxProcs
+	}
+	if cores < minCPU {
+		fmt.Printf("%-40s %.2fx on %d core(s) — speedup gate skipped (needs >= %d cores)\n",
+			"parallel "+rep.Task, rep.Speedup, cores, minCPU)
+		return false
+	}
+	verdict := "ok"
+	failed := false
+	if rep.Speedup < minSpeedup {
+		verdict = "REGRESSED"
+		failed = true
+	}
+	fmt.Printf("%-40s %.1f ms single / %.1f ms parallel = %.2fx on %d cores (floor %.1fx)  %s\n",
+		fmt.Sprintf("parallel %s x%d disks", rep.Task, rep.Disks),
+		rep.SingleMs, rep.ParallelMs, rep.Speedup, cores, minSpeedup, verdict)
+	return failed
+}
 
 func main() {
 	var (
@@ -29,6 +83,9 @@ func main() {
 		zeroAlloc    = flag.String("zeroalloc",
 			"BenchmarkKernelEventThroughputProbeOff,BenchmarkKernelPipeTransferProbeOff,BenchmarkKernelPipeTransferProbeOn",
 			"comma-separated benchmarks that must report exactly 0 allocs/op in the current report")
+		parallelPath = flag.String("parallel", "", "benchparallel report to gate (empty = no speedup gate)")
+		minSpeedup   = flag.Float64("minspeedup", 2.0, "required parallel speedup when measured on >= -mincpu cores")
+		minCPU       = flag.Int("mincpu", 4, "minimum cores for the speedup gate to engage")
 	)
 	flag.Parse()
 
@@ -95,6 +152,9 @@ func main() {
 			failed = true
 		}
 		fmt.Printf("%-40s allocs/op %.0f (must be 0)  %s\n", name, cur.AllocsPerOp, verdict)
+	}
+	if *parallelPath != "" && gateParallel(*parallelPath, *minSpeedup, *minCPU) {
+		failed = true
 	}
 	if failed {
 		os.Exit(1)

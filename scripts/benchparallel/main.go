@@ -1,0 +1,121 @@
+// Command benchparallel measures the wall-clock speedup of the sharded
+// parallel execution mode (-procmode parallel) over the single-kernel
+// event mode on a shardable Active Disk run, and records the honest
+// numbers — including the host's core count — as JSON:
+//
+//	go run ./scripts/benchparallel            # or: make bench-parallel
+//	go run ./scripts/benchparallel -disks 64 -scale 0.25 -count 3
+//
+// The two runs must agree on the simulated elapsed time (the parallel
+// mode is byte-equivalent, not approximately equal); the command fails
+// if they diverge. benchguard gates the recorded speedup only when the
+// measurement machine had enough cores for the comparison to mean
+// anything.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"howsim/internal/arch"
+	"howsim/internal/sim"
+	"howsim/internal/tasks"
+	"howsim/internal/workload"
+)
+
+type report struct {
+	Generated  string  `json:"generated"`
+	GoVersion  string  `json:"go_version"`
+	GOARCH     string  `json:"goarch"`
+	NumCPU     int     `json:"num_cpu"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Task       string  `json:"task"`
+	Disks      int     `json:"disks"`
+	Scale      float64 `json:"scale"`
+	Count      int     `json:"count"`
+	SingleMs   float64 `json:"single_ms"`
+	ParallelMs float64 `json:"parallel_ms"`
+	Speedup    float64 `json:"speedup"`
+	ElapsedSim string  `json:"elapsed_sim"`
+}
+
+func main() {
+	var (
+		out      = flag.String("out", "BENCH_parallel.json", "output file")
+		taskName = flag.String("task", "select", "shardable task: select|aggregate|groupby|dcube")
+		disks    = flag.Int("disks", 64, "Active Disk farm size (one shard per disk)")
+		scale    = flag.Float64("scale", 0.25, "dataset scale factor")
+		count    = flag.Int("count", 3, "repetitions per mode (best wall time wins)")
+	)
+	flag.Parse()
+
+	task, err := workload.ParseTask(*taskName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchparallel:", err)
+		os.Exit(2)
+	}
+	ds := workload.ForTask(task)
+	if *scale < 1.0 {
+		ds = ds.Scaled(int64(float64(ds.TotalBytes) * *scale))
+	}
+	cfg := arch.ActiveDisks(*disks)
+
+	singleWall, singleSim := measure(sim.ModeEvent, cfg, task, ds, *count)
+	parWall, parSim := measure(sim.ModeParallel, cfg, task, ds, *count)
+	if singleSim != parSim {
+		fmt.Fprintf(os.Stderr, "benchparallel: simulated time diverged: event %v, parallel %v\n", singleSim, parSim)
+		os.Exit(1)
+	}
+
+	rep := report{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Task:       task.String(),
+		Disks:      *disks,
+		Scale:      *scale,
+		Count:      *count,
+		SingleMs:   float64(singleWall.Microseconds()) / 1e3,
+		ParallelMs: float64(parWall.Microseconds()) / 1e3,
+		Speedup:    singleWall.Seconds() / parWall.Seconds(),
+		ElapsedSim: singleSim.String(),
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchparallel:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchparallel:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %s on %d disks, %.1f ms single / %.1f ms parallel = %.2fx on %d cores\n",
+		*out, rep.Task, rep.Disks, rep.SingleMs, rep.ParallelMs, rep.Speedup, rep.NumCPU)
+}
+
+// measure runs the task count times in the given mode and returns the
+// best wall time plus the (mode-independent) simulated elapsed time.
+func measure(mode sim.ExecMode, cfg arch.Config, task workload.TaskID, ds workload.Dataset,
+	count int) (time.Duration, sim.Time) {
+	prev := sim.DefaultExecMode
+	sim.DefaultExecMode = mode
+	defer func() { sim.DefaultExecMode = prev }()
+	var best time.Duration
+	var elapsed sim.Time
+	for i := 0; i < count; i++ {
+		start := time.Now()
+		r := tasks.RunDataset(cfg, task, ds)
+		wall := time.Since(start)
+		if i == 0 || wall < best {
+			best = wall
+		}
+		elapsed = r.Elapsed
+	}
+	return best, elapsed
+}
