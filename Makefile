@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race bench-kernel bench-figures benchfigures bench-parallel bench-guard fault-smoke trace-smoke
+.PHONY: build vet lint test race bench-kernel bench-figures benchfigures bench-parallel bench-guard fault-smoke trace-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -65,6 +65,15 @@ fault-smoke:
 		-faults seed=42,media=0.002,slow=0.001,fail=3@50ms,replica
 	$(GO) run ./cmd/experiments -scale 0.02 -sizes 16 \
 		-faults seed=42,fail=3@50ms
+
+# Chaos smoke: a short seeded fault-plan sweep across architectures,
+# tasks and -procmode settings. Every fuzzed plan must round-trip the
+# plan grammar, terminate (completing or attaching a deadlock report),
+# and render a byte-identical FaultReport across repeats and execution
+# modes. Deterministic: a failure reproduces with the printed seed.
+chaos-smoke:
+	$(GO) run ./scripts/chaossweep -seed 1 -runs 6
+	$(GO) run -race ./scripts/chaossweep -seed 2 -runs 2
 
 # Observability smoke: run one probed sort on each architecture, write
 # the Chrome traces plus a breakdown report, and validate every trace

@@ -12,8 +12,13 @@
 // With -faults, the command instead runs one task per architecture under
 // the given deterministic fault plan and prints the recovery reports:
 //
-//	experiments -faults seed=42,media=0.001,fail=3@2s,replica \
+//	experiments -faults seed=42,media=0.001,fail=3@2s,replica,spare \
 //	    -faulttask select -scale 0.05 -sizes 16
+//
+// Plans compose media errors, latency spikes, silent corruption
+// (corrupt=P), straggler drives (straggler=DISK@START+DUR*FACTOR), a
+// disk failure with optional replica failover and hot-spare rebuild,
+// and interconnect outages; see DESIGN.md "Fault model & recovery".
 package main
 
 import (
@@ -41,7 +46,7 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "dataset scale factor")
 		sizesStr = flag.String("sizes", "16,32,64,128", "comma-separated configuration sizes")
 		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
-		faults   = flag.String("faults", "", "fault plan; runs the fault experiment instead of the figures")
+		faults   = flag.String("faults", "", "fault plan (media/slow/corrupt/straggler/fail/replica/spare/outage); runs the fault experiment instead of the figures")
 		ftask    = flag.String("faulttask", "select", "task for the -faults experiment")
 		farch     = flag.String("faultarch", "all", "architecture for -faults: active|cluster|smp|all")
 		procmode  = flag.String("procmode", "event", "simulator execution mode: event|goroutine|parallel")

@@ -6,7 +6,7 @@
 //
 //	howsim -task sort -arch active -disks 64 [-fastio] [-mem 64]
 //	       [-feonly] [-fastdisk] [-scale 0.01]
-//	       [-faults seed=42,media=0.001,fail=3@2s,replica]
+//	       [-faults seed=42,media=0.001,corrupt=0.001,fail=3@2s,replica,spare]
 //	       [-trace out.json] [-breakdown]
 //	       [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
@@ -38,7 +38,7 @@ func main() {
 		fsw      = flag.Int("fibreswitch", 0, "split the Active Disk farm across N switched loops (0 = single loop)")
 		scale    = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = full Table 2 size)")
 		sweep    = flag.Bool("sweep", false, "run the task across 16/32/64/128 disks and print a scaling table")
-		faults    = flag.String("faults", "", "fault plan, e.g. seed=42,media=0.001,fail=3@2s,replica")
+		faults    = flag.String("faults", "", "fault plan, e.g. seed=42,media=0.001,corrupt=0.001,straggler=2@1s+500ms*4,fail=3@2s,replica,spare")
 		procmode  = flag.String("procmode", "event", "simulator execution mode: event|goroutine|parallel")
 		tracePath = flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file")
 		breakdown = flag.Bool("breakdown", false, "print the utilization/phase breakdown report")

@@ -143,6 +143,15 @@ func (m *Machine) InstallFaults(plan *fault.Plan) {
 		if inj := plan.DiskInjector(i); inj != nil {
 			n.Disk.SetFaultInjector(inj, policy)
 		}
+		// Straggler windows land on the node's host CPU: the cluster's
+		// drives are dumb, so a slow drive manifests as a slow node.
+		if ss := plan.StragglersFor(i); len(ss) != 0 {
+			sl := make([]cpu.Slowdown, len(ss))
+			for j, st := range ss {
+				sl[j] = cpu.Slowdown{Start: st.Window.Start, End: st.Window.End, Factor: st.Factor}
+			}
+			n.CPU.SetSlowdowns(sl)
+		}
 		n.SCSI.SetOutages(plan.OutagesFor(n.SCSI.Name()))
 		n.PCI.SetOutages(plan.OutagesFor(n.PCI.Name()))
 	}

@@ -7,6 +7,8 @@
 package cpu
 
 import (
+	"sort"
+
 	"howsim/internal/probe"
 	"howsim/internal/sim"
 )
@@ -20,6 +22,20 @@ type CPU struct {
 	busy sim.Time
 	work int64 // total cycles executed
 	pr   probe.Ref
+
+	slow     []Slowdown
+	slowTime sim.Time // extra execution time slowdown windows added
+}
+
+// Slowdown is a window of degraded clock: between Start and End the
+// processor retires work at 1/Factor of its nominal rate — a straggler
+// drive's firmware hiccup or thermal throttling. Windows are virtual
+// time, so the stretch a computation suffers is a pure function of its
+// start time and nominal duration — deterministic across execution
+// modes.
+type Slowdown struct {
+	Start, End sim.Time
+	Factor     float64 // > 1; nominal time t takes Factor*t inside the window
 }
 
 // New creates a processor with the given clock rate in Hz.
@@ -47,6 +63,63 @@ func (c *CPU) CycleTime(n int64) sim.Time {
 	return t
 }
 
+// SetSlowdowns installs per-window slowdowns (straggler injection).
+// Call before the simulation runs; windows must not overlap. A nil or
+// empty slice leaves the execution path untouched.
+func (c *CPU) SetSlowdowns(ss []Slowdown) {
+	c.slow = append([]Slowdown(nil), ss...)
+	sort.Slice(c.slow, func(i, j int) bool { return c.slow[i].Start < c.slow[j].Start })
+}
+
+// SlowdownTime returns the total extra execution time the slowdown
+// windows added.
+func (c *CPU) SlowdownTime() sim.Time { return c.slowTime }
+
+// stretch maps a nominal execution duration starting at now to the
+// wall duration it occupies under the installed slowdown windows: full
+// rate outside every window, 1/Factor inside. With no windows it is the
+// identity, keeping the fault-free path bit-identical.
+func (c *CPU) stretch(now, d sim.Time) sim.Time {
+	if len(c.slow) == 0 || d <= 0 {
+		return d
+	}
+	t := now
+	var wall sim.Time
+	rem := d // nominal time still to retire
+	for _, w := range c.slow {
+		if rem <= 0 {
+			return wall
+		}
+		if w.End <= t {
+			continue
+		}
+		if t < w.Start {
+			gap := w.Start - t
+			if rem <= gap {
+				return wall + rem
+			}
+			wall += gap
+			rem -= gap
+			t = w.Start
+		}
+		// Inside [t, w.End): finishing rem here needs Factor*rem of wall
+		// time; otherwise the window's remainder retires avail/Factor.
+		avail := w.End - t
+		need := sim.Time(float64(rem) * w.Factor)
+		if need <= avail {
+			return wall + need
+		}
+		retired := sim.Time(float64(avail) / w.Factor)
+		if retired > rem {
+			retired = rem
+		}
+		wall += avail
+		rem -= retired
+		t = w.End
+	}
+	return wall + rem // tail after the last window runs at full rate
+}
+
 // Compute executes n cycles of work on behalf of p, holding the
 // processor for the duration.
 func (c *CPU) Compute(p *sim.Proc, n int64) {
@@ -55,10 +128,12 @@ func (c *CPU) Compute(p *sim.Proc, n int64) {
 	}
 	c.res.Acquire(p, 1)
 	d := c.CycleTime(n)
+	w := c.stretch(p.Now(), d)
 	start := c.pr.Begin(probe.KindCompute, probe.Time(p.Now()))
-	p.Delay(d)
+	p.Delay(w)
 	c.res.Release(1)
-	c.busy += d
+	c.busy += w
+	c.slowTime += w - d
 	c.work += n
 	if c.pr.On() {
 		c.pr.EndArg(probe.KindCompute, start, int64(p.Now()), n)
@@ -73,10 +148,12 @@ func (c *CPU) Busy(p *sim.Proc, d sim.Time) {
 		return
 	}
 	c.res.Acquire(p, 1)
+	w := c.stretch(p.Now(), d)
 	start := c.pr.Begin(probe.KindCompute, probe.Time(p.Now()))
-	p.Delay(d)
+	p.Delay(w)
 	c.res.Release(1)
-	c.busy += d
+	c.busy += w
+	c.slowTime += w - d
 	if c.pr.On() {
 		c.pr.End(probe.KindCompute, start, int64(p.Now()))
 	}
@@ -92,12 +169,14 @@ func (c *CPU) BusyFunc(t *sim.Task, d sim.Time, fn func()) {
 		return
 	}
 	c.res.AcquireFunc(t, 1, func() {
-		t.Kernel().After(d, func() {
+		w := c.stretch(t.Now(), d)
+		t.Kernel().After(w, func() {
 			c.res.Release(1)
-			c.busy += d
+			c.busy += w
+			c.slowTime += w - d
 			if c.pr.On() {
 				end := t.Now()
-				c.pr.Span(probe.KindCompute, int64(end-d), int64(end))
+				c.pr.Span(probe.KindCompute, int64(end-w), int64(end))
 			}
 			fn()
 		})

@@ -93,3 +93,89 @@ func TestCycleTimeRoundsUp(t *testing.T) {
 		t.Error("one cycle must take nonzero time")
 	}
 }
+
+func TestSlowdownStretch(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k, "cpu", 100e6)
+	// 2x slowdown for [1s, 2s): work inside the window takes twice the
+	// wall time.
+	c.SetSlowdowns([]Slowdown{{Start: sim.Second, End: 2 * sim.Second, Factor: 2}})
+	var el sim.Time
+	k.Spawn("w", func(p *sim.Proc) {
+		t0 := p.Now()
+		// 1.5s of work starting at 0: 1s at full rate, then the remaining
+		// 0.5s retires at half rate inside the window → 1s wall, ending
+		// exactly at the window end. Total 2s.
+		c.Compute(p, 150e6)
+		el = p.Now() - t0
+	})
+	k.Run()
+	if el != 2*sim.Second {
+		t.Errorf("stretched compute = %v, want 2s", el)
+	}
+	if got := c.SlowdownTime(); got != 500*sim.Millisecond {
+		t.Errorf("SlowdownTime = %v, want 500ms", got)
+	}
+}
+
+func TestSlowdownSpansWindow(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k, "cpu", 100e6)
+	c.SetSlowdowns([]Slowdown{{Start: sim.Second, End: 2 * sim.Second, Factor: 4}})
+	var el sim.Time
+	k.Spawn("w", func(p *sim.Proc) {
+		// 2s of work from 0: 1s full rate, the 1s window retires 250ms,
+		// then 750ms full rate after the window: 2.75s total.
+		t0 := p.Now()
+		c.Compute(p, 200e6)
+		el = p.Now() - t0
+	})
+	k.Run()
+	if el != 2750*sim.Millisecond {
+		t.Errorf("compute across window = %v, want 2.75s", el)
+	}
+}
+
+func TestSlowdownOutsideWindowIsIdentity(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k, "cpu", 100e6)
+	c.SetSlowdowns([]Slowdown{{Start: 10 * sim.Second, End: 11 * sim.Second, Factor: 3}})
+	var el sim.Time
+	k.Spawn("w", func(p *sim.Proc) {
+		t0 := p.Now()
+		c.Compute(p, 100e6)
+		el = p.Now() - t0
+	})
+	k.Run()
+	if el != sim.Second {
+		t.Errorf("compute before window = %v, want 1s", el)
+	}
+	if c.SlowdownTime() != 0 {
+		t.Errorf("SlowdownTime = %v, want 0", c.SlowdownTime())
+	}
+}
+
+func TestSlowdownMultipleWindows(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k, "cpu", 100e6)
+	// Deliberately unsorted; SetSlowdowns must order them.
+	c.SetSlowdowns([]Slowdown{
+		{Start: 3 * sim.Second, End: 4 * sim.Second, Factor: 2},
+		{Start: sim.Second, End: 2 * sim.Second, Factor: 2},
+	})
+	var el sim.Time
+	k.Spawn("w", func(p *sim.Proc) {
+		// 4s of work from 0: two 1s windows each retire 500ms, so wall
+		// time is 1+1 (full) + 1+1 (windows) + 1 (tail at full rate) = 5s.
+		t0 := p.Now()
+		c.Compute(p, 400e6)
+		el = p.Now() - t0
+	})
+	k.Run()
+	if el != 5*sim.Second {
+		t.Errorf("compute across two windows = %v, want 5s", el)
+	}
+	if got := c.SlowdownTime(); got != sim.Second {
+		t.Errorf("SlowdownTime = %v, want 1s", got)
+	}
+}

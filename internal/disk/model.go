@@ -71,6 +71,8 @@ type Stats struct {
 	// Fault counters (all zero when no injector is installed).
 	Retries        int64    // media retries performed
 	SlowRequests   int64    // requests hit by an injected latency spike
+	CorruptReads   int64    // reads whose data failed the checksum verify
+	Rereads        int64    // rereads performed to clear corrupt data
 	FailedRequests int64    // requests completed with a non-nil error
 	FaultDelay     sim.Time // total service time added by faults
 }
@@ -85,6 +87,12 @@ type FaultInjector interface {
 	// number of media retries demanded (zero for a clean request) for
 	// the seq-th request serviced by this drive.
 	RequestFault(seq int64) (slowBy sim.Time, mediaRetries int)
+	// CorruptionFault returns the number of checksum-verify rereads the
+	// seq-th request demands (zero for clean data). Consulted for reads
+	// only: a corrupt sector is caught by the verify step and reread, at
+	// the same per-retry cost as a media error; a count above the retry
+	// budget becomes a hard error.
+	CorruptionFault(seq int64) (rereads int)
 	// FailureTime returns when the whole drive fails permanently, and
 	// whether it fails at all. Consulted once, at installation.
 	FailureTime() (sim.Time, bool)
@@ -470,7 +478,9 @@ func (d *Disk) emitServed(req *Request, before Stats) {
 // returns the extra service time faults add. A transient media error
 // within the retry budget succeeds after its retries (each costing a
 // revolution plus the policy backoff); one beyond the budget burns the
-// whole budget and completes with ErrMediaError.
+// whole budget and completes with ErrMediaError. Reads additionally
+// face silent corruption: data failing the checksum verify is reread
+// under the same per-retry cost and budget.
 func (d *Disk) applyFaults(req *Request) sim.Time {
 	d.reqSeq++
 	slowBy, retries := d.inj.RequestFault(d.reqSeq)
@@ -483,15 +493,35 @@ func (d *Disk) applyFaults(req *Request) sim.Time {
 		n := retries
 		if n > d.retry.MaxRetries {
 			n = d.retry.MaxRetries
-			req.Err = ErrMediaError
-			d.stats.FailedRequests++
+			d.hardError(req)
 		}
 		req.Retries = n
 		d.stats.Retries += int64(n)
 		extra += sim.Time(n) * (d.rotPeriod + d.retry.Backoff)
 	}
+	if !req.Write {
+		if rereads := d.inj.CorruptionFault(d.reqSeq); rereads > 0 {
+			d.stats.CorruptReads++
+			n := rereads
+			if n > d.retry.MaxRetries {
+				n = d.retry.MaxRetries
+				d.hardError(req)
+			}
+			d.stats.Rereads += int64(n)
+			extra += sim.Time(n) * (d.rotPeriod + d.retry.Backoff)
+		}
+	}
 	d.stats.FaultDelay += extra
 	return extra
+}
+
+// hardError marks the request unrecoverable, counting it once even when
+// media retries and corrupt rereads both exhaust their budgets.
+func (d *Disk) hardError(req *Request) {
+	if req.Err == nil {
+		req.Err = ErrMediaError
+		d.stats.FailedRequests++
+	}
 }
 
 // nextRequest removes and returns the next request to serve under the

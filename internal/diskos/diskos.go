@@ -147,9 +147,13 @@ type System struct {
 	Cfg Config
 	// Loop is the first (or only) FC loop; in a FibreSwitch
 	// configuration use the Loop* aggregate accessors instead.
-	Loop     *bus.Bus
-	Disks    []*ActiveDisk
-	FE       *FrontEnd
+	Loop  *bus.Bus
+	Disks []*ActiveDisk
+	FE    *FrontEnd
+	// Spare is the hot-spare drive provisioned when the fault plan
+	// declares one (nil otherwise); the background rebuild streams the
+	// failed disk's partition onto it.
+	Spare    *disk.Disk
 	chunk    int64
 	loops    []*bus.Bus
 	perGroup int
@@ -247,9 +251,11 @@ func build(cfg Config, hub *sim.Kernel, leaf func(int) *sim.Kernel) *System {
 }
 
 // InstallFaults applies a fault plan to the system: per-disk injectors
-// (by disk ID) and outage windows matched by name to the FC loops
-// ("fcal0", "fcal1", ...), the front-end adaptor ("fe.fc") and its PCI
-// bus ("fe.pci"). Call before Run. A nil plan is a no-op.
+// (by disk ID), straggler slowdown windows on the matching embedded
+// CPUs, a hot spare provisioned for the plan's failed disk, and outage
+// windows matched by name to the FC loops ("fcal0", "fcal1", ...), the
+// front-end adaptor ("fe.fc") and its PCI bus ("fe.pci"). Call before
+// Run. A nil plan is a no-op.
 func (s *System) InstallFaults(plan *fault.Plan) {
 	if plan == nil {
 		return
@@ -259,12 +265,42 @@ func (s *System) InstallFaults(plan *fault.Plan) {
 		if inj := plan.DiskInjector(ad.ID); inj != nil {
 			ad.Disk.SetFaultInjector(inj, policy)
 		}
+		if ss := plan.StragglersFor(ad.ID); len(ss) != 0 {
+			ad.CPU.SetSlowdowns(slowdowns(ss))
+		}
+	}
+	if plan.Spare && plan.Replica && plan.FailDisk >= 0 && plan.FailDisk < len(s.Disks) {
+		spec := s.Cfg.DiskSpec
+		if s.Cfg.SpecFor != nil {
+			if sp := s.Cfg.SpecFor(plan.FailDisk); sp != nil {
+				spec = sp
+			}
+		}
+		s.Spare = disk.New(s.K, "spare", spec)
 	}
 	for _, l := range s.loops {
 		l.SetOutages(plan.OutagesFor(l.Name()))
 	}
 	s.FE.Adaptor.SetOutages(plan.OutagesFor(s.FE.Adaptor.Name()))
 	s.FE.PCI.SetOutages(plan.OutagesFor(s.FE.PCI.Name()))
+}
+
+// slowdowns converts plan straggler windows to the cpu model's terms.
+func slowdowns(ss []fault.Straggler) []cpu.Slowdown {
+	out := make([]cpu.Slowdown, len(ss))
+	for i, st := range ss {
+		out[i] = cpu.Slowdown{Start: st.Window.Start, End: st.Window.End, Factor: st.Factor}
+	}
+	return out
+}
+
+// RebuildTransfer moves one rebuild chunk from the surviving replica
+// holder src toward the spare standing in for the failed disk: the
+// spare occupies the failed drive's loop slot, so the chunk crosses
+// the source loop and, behind a FibreSwitch, the failed disk's loop —
+// contending with every foreground transfer on the way.
+func (s *System) RebuildTransfer(p *sim.Proc, src, failed int, n int64) {
+	s.diskToDisk(p, src, failed, n)
 }
 
 // groupOf returns the loop group a disk belongs to.

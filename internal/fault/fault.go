@@ -1,7 +1,10 @@
 // Package fault provides deterministic, seeded fault injection for the
 // simulator. A Plan describes a schedule of faults — transient media
-// errors, latency spikes, a whole-disk failure at a given virtual time,
-// and interconnect outage windows — keyed entirely off the plan seed,
+// errors, latency spikes, silent data corruption caught by checksum
+// verify, per-drive CPU slowdown windows (straggler drives), a
+// whole-disk failure at a given virtual time (optionally rebuilt onto a
+// declared hot spare), and interconnect outage windows — keyed entirely
+// off the plan seed,
 // the disk identity and the per-disk request sequence number. No wall
 // clock or shared RNG stream is involved, so the same plan against the
 // same workload produces bit-for-bit identical fault schedules and
@@ -39,6 +42,18 @@ type LinkOutage struct {
 	Window Window
 }
 
+// Straggler is a per-drive processor slowdown window: between Start and
+// End the named drive's CPU retires work at 1/Factor of its nominal
+// rate (firmware background activity, thermal throttling — the classic
+// straggler drive).
+type Straggler struct {
+	Disk   int
+	Window Window
+	// Factor is the slowdown multiple (> 1); work that would take t
+	// takes Factor*t inside the window.
+	Factor float64
+}
+
 // Plan is a deterministic fault schedule for one simulation run.
 type Plan struct {
 	// Seed keys every per-request fault decision.
@@ -53,6 +68,11 @@ type Plan struct {
 	SlowRate float64
 	// SlowBy is the added service latency for a slow request.
 	SlowBy sim.Time
+	// CorruptRate is the per-read probability of silent data corruption
+	// caught by the drive's checksum verify: the read succeeds after a
+	// deterministic number of rereads, or becomes a hard error when
+	// that number exceeds the retry budget. Writes are unaffected.
+	CorruptRate float64
 	// FailDisk is the index of the disk that fails permanently at
 	// FailAt, or -1 for no disk failure.
 	FailDisk int
@@ -61,6 +81,13 @@ type Plan struct {
 	// Replica declares that each disk's data has a replica on a peer, so
 	// scans may re-issue lost ranges instead of completing degraded.
 	Replica bool
+	// Spare declares a hot-spare drive: after the permanent failure the
+	// surviving replica streams the lost partition onto it in the
+	// background, contending with the foreground scan. Requires Replica
+	// and a fail clause.
+	Spare bool
+	// Stragglers lists per-drive CPU slowdown windows.
+	Stragglers []Straggler
 	// Outages lists interconnect outage windows by link/bus name.
 	Outages []LinkOutage
 }
@@ -76,21 +103,39 @@ func NewPlan(seed uint64) *Plan {
 //	seed=42,media=0.001,slow=0.0005,slowby=50ms,fail=3@2s,replica,outage=fcal0@1s+200ms
 //
 // Keys: seed=N, media=P (transient media-error probability), slow=P
-// (latency-spike probability), slowby=D (spike size), fail=DISK@T
-// (permanent failure of disk index DISK at time T), replica (declare
-// replicas so scans can recover), outage=NAME@T+D (link NAME down from
-// T for D). Durations use Go syntax (50ms, 2s). outage may repeat.
+// (latency-spike probability), slowby=D (spike size), corrupt=P
+// (silent-corruption probability on reads, caught by checksum verify),
+// fail=DISK@T (permanent failure of disk index DISK at time T), replica
+// (declare replicas so scans can recover), spare (declare a hot spare
+// the replica rebuilds onto; requires replica and fail),
+// straggler=DISK@T+D*F (disk DISK's CPU runs F times slower from T for
+// D; *F is optional and defaults to 2), outage=NAME@T+D (link NAME down
+// from T for D). Durations use Go syntax (50ms, 2s). straggler and
+// outage may repeat; every other key may appear at most once.
 func ParsePlan(s string) (*Plan, error) {
 	p := NewPlan(0)
 	if strings.TrimSpace(s) == "" {
 		return p, nil
 	}
+	seen := map[string]bool{}
 	for _, field := range strings.Split(s, ",") {
 		field = strings.TrimSpace(field)
 		if field == "" {
 			continue
 		}
 		key, val, hasVal := strings.Cut(field, "=")
+		switch key {
+		case "seed", "media", "slow", "slowby", "corrupt", "fail", "replica", "spare":
+			if seen[key] {
+				return nil, fmt.Errorf("fault: duplicate %s clause (each may appear once; drop one)", key)
+			}
+			seen[key] = true
+		case "straggler", "outage":
+			if seen[field] {
+				return nil, fmt.Errorf("fault: duplicate clause %q (identical windows inject nothing extra; drop one)", field)
+			}
+			seen[field] = true
+		}
 		switch key {
 		case "seed":
 			n, err := strconv.ParseUint(val, 10, 64)
@@ -116,6 +161,12 @@ func ParsePlan(s string) (*Plan, error) {
 				return nil, fmt.Errorf("fault: bad slowby %q: %v", val, err)
 			}
 			p.SlowBy = d
+		case "corrupt":
+			f, err := parseProb(val)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad corrupt rate %q: %v", val, err)
+			}
+			p.CorruptRate = f
 		case "fail":
 			disk, at, ok := strings.Cut(val, "@")
 			if !ok {
@@ -135,6 +186,17 @@ func ParsePlan(s string) (*Plan, error) {
 				return nil, fmt.Errorf("fault: replica takes no value, got %q", val)
 			}
 			p.Replica = true
+		case "spare":
+			if hasVal && val != "true" {
+				return nil, fmt.Errorf("fault: spare takes no value, got %q", val)
+			}
+			p.Spare = true
+		case "straggler":
+			st, err := parseStraggler(val)
+			if err != nil {
+				return nil, err
+			}
+			p.Stragglers = append(p.Stragglers, st)
 		case "outage":
 			name, span, ok := strings.Cut(val, "@")
 			if !ok || name == "" {
@@ -150,7 +212,7 @@ func ParsePlan(s string) (*Plan, error) {
 			}
 			d, err := parseDur(dur)
 			if err != nil || d <= 0 {
-				return nil, fmt.Errorf("fault: bad outage duration %q", dur)
+				return nil, fmt.Errorf("fault: bad outage duration %q (must be a positive Go duration)", dur)
 			}
 			p.Outages = append(p.Outages, LinkOutage{
 				Name:   name,
@@ -160,7 +222,43 @@ func ParsePlan(s string) (*Plan, error) {
 			return nil, fmt.Errorf("fault: unknown plan key %q", key)
 		}
 	}
+	if p.Spare && (!p.Replica || p.FailDisk < 0) {
+		return nil, fmt.Errorf("fault: spare needs a replica to rebuild from and a fail clause to trigger it (add replica and fail=DISK@TIME)")
+	}
 	return p, nil
+}
+
+// parseStraggler parses DISK@START+DUR or DISK@START+DUR*FACTOR.
+func parseStraggler(val string) (Straggler, error) {
+	disk, span, ok := strings.Cut(val, "@")
+	if !ok {
+		return Straggler{}, fmt.Errorf("fault: straggler wants DISK@START+DUR*FACTOR, got %q", val)
+	}
+	n, err := strconv.Atoi(disk)
+	if err != nil || n < 0 {
+		return Straggler{}, fmt.Errorf("fault: bad straggler disk %q", disk)
+	}
+	start, rest, ok := strings.Cut(span, "+")
+	if !ok {
+		return Straggler{}, fmt.Errorf("fault: straggler wants DISK@START+DUR*FACTOR, got %q", val)
+	}
+	dur, factorStr, hasFactor := strings.Cut(rest, "*")
+	st, err := parseDur(start)
+	if err != nil {
+		return Straggler{}, fmt.Errorf("fault: bad straggler start %q: %v", start, err)
+	}
+	d, err := parseDur(dur)
+	if err != nil || d <= 0 {
+		return Straggler{}, fmt.Errorf("fault: bad straggler duration %q (must be a positive Go duration)", dur)
+	}
+	f := 2.0
+	if hasFactor {
+		f, err = strconv.ParseFloat(factorStr, 64)
+		if err != nil || f <= 1 {
+			return Straggler{}, fmt.Errorf("fault: bad straggler factor %q (must be > 1)", factorStr)
+		}
+	}
+	return Straggler{Disk: n, Window: Window{Start: st, End: st + d}, Factor: f}, nil
 }
 
 func parseProb(s string) (float64, error) {
@@ -198,11 +296,29 @@ func (p *Plan) String() string {
 		parts = append(parts, "slow="+strconv.FormatFloat(p.SlowRate, 'g', -1, 64))
 		parts = append(parts, "slowby="+p.SlowBy.Duration().String())
 	}
+	if p.CorruptRate > 0 {
+		parts = append(parts, "corrupt="+strconv.FormatFloat(p.CorruptRate, 'g', -1, 64))
+	}
 	if p.FailDisk >= 0 {
 		parts = append(parts, fmt.Sprintf("fail=%d@%s", p.FailDisk, p.FailAt.Duration()))
 	}
 	if p.Replica {
 		parts = append(parts, "replica")
+	}
+	if p.Spare {
+		parts = append(parts, "spare")
+	}
+	strags := append([]Straggler(nil), p.Stragglers...)
+	sort.Slice(strags, func(i, j int) bool {
+		if strags[i].Disk != strags[j].Disk {
+			return strags[i].Disk < strags[j].Disk
+		}
+		return strags[i].Window.Start < strags[j].Window.Start
+	})
+	for _, st := range strags {
+		parts = append(parts, fmt.Sprintf("straggler=%d@%s+%s*%s",
+			st.Disk, st.Window.Start.Duration(), st.Window.Duration().Duration(),
+			strconv.FormatFloat(st.Factor, 'g', -1, 64)))
 	}
 	outs := append([]LinkOutage(nil), p.Outages...)
 	sort.Slice(outs, func(i, j int) bool {
@@ -221,7 +337,8 @@ func (p *Plan) String() string {
 // Empty reports whether the plan injects no faults at all.
 func (p *Plan) Empty() bool {
 	return p == nil ||
-		(p.MediaRate == 0 && p.SlowRate == 0 && p.FailDisk < 0 && len(p.Outages) == 0)
+		(p.MediaRate == 0 && p.SlowRate == 0 && p.CorruptRate == 0 &&
+			p.FailDisk < 0 && len(p.Stragglers) == 0 && len(p.Outages) == 0)
 }
 
 // OutagesFor returns the outage windows declared for the named link or
@@ -248,10 +365,26 @@ func (p *Plan) DiskInjector(diskID int) *DiskInjector {
 	if p == nil {
 		return nil
 	}
-	if p.MediaRate == 0 && p.SlowRate == 0 && p.FailDisk != diskID {
+	if p.MediaRate == 0 && p.SlowRate == 0 && p.CorruptRate == 0 && p.FailDisk != diskID {
 		return nil
 	}
 	return &DiskInjector{plan: p, diskID: diskID}
+}
+
+// StragglersFor returns the CPU slowdown windows declared for the disk
+// with the given index, in start order (nil when there are none).
+func (p *Plan) StragglersFor(diskID int) []Straggler {
+	if p == nil {
+		return nil
+	}
+	var ss []Straggler
+	for _, st := range p.Stragglers {
+		if st.Disk == diskID {
+			ss = append(ss, st)
+		}
+	}
+	sort.Slice(ss, func(i, j int) bool { return ss[i].Window.Start < ss[j].Window.Start })
+	return ss
 }
 
 // DiskInjector decides, per request, whether a disk suffers a transient
@@ -267,9 +400,11 @@ type DiskInjector struct {
 // Salts separate the independent per-request fault decisions drawn from
 // the same (seed, disk, seq) identity.
 const (
-	saltMedia = 0x6d656469 // "medi"
-	saltRetry = 0x72657472 // "retr"
-	saltSlow  = 0x736c6f77 // "slow"
+	saltMedia   = 0x6d656469 // "medi"
+	saltRetry   = 0x72657472 // "retr"
+	saltSlow    = 0x736c6f77 // "slow"
+	saltCorrupt = 0x63727074 // "crpt"
+	saltReread  = 0x72726472 // "rrdr"
 )
 
 // RequestFault returns the faults for the seq-th request on this disk:
@@ -285,6 +420,18 @@ func (in *DiskInjector) RequestFault(seq int64) (slowBy sim.Time, mediaRetries i
 		slowBy = p.SlowBy
 	}
 	return slowBy, mediaRetries
+}
+
+// CorruptionFault returns the number of checksum-verify rereads the
+// seq-th request demands when its data comes back silently corrupted
+// (zero for a clean read). The disk applies it to reads only; a count
+// above the retry budget becomes a hard error, mirroring media retries.
+func (in *DiskInjector) CorruptionFault(seq int64) int {
+	p := in.plan
+	if p.CorruptRate > 0 && hashFloat(p.Seed, uint64(in.diskID), uint64(seq), saltCorrupt) < p.CorruptRate {
+		return retryCount(hash(p.Seed, uint64(in.diskID), uint64(seq), saltReread))
+	}
+	return 0
 }
 
 // FailureTime returns the virtual time at which this disk fails

@@ -185,3 +185,128 @@ func TestOutagesFor(t *testing.T) {
 		t.Error("window contains its half-open end")
 	}
 }
+
+func TestParsePlanErrorsTable(t *testing.T) {
+	// Hardened validation: every rejection must say what is wrong and
+	// what to do about it, not just "parse error".
+	for _, tc := range []struct {
+		in   string
+		want string // substring the error must contain
+	}{
+		{"media=1.5", "outside [0,1]"},
+		{"slow=2", "outside [0,1]"},
+		{"corrupt=-0.1", "outside [0,1]"},
+		{"corrupt=1.01", "outside [0,1]"},
+		{"slowby=-5ms", "negative duration"},
+		{"fail=1@-2s", "negative duration"},
+		{"outage=l@1s+0s", "positive"},
+		{"outage=l@1s+-1s", "positive"},
+		{"straggler=0@1s", "DISK@START+DUR*FACTOR"},
+		{"straggler=0@1s+0s", "positive"},
+		{"straggler=0@1s+10ms*1", "must be > 1"},
+		{"straggler=0@1s+10ms*0.5", "must be > 1"},
+		{"straggler=-1@1s+10ms", "straggler disk"},
+		{"media=0.1,media=0.2", "duplicate media"},
+		{"seed=1,seed=1", "duplicate seed"},
+		{"replica,replica", "duplicate replica"},
+		{"straggler=0@1s+10ms*2,straggler=0@1s+10ms*2", "duplicate clause"},
+		{"outage=l@1s+1s,outage=l@1s+1s", "duplicate clause"},
+		{"spare", "spare needs a replica"},
+		{"spare,replica", "spare needs a replica"},
+		{"spare,fail=1@1s", "spare needs a replica"},
+	} {
+		_, err := ParsePlan(tc.in)
+		if err == nil {
+			t.Errorf("ParsePlan(%q) accepted invalid input", tc.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParsePlan(%q) error %q does not mention %q", tc.in, err, tc.want)
+		}
+	}
+	// Distinct straggler/outage windows are not duplicates.
+	for _, ok := range []string{
+		"straggler=0@1s+10ms*2,straggler=0@2s+10ms*2",
+		"straggler=0@1s+10ms*2,straggler=1@1s+10ms*2",
+		"outage=l@1s+1s,outage=l@3s+1s",
+		"seed=5,replica,spare,fail=2@1s",
+	} {
+		if _, err := ParsePlan(ok); err != nil {
+			t.Errorf("ParsePlan(%q) rejected valid input: %v", ok, err)
+		}
+	}
+}
+
+func TestParsePlanNewKeysRoundTrip(t *testing.T) {
+	const in = "seed=9,corrupt=0.004,fail=2@1s,replica,spare,straggler=1@5ms+30ms*3,straggler=0@1ms+2ms"
+	p, err := ParsePlan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CorruptRate != 0.004 {
+		t.Errorf("CorruptRate = %v, want 0.004", p.CorruptRate)
+	}
+	if !p.Spare {
+		t.Error("spare not set")
+	}
+	if len(p.Stragglers) != 2 {
+		t.Fatalf("got %d stragglers, want 2", len(p.Stragglers))
+	}
+	ss := p.StragglersFor(1)
+	if len(ss) != 1 || ss[0].Factor != 3 || ss[0].Window.Duration() != 30*sim.Millisecond {
+		t.Errorf("StragglersFor(1) = %+v", ss)
+	}
+	if ss0 := p.StragglersFor(0); len(ss0) != 1 || ss0[0].Factor != 2 {
+		t.Errorf("default straggler factor: %+v", ss0)
+	}
+	q, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatalf("canonical form does not re-parse: %v", err)
+	}
+	if q.String() != p.String() {
+		t.Errorf("round trip changed the plan:\n  %s\n  %s", p.String(), q.String())
+	}
+}
+
+func TestCorruptionFaultDeterminism(t *testing.T) {
+	p, err := ParsePlan("seed=13,corrupt=0.01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := p.DiskInjector(2), p.DiskInjector(2)
+	if a == nil || b == nil {
+		t.Fatal("plan with corrupt faults returned nil injector")
+	}
+	var hits int
+	for seq := int64(1); seq <= 10_000; seq++ {
+		x, y := a.CorruptionFault(seq), b.CorruptionFault(seq)
+		if x != y {
+			t.Fatalf("injectors for the same identity disagree at seq %d", seq)
+		}
+		if x < 0 || x > 8 {
+			t.Fatalf("reread count %d outside [0, 8]", x)
+		}
+		if x > 0 {
+			hits++
+		}
+	}
+	if hits < 30 || hits > 300 {
+		t.Errorf("corruption count %d implausible for rate 0.01 over 10k reads", hits)
+	}
+	// Corruption draws must be independent of the media-error stream:
+	// the same seed with media instead of corrupt faults differently.
+	m, _ := ParsePlan("seed=13,media=0.01")
+	var overlap, mediaHits int
+	for seq := int64(1); seq <= 10_000; seq++ {
+		_, r := m.DiskInjector(2).RequestFault(seq)
+		if r > 0 {
+			mediaHits++
+			if a.CorruptionFault(seq) > 0 {
+				overlap++
+			}
+		}
+	}
+	if mediaHits > 0 && overlap == mediaHits {
+		t.Error("corruption schedule is identical to the media-error schedule")
+	}
+}

@@ -343,6 +343,29 @@ func (g *ShardGroup) Shard(i int) *Shard { return g.shards[i] }
 // sharded analogue of Kernel.DeadlockReport. Empty after a clean run.
 func (g *ShardGroup) Stall() string { return g.stall }
 
+// DeadlockReport aggregates the parked-process reports of every kernel
+// in the group, prefixing each non-empty section with the kernel it
+// came from ("hub", "shard 0", ...). Empty when nothing is parked. Call
+// after Run; the leaf kernels are quiescent then, so reading them from
+// the hub's goroutine is safe.
+func (g *ShardGroup) DeadlockReport() string {
+	var b strings.Builder
+	if r := g.hub.DeadlockReport(); r != "" {
+		b.WriteString("hub:\n")
+		b.WriteString(r)
+	}
+	for i, sh := range g.shards {
+		if r := sh.k.DeadlockReport(); r != "" {
+			if b.Len() > 0 {
+				b.WriteString("\n")
+			}
+			fmt.Fprintf(&b, "shard %d:\n", i)
+			b.WriteString(r)
+		}
+	}
+	return b.String()
+}
+
 // eit returns the hub's earliest input time: the minimum horizon
 // published by any shard. The hub may execute work strictly below it.
 func (g *ShardGroup) eit() Time {

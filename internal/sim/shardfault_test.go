@@ -1,0 +1,158 @@
+package sim
+
+// Sharded mirrors of the single-kernel timeout-race and deadlock-report
+// tests: a leaf kernel inside a ShardGroup must arbitrate same-instant
+// grant/expiry races exactly like a standalone kernel, and the group's
+// DeadlockReport must name which kernel each parked process is on.
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestShardGetTimeoutRaceGrantFirst is TestGetTimeoutRaceGrantFirst on
+// a leaf kernel: the producer's wake event is scheduled before the
+// consumer's timer, so at the shared expiry instant the message wins.
+func TestShardGetTimeoutRaceGrantFirst(t *testing.T) {
+	g := NewShardGroup(2)
+	defer g.Close()
+	k := g.Shard(0).Kernel()
+	m := NewMailbox(k, "m", 0)
+	var got any
+	var err error
+	k.Spawn("producer", func(p *Proc) {
+		p.Delay(Millisecond) // resume event enqueued before the timer
+		m.Put(p, "msg")
+	})
+	k.Spawn("consumer", func(p *Proc) {
+		got, err = m.GetTimeout(p, Millisecond)
+	})
+	g.Run()
+	if err != nil || got != "msg" {
+		t.Fatalf("GetTimeout = (%v, %v), want (msg, nil): grant scheduled first must win", got, err)
+	}
+}
+
+// TestShardGetTimeoutRaceExpiryFirst is the mirror ordering on a leaf:
+// the consumer's timer precedes the producer's wake at the shared
+// instant, so the wait times out and the message stays queued.
+func TestShardGetTimeoutRaceExpiryFirst(t *testing.T) {
+	g := NewShardGroup(2)
+	defer g.Close()
+	k := g.Shard(1).Kernel()
+	m := NewMailbox(k, "m", 0)
+	var err error
+	k.Spawn("consumer", func(p *Proc) {
+		_, err = m.GetTimeout(p, Millisecond) // timer enqueued before the producer's resume
+	})
+	k.Spawn("producer", func(p *Proc) {
+		p.Delay(Millisecond)
+		m.Put(p, "msg")
+	})
+	g.Run()
+	if err != ErrTimeout {
+		t.Fatalf("GetTimeout err = %v, want ErrTimeout: expiry scheduled first must win", err)
+	}
+	if m.Len() != 1 {
+		t.Errorf("mailbox holds %d messages, want 1 (put after expiry must not vanish)", m.Len())
+	}
+}
+
+// TestShardAcquireTimeoutRaceReleaseFirst: the release lands at the
+// waiter's exact deadline with the release event scheduled first on a
+// leaf kernel — the grant must win and the expiry be suppressed.
+func TestShardAcquireTimeoutRaceReleaseFirst(t *testing.T) {
+	g := NewShardGroup(1)
+	defer g.Close()
+	k := g.Shard(0).Kernel()
+	r := NewResource(k, "r", 1)
+	var err error
+	k.Spawn("holder", func(p *Proc) {
+		r.Acquire(p, 1)
+		p.Delay(Millisecond) // resume (and Release) enqueued before the waiter's timer
+		r.Release(1)
+	})
+	k.Spawn("waiter", func(p *Proc) {
+		err = r.AcquireTimeout(p, 1, Millisecond)
+	})
+	g.Run()
+	if err != nil {
+		t.Fatalf("AcquireTimeout err = %v, want nil: release scheduled first must grant", err)
+	}
+	if r.InUse() != 1 {
+		t.Errorf("resource in use = %d, want 1 (grant must be held)", r.InUse())
+	}
+}
+
+// TestShardAcquireTimeoutRaceExpiryFirst is the mirror ordering on a
+// leaf: the waiter's timer precedes the release at the shared instant,
+// so the wait times out and the released unit stays free.
+func TestShardAcquireTimeoutRaceExpiryFirst(t *testing.T) {
+	g := NewShardGroup(1)
+	defer g.Close()
+	k := g.Shard(0).Kernel()
+	r := NewResource(k, "r", 1)
+	var err error
+	k.Spawn("early", func(p *Proc) {
+		r.Acquire(p, 1) // at t=0, then the waiter below queues its timer
+	})
+	k.Spawn("waiter", func(p *Proc) {
+		err = r.AcquireTimeout(p, 1, Millisecond) // timer enqueued first
+	})
+	k.Spawn("releaser", func(p *Proc) {
+		p.Delay(Millisecond)
+		r.Release(1)
+	})
+	g.Run()
+	if err != ErrTimeout {
+		t.Fatalf("AcquireTimeout err = %v, want ErrTimeout: expiry scheduled first must win", err)
+	}
+	if r.InUse() != 0 {
+		t.Errorf("resource in use = %d, want 0 (suppressed grant must not leak units)", r.InUse())
+	}
+}
+
+// TestShardGroupDeadlockReportNaming: parked processes on the hub and
+// on different leaves must all appear in the group report, each section
+// prefixed with the kernel it came from.
+func TestShardGroupDeadlockReportNaming(t *testing.T) {
+	g := NewShardGroup(2)
+	defer g.Close()
+	hubBox := NewMailbox(g.Hub(), "hub.queue", 0)
+	g.Hub().Spawn("hubreader", func(p *Proc) {
+		hubBox.Get(p) // never satisfied
+	})
+	k1 := g.Shard(1).Kernel()
+	r := NewResource(k1, "leaf.bus", 1)
+	k1.Spawn("grabber", func(p *Proc) {
+		r.Acquire(p, 1)
+		r.Acquire(p, 1) // deadlocks: already holds the only unit
+	})
+	g.Run()
+	rep := g.DeadlockReport()
+	for _, want := range []string{
+		"hub:", "hubreader", `get on "hub.queue"`,
+		"shard 1:", "grabber", `acquire on "leaf.bus"`,
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("group deadlock report missing %q:\n%s", want, rep)
+		}
+	}
+	if strings.Contains(rep, "shard 0") {
+		t.Errorf("group deadlock report names the clean shard 0:\n%s", rep)
+	}
+}
+
+// TestShardGroupDeadlockReportEmptyWhenClean: a clean sharded run must
+// produce an empty group report.
+func TestShardGroupDeadlockReportEmptyWhenClean(t *testing.T) {
+	g := NewShardGroup(2)
+	defer g.Close()
+	for i := 0; i < 2; i++ {
+		g.Shard(i).Kernel().Spawn("fine", func(p *Proc) { p.Delay(Millisecond) })
+	}
+	g.Run()
+	if rep := g.DeadlockReport(); rep != "" {
+		t.Fatalf("clean sharded run produced a deadlock report: %s", rep)
+	}
+}

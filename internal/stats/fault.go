@@ -26,16 +26,38 @@ type FaultReport struct {
 	// Retry/latency accounting, summed over all disks.
 	Retries       int64   // media retries performed
 	SlowRequests  int64   // requests hit by injected latency spikes
+	CorruptReads  int64   // reads caught by the checksum verify
+	Rereads       int64   // rereads performed to clear corrupt data
 	HardErrors    int64   // requests that completed with an error
 	FaultDelaySec float64 // total service time added by faults
 
+	// StragglerDelaySec is the extra execution time per-drive CPU
+	// slowdown windows added, summed over all processors.
+	StragglerDelaySec float64
+
 	// FailedDisks names drives that failed permanently.
 	FailedDisks []string
+
+	// Rebuild describes the background replica-rebuild onto a declared
+	// spare; nil when the plan declared none (or the rebuild never
+	// triggered).
+	Rebuild *RebuildStats
 
 	// Degradation accounting (scan-family tasks).
 	BytesTotal   int64 // dataset bytes the task was asked to process
 	BytesLost    int64 // bytes unprocessable after retries and replicas
 	ReplicaBytes int64 // bytes recovered by re-issuing to a replica
+}
+
+// RebuildStats measures the background replica-rebuild: after the
+// permanent failure the surviving replica streams the lost partition
+// onto the spare, contending with the foreground scan — the classic
+// rebuild-time vs. degraded-throughput tradeoff.
+type RebuildStats struct {
+	Spare    string  // name of the spare drive rebuilt onto
+	Bytes    int64   // bytes streamed from the replica to the spare
+	StartSec float64 // virtual time the rebuild began (the failure time)
+	EndSec   float64 // virtual time the last rebuild chunk landed
 }
 
 // Coverage returns the fraction of the dataset processed: 1 for a clean
@@ -68,8 +90,18 @@ func (r *FaultReport) Render() string {
 	fmt.Fprintf(&sb, "  slow requests: %d\n", r.SlowRequests)
 	fmt.Fprintf(&sb, "  hard errors:   %d\n", r.HardErrors)
 	fmt.Fprintf(&sb, "  fault delay:   %.6fs\n", r.FaultDelaySec)
+	if r.CorruptReads > 0 {
+		fmt.Fprintf(&sb, "  corrupt reads: %d (%d rereads)\n", r.CorruptReads, r.Rereads)
+	}
+	if r.StragglerDelaySec > 0 {
+		fmt.Fprintf(&sb, "  straggler:     %.6fs\n", r.StragglerDelaySec)
+	}
 	if len(r.FailedDisks) > 0 {
 		fmt.Fprintf(&sb, "  failed disks:  %s\n", strings.Join(r.FailedDisks, ", "))
+	}
+	if b := r.Rebuild; b != nil {
+		fmt.Fprintf(&sb, "  rebuild:       %d bytes to %s in %.6fs (start %.6fs, done %.6fs)\n",
+			b.Bytes, b.Spare, b.EndSec-b.StartSec, b.StartSec, b.EndSec)
 	}
 	if r.BytesTotal > 0 {
 		fmt.Fprintf(&sb, "  coverage:      %.6f (%d of %d bytes; %d lost, %d via replica)\n",

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"howsim/internal/arch"
+	"howsim/internal/cpu"
 	"howsim/internal/disk"
 	"howsim/internal/diskos"
 	"howsim/internal/fault"
@@ -17,7 +18,7 @@ import (
 func runActive(cfg arch.Config, task workload.TaskID, ds workload.Dataset, res *Result,
 	plan *fault.Plan, sink *probe.Sink) {
 	if sim.DefaultExecMode == sim.ModeParallel && shardable(cfg, task, plan) {
-		runActiveSharded(cfg, task, ds, res, sink)
+		runActiveSharded(cfg, task, ds, res, plan, sink)
 		return
 	}
 	k := sim.NewKernel()
@@ -26,6 +27,8 @@ func runActive(cfg arch.Config, task workload.TaskID, ds workload.Dataset, res *
 	s := cfg.BuildActive(k)
 	s.InstallFaults(plan)
 	deg := &degrade{}
+	rb := &rebuildState{}
+	spawnRebuild(k, s, ds, plan, rb)
 	var done *sim.Signal
 	switch task {
 	case workload.Select:
@@ -61,15 +64,24 @@ func runActive(cfg arch.Config, task workload.TaskID, ds workload.Dataset, res *
 	res.Details["fe_relay_bytes"] = float64(s.FE.RelayedBytes())
 	var mediaRead, mediaWrite int64
 	disks := make([]*disk.Disk, len(s.Disks))
+	cpus := make([]*cpu.CPU, len(s.Disks))
 	for i, ad := range s.Disks {
 		st := ad.Disk.Stats()
 		mediaRead += st.BytesRead
 		mediaWrite += st.BytesWritten
 		disks[i] = ad.Disk
+		cpus[i] = ad.CPU
+	}
+	if s.Spare != nil {
+		disks = append(disks, s.Spare)
 	}
 	res.Details["media_read_bytes"] = float64(mediaRead)
 	res.Details["media_write_bytes"] = float64(mediaWrite)
-	faultEpilogue(res, k, plan, deg, completed, disks)
+	var deadlock string
+	if !completed {
+		deadlock = k.DeadlockReport()
+	}
+	faultEpilogue(res, plan, deg, completed, deadlock, disks, cpus, rb)
 	probeEpilogue(res, k)
 }
 
@@ -98,6 +110,14 @@ func activeScan(k *sim.Kernel, s *diskos.System, ds workload.Dataset, res *Resul
 	replicaRegion := replicaRegionOf(s.Disks[0].Disk.Capacity())
 	done := sim.NewSignal()
 	wg := sim.NewWaitGroup(d)
+	// The recovery ref exists only under a plan so that fault-free traces
+	// stay byte-identical to runs built before the fault plumbing.
+	var skipRef probe.Ref
+	var skipKind probe.Kind
+	if plan != nil {
+		skipRef = k.Probe().Register("recovery", "scan")
+		skipKind = skipRef.KindNamed("degraded_skip")
+	}
 	for i := range s.Disks {
 		i := i
 		k.Spawn(fmt.Sprintf("scan%d", i), func(p *sim.Proc) {
@@ -117,12 +137,18 @@ func activeScan(k *sim.Kernel, s *diskos.System, ds workload.Dataset, res *Resul
 						continue
 					}
 					deg.lost += per - off
+					if skipRef.On() {
+						skipRef.SpanArg(skipKind, int64(p.Now()), int64(p.Now()), per-off)
+					}
 					break
 				}
 				if err != nil {
 					// Unrecoverable sector: this chunk is lost, the scan
 					// continues.
 					deg.lost += n
+					if skipRef.On() {
+						skipRef.SpanArg(skipKind, int64(p.Now()), int64(p.Now()), n)
+					}
 				} else {
 					if base != 0 {
 						deg.replica += n

@@ -11,14 +11,23 @@ package tasks
 // sharded run is byte-equivalent to the single-kernel event run.
 //
 // Tasks with cross-disk traffic (sort, join, mine, mview: Send/Recv
-// streams, barriers, front-end broadcasts) and fault-plan runs keep the
-// single-kernel path under -procmode parallel; they execute in event
-// mode, trivially byte-identical.
+// streams, barriers, front-end broadcasts) keep the single-kernel path
+// under -procmode parallel; they execute in event mode, trivially
+// byte-identical.
+//
+// Fault plans shard cleanly: injection is a pure function of the
+// per-disk request sequence, straggler windows stretch only the shard's
+// own CPU, and loss accounting stays proc-local until the disklet's
+// final hub crossing. The one structural exception is replica failover
+// (replica + fail): the scan then reads a peer disk that lives on a
+// different shard, so those plans — and the spare rebuild they enable —
+// stay on the single-kernel path.
 
 import (
 	"fmt"
 
 	"howsim/internal/arch"
+	"howsim/internal/cpu"
 	"howsim/internal/disk"
 	"howsim/internal/diskos"
 	"howsim/internal/fault"
@@ -29,10 +38,14 @@ import (
 )
 
 // shardable reports whether a run can execute on a ShardGroup: an
-// Active Disk configuration, a hub-and-spoke task, and no fault plan
-// (fault recovery reads peer disks — cross-shard state).
+// Active Disk configuration, a hub-and-spoke task, and no replica
+// failover in the plan (failing over reads a peer shard's disk, which
+// would break the one-disklet-per-shard frozen-leaf invariant).
 func shardable(cfg arch.Config, task workload.TaskID, plan *fault.Plan) bool {
-	if cfg.Kind != arch.KindActiveDisk || plan != nil {
+	if cfg.Kind != arch.KindActiveDisk {
+		return false
+	}
+	if plan != nil && plan.Replica && plan.FailDisk >= 0 {
 		return false
 	}
 	switch task {
@@ -46,7 +59,7 @@ func shardable(cfg arch.Config, task workload.TaskID, plan *fault.Plan) bool {
 // ShardGroup, producing the same Result a single-kernel event run
 // would.
 func runActiveSharded(cfg arch.Config, task workload.TaskID, ds workload.Dataset, res *Result,
-	sink *probe.Sink) {
+	plan *fault.Plan, sink *probe.Sink) {
 	g := sim.NewShardGroup(cfg.Disks)
 	defer g.Close()
 	g.Hub().SetProbe(sink)
@@ -63,13 +76,15 @@ func runActiveSharded(cfg arch.Config, task workload.TaskID, ds workload.Dataset
 		}
 	}
 	s := cfg.BuildActiveSharded(g)
+	s.InstallFaults(plan)
+	deg := &degrade{}
 	var done *sim.Signal
 	switch task {
 	case workload.Select:
 		done = shardScan(g, s, ds, SelectCycles,
-			func(n int64) int64 { return int64(float64(n) * ds.Selectivity) }, 0)
+			func(n int64) int64 { return int64(float64(n) * ds.Selectivity) }, 0, plan, deg)
 	case workload.Aggregate:
-		done = shardScan(g, s, ds, AggregateCycles, func(int64) int64 { return 0 }, 512)
+		done = shardScan(g, s, ds, AggregateCycles, func(int64) int64 { return 0 }, 512, plan, deg)
 	case workload.GroupBy:
 		done = shardGroupBy(g, s, ds, res)
 	case workload.DataCube:
@@ -78,9 +93,10 @@ func runActiveSharded(cfg arch.Config, task workload.TaskID, ds workload.Dataset
 		panic(fmt.Sprintf("tasks: task %v is not shardable", task))
 	}
 	res.Elapsed = g.Run()
-	if !done.Fired() {
+	completed := done.Fired()
+	if !completed && plan == nil {
 		panic(fmt.Sprintf("tasks: %v on %s stalled at %v\n%s\n%s",
-			task, cfg.Name(), res.Elapsed, g.Stall(), g.Hub().DeadlockReport()))
+			task, cfg.Name(), res.Elapsed, g.Stall(), g.DeadlockReport()))
 	}
 	res.Details["loop_bytes"] = float64(s.LoopBytesMoved())
 	res.Details["loop_util"] = s.LoopUtilization()
@@ -89,14 +105,21 @@ func runActiveSharded(cfg arch.Config, task workload.TaskID, ds workload.Dataset
 	res.Details["fe_relay_bytes"] = float64(s.FE.RelayedBytes())
 	var mediaRead, mediaWrite int64
 	disks := make([]*disk.Disk, len(s.Disks))
+	cpus := make([]*cpu.CPU, len(s.Disks))
 	for i, ad := range s.Disks {
 		st := ad.Disk.Stats()
 		mediaRead += st.BytesRead
 		mediaWrite += st.BytesWritten
 		disks[i] = ad.Disk
+		cpus[i] = ad.CPU
 	}
 	res.Details["media_read_bytes"] = float64(mediaRead)
 	res.Details["media_write_bytes"] = float64(mediaWrite)
+	var deadlock string
+	if !completed {
+		deadlock = g.DeadlockReport()
+	}
+	faultEpilogue(res, plan, deg, completed, deadlock, disks, cpus, nil)
 	for _, ls := range leafSinks {
 		sink.Merge(ls)
 	}
@@ -108,38 +131,72 @@ func runActiveSharded(cfg arch.Config, task workload.TaskID, ds workload.Dataset
 // and the final flush plus completion mark — crosses to the hub through
 // one Call each, at the exact virtual times the single-kernel disklet
 // would have touched the loop.
+//
+// Faults are handled exactly as activeScan does for non-replica plans:
+// a hard media error loses just that chunk, a failed drive abandons the
+// remainder. Lost bytes accumulate in a proc-local counter and fold
+// into the degrade accumulator inside the disklet's final hub Call, so
+// the shared struct is only touched on the hub and no extra events are
+// introduced.
 func shardScan(g *sim.ShardGroup, s *diskos.System, ds workload.Dataset,
-	cycles int64, emit func(chunkBytes int64) int64, finalBytes int64) *sim.Signal {
+	cycles int64, emit func(chunkBytes int64) int64, finalBytes int64,
+	plan *fault.Plan, deg *degrade) *sim.Signal {
 	d := len(s.Disks)
 	per := perNodeBytes(ds.TotalBytes, d)
+	deg.total = per * int64(d)
 	done := sim.NewSignal()
 	wg := sim.NewWaitGroup(d)
 	for i := range s.Disks {
 		i := i
 		sh := g.Shard(i)
+		// Per-shard recovery ref on the shard's own sink (sinks are
+		// single-threaded); registered only under a plan so fault-free
+		// traces stay byte-identical.
+		var skipRef probe.Ref
+		var skipKind probe.Kind
+		if plan != nil {
+			skipRef = sh.Kernel().Probe().Register("recovery", "scan")
+			skipKind = skipRef.KindNamed("degraded_skip")
+		}
 		sh.Kernel().Spawn(fmt.Sprintf("scan%d", i), func(p *sim.Proc) {
 			src := s.Disks[i]
-			var pend int64
+			var pend, lost int64
 			for off := int64(0); off < per; {
 				n := int64(ioChunk)
 				if per-off < n {
 					n = alignSector(per - off)
 				}
-				src.ReadLocal(p, off, n)
-				t := tuplesIn(n, ds.TupleBytes)
-				src.Compute(p, t*cycles)
-				pend += emit(n)
-				if pend >= flushBatch {
-					b := pend
-					sh.Call(p, func(hp *sim.Proc) { src.SendToFrontEnd(hp, b, nil) })
-					pend = 0
+				err := src.ReadLocal(p, off, n)
+				if err == disk.ErrDiskFailed {
+					lost += per - off
+					if skipRef.On() {
+						skipRef.SpanArg(skipKind, int64(p.Now()), int64(p.Now()), per-off)
+					}
+					break
+				}
+				if err != nil {
+					// Unrecoverable sector: this chunk is lost, the scan
+					// continues.
+					lost += n
+					if skipRef.On() {
+						skipRef.SpanArg(skipKind, int64(p.Now()), int64(p.Now()), n)
+					}
+				} else {
+					t := tuplesIn(n, ds.TupleBytes)
+					src.Compute(p, t*cycles)
+					pend += emit(n)
+					if pend >= flushBatch {
+						b := pend
+						sh.Call(p, func(hp *sim.Proc) { src.SendToFrontEnd(hp, b, nil) })
+						pend = 0
+					}
 				}
 				off += n
 			}
-			// The tail flushes and the completion mark are all hub work at
-			// one instant: a single Call keeps them at the same event
-			// positions the inline sequence would occupy.
-			b := pend
+			// The tail flushes, loss accounting and the completion mark are
+			// all hub work at one instant: a single Call keeps them at the
+			// same event positions the inline sequence would occupy.
+			b, l := pend, lost
 			sh.Call(p, func(hp *sim.Proc) {
 				if b > 0 {
 					src.SendToFrontEnd(hp, b, nil)
@@ -147,6 +204,7 @@ func shardScan(g *sim.ShardGroup, s *diskos.System, ds workload.Dataset,
 				if finalBytes > 0 {
 					src.SendToFrontEnd(hp, finalBytes, nil)
 				}
+				deg.lost += l
 				wg.Done()
 			})
 		})

@@ -5,6 +5,7 @@ import (
 
 	"howsim/internal/arch"
 	"howsim/internal/cluster"
+	"howsim/internal/cpu"
 	"howsim/internal/disk"
 	"howsim/internal/fault"
 	"howsim/internal/mpi"
@@ -99,7 +100,15 @@ func runCluster(cfg arch.Config, task workload.TaskID, ds workload.Dataset, res 
 	}
 	res.Details["media_read_bytes"] = float64(mediaRead)
 	res.Details["media_write_bytes"] = float64(mediaWrite)
-	faultEpilogue(res, k, plan, deg, completed, disks)
+	cpus := make([]*cpu.CPU, len(m.Nodes))
+	for i, n := range m.Nodes {
+		cpus[i] = n.CPU
+	}
+	var deadlock string
+	if !completed {
+		deadlock = k.DeadlockReport()
+	}
+	faultEpilogue(res, plan, deg, completed, deadlock, disks, cpus, nil)
 	probeEpilogue(res, k)
 }
 

@@ -155,3 +155,121 @@ func TestMediaErrorsRetryAndRecover(t *testing.T) {
 		t.Errorf("faulted run (%v) not slower than clean run (%v)", res.Elapsed, clean.Elapsed)
 	}
 }
+
+// TestCorruptionRereads: silent corruption caught by checksum verify
+// must surface as corrupt reads and rereads in the report, cost time,
+// and stay deterministic.
+func TestCorruptionRereads(t *testing.T) {
+	ds := scaled(workload.Select, 48<<20)
+	const planStr = "seed=5,corrupt=0.1"
+	res := RunDatasetFaulted(arch.ActiveDisks(4), workload.Select, ds, mustPlan(t, planStr))
+	fr := res.Fault
+	if fr == nil {
+		t.Fatal("no FaultReport")
+	}
+	if !fr.Completed {
+		t.Fatalf("run did not complete:\n%s", fr.Render())
+	}
+	if fr.CorruptReads == 0 {
+		t.Error("no corrupt reads recorded at corrupt=0.1")
+	}
+	if fr.Rereads < fr.CorruptReads {
+		t.Errorf("rereads = %d < corrupt reads = %d; every corruption costs at least one reread",
+			fr.Rereads, fr.CorruptReads)
+	}
+	clean := RunDataset(arch.ActiveDisks(4), workload.Select, ds)
+	if res.Elapsed <= clean.Elapsed {
+		t.Errorf("corrupted run (%v) not slower than clean run (%v)", res.Elapsed, clean.Elapsed)
+	}
+	again := RunDatasetFaulted(arch.ActiveDisks(4), workload.Select, ds, mustPlan(t, planStr))
+	if again.Fault.Render() != fr.Render() {
+		t.Error("corruption report not byte-reproducible")
+	}
+}
+
+// TestStragglerSlowsRun: a per-drive CPU slowdown window must be
+// charged to straggler delay, stretch the run once the slowed processor
+// becomes the bottleneck, and stay deterministic across every
+// architecture. The factor is large because a media-bound scan absorbs
+// a mild slowdown in the drive's readahead — correctly so.
+func TestStragglerSlowsRun(t *testing.T) {
+	ds := scaled(workload.Select, 48<<20)
+	const planStr = "seed=1,straggler=0@0s+1s*100"
+	for _, cfg := range []arch.Config{arch.ActiveDisks(4), arch.Cluster(4), arch.SMP(4)} {
+		cfg := cfg
+		t.Run(cfg.Name(), func(t *testing.T) {
+			res := RunDatasetFaulted(cfg, workload.Select, ds, mustPlan(t, planStr))
+			fr := res.Fault
+			if fr == nil {
+				t.Fatal("no FaultReport")
+			}
+			if !fr.Completed {
+				t.Fatalf("run did not complete:\n%s", fr.Render())
+			}
+			if fr.StragglerDelaySec <= 0 {
+				t.Error("no straggler delay accounted")
+			}
+			if fr.BytesLost != 0 {
+				t.Errorf("straggler lost %d bytes; slowdowns must not lose data", fr.BytesLost)
+			}
+			clean := RunDataset(cfg, workload.Select, ds)
+			if res.Elapsed <= clean.Elapsed {
+				t.Errorf("straggler run (%v) not slower than clean run (%v)", res.Elapsed, clean.Elapsed)
+			}
+			again := RunDatasetFaulted(cfg, workload.Select, ds, mustPlan(t, planStr))
+			if again.Fault.Render() != fr.Render() {
+				t.Error("straggler report not byte-reproducible")
+			}
+		})
+	}
+}
+
+// TestSpareRebuild: a permanent failure with a replica and a declared
+// spare must trigger the background rebuild — the surviving replica
+// streams the lost partition onto the spare, the report carries
+// RebuildStats, and the whole thing is byte-reproducible.
+func TestSpareRebuild(t *testing.T) {
+	ds := scaled(workload.Select, 48<<20)
+	const planStr = "seed=42,fail=3@40ms,replica,spare"
+	res := RunDatasetFaulted(arch.ActiveDisks(4), workload.Select, ds, mustPlan(t, planStr))
+	fr := res.Fault
+	if fr == nil {
+		t.Fatal("no FaultReport")
+	}
+	if !fr.Completed {
+		t.Fatalf("run did not complete:\n%s", fr.Render())
+	}
+	if fr.Rebuild == nil {
+		t.Fatalf("no RebuildStats in report:\n%s", fr.Render())
+	}
+	rb := fr.Rebuild
+	if rb.Spare != "spare" {
+		t.Errorf("rebuild target = %q, want \"spare\"", rb.Spare)
+	}
+	per := perNodeBytes(ds.TotalBytes, 4)
+	if rb.Bytes != per {
+		t.Errorf("rebuilt %d bytes, want the failed disk's %d-byte partition", rb.Bytes, per)
+	}
+	if rb.StartSec < mustPlan(t, planStr).FailAt.Seconds() {
+		t.Errorf("rebuild started at %vs, before the failure", rb.StartSec)
+	}
+	if rb.EndSec <= rb.StartSec {
+		t.Errorf("rebuild end %vs not after start %vs", rb.EndSec, rb.StartSec)
+	}
+	// The rebuild contends with the foreground scan: the run must take
+	// longer than the same failure recovered by replica reads alone.
+	replicaOnly := RunDatasetFaulted(arch.ActiveDisks(4), workload.Select, ds,
+		mustPlan(t, "seed=42,fail=3@40ms,replica"))
+	if res.Elapsed <= replicaOnly.Elapsed {
+		t.Errorf("rebuild run (%v) not slower than replica-only run (%v)",
+			res.Elapsed, replicaOnly.Elapsed)
+	}
+	again := RunDatasetFaulted(arch.ActiveDisks(4), workload.Select, ds, mustPlan(t, planStr))
+	if again.Fault.Render() != fr.Render() {
+		t.Errorf("rebuild report not byte-reproducible:\n--- run 1 ---\n%s--- run 2 ---\n%s",
+			fr.Render(), again.Fault.Render())
+	}
+	if again.Elapsed != res.Elapsed {
+		t.Errorf("elapsed differs across identical rebuild runs: %v vs %v", res.Elapsed, again.Elapsed)
+	}
+}

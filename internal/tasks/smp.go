@@ -55,7 +55,11 @@ func runSMP(cfg arch.Config, task workload.TaskID, ds workload.Dataset, res *Res
 	res.Details["xio_util"] = m.XIO.Utilization()
 	res.Details["blockxfer_bytes"] = float64(m.BlockTransferred())
 	deg.replica = m.ReplicaBytes()
-	faultEpilogue(res, k, plan, deg, completed, m.Disks)
+	var deadlock string
+	if !completed {
+		deadlock = k.DeadlockReport()
+	}
+	faultEpilogue(res, plan, deg, completed, deadlock, m.Disks, m.CPUs, nil)
 	probeEpilogue(res, k)
 }
 

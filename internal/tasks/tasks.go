@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"howsim/internal/arch"
+	"howsim/internal/cpu"
 	"howsim/internal/disk"
 	"howsim/internal/fault"
 	"howsim/internal/probe"
@@ -106,11 +107,13 @@ type degrade struct {
 	replica int64 // bytes recovered by reading a replica copy
 }
 
-// faultEpilogue assembles Result.Fault from the kernel, the degradation
-// accumulator and the per-disk fault counters. No-op for fault-free
-// runs.
-func faultEpilogue(res *Result, k *sim.Kernel, plan *fault.Plan, deg *degrade,
-	completed bool, disks []*disk.Disk) {
+// faultEpilogue assembles Result.Fault from the degradation
+// accumulator, the per-disk fault counters, the per-CPU straggler
+// accounting and the background-rebuild record. deadlock carries the
+// kernel's (or shard group's) parked-process report when the run did
+// not complete. No-op for fault-free runs.
+func faultEpilogue(res *Result, plan *fault.Plan, deg *degrade, completed bool,
+	deadlock string, disks []*disk.Disk, cpus []*cpu.CPU, rb *rebuildState) {
 	if plan == nil {
 		return
 	}
@@ -125,16 +128,29 @@ func faultEpilogue(res *Result, k *sim.Kernel, plan *fault.Plan, deg *degrade,
 		ReplicaBytes: deg.replica,
 	}
 	if !completed {
-		fr.Deadlock = k.DeadlockReport()
+		fr.Deadlock = deadlock
 	}
 	for _, d := range disks {
 		st := d.Stats()
 		fr.Retries += st.Retries
 		fr.SlowRequests += st.SlowRequests
+		fr.CorruptReads += st.CorruptReads
+		fr.Rereads += st.Rereads
 		fr.HardErrors += st.FailedRequests
 		fr.FaultDelaySec += st.FaultDelay.Seconds()
 		if d.Failed() {
 			fr.FailedDisks = append(fr.FailedDisks, d.Name())
+		}
+	}
+	for _, c := range cpus {
+		fr.StragglerDelaySec += c.SlowdownTime().Seconds()
+	}
+	if rb != nil && rb.ran {
+		fr.Rebuild = &stats.RebuildStats{
+			Spare:    rb.spare,
+			Bytes:    rb.bytes,
+			StartSec: rb.start.Seconds(),
+			EndSec:   rb.end.Seconds(),
 		}
 	}
 	res.Fault = fr

@@ -112,3 +112,36 @@ func TestExecModeFaultEquivalence(t *testing.T) {
 	modeCompare(t, "faulted select on active disks", run(arch.ActiveDisks(8), workload.Select))
 	modeCompare(t, "faulted sort on cluster", run(arch.Cluster(4), workload.Sort))
 }
+
+// TestExecModeShardedFaultEquivalence pins faulted runs of the tasks
+// the parallel mode actually shards: non-replica fault plans no longer
+// fall back to the single-kernel path, so the sharded execution of
+// media retries, silent-corruption rereads, straggler windows, a
+// replica-less drive failure and bus outages must produce byte-identical
+// elapsed times and fault reports. (Replica failover and spare rebuild
+// plans read peer disks across shard boundaries and deliberately stay
+// on the single-kernel path — TestExecModeFaultEquivalence covers
+// them.)
+func TestExecModeShardedFaultEquivalence(t *testing.T) {
+	plans := []string{
+		"seed=7,media=0.004,slow=0.002,corrupt=0.003",
+		"seed=9,fail=2@10ms",
+		"seed=11,straggler=1@5ms+30ms*3,outage=fcal0@8ms+2ms",
+	}
+	for _, planStr := range plans {
+		plan, err := fault.ParsePlan(planStr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, task := range []workload.TaskID{
+			workload.Select, workload.Aggregate, workload.GroupBy, workload.DataCube,
+		} {
+			task, plan := task, plan
+			modeCompare(t, fmt.Sprintf("sharded %s under %s", task, planStr), func() string {
+				ds := workload.ForTask(task).Scaled(1 << 23)
+				r := tasks.RunDatasetFaulted(arch.ActiveDisks(8), task, ds, plan)
+				return r.Elapsed.String() + "\n" + r.Fault.Render()
+			})
+		}
+	}
+}
