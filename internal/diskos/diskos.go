@@ -167,18 +167,22 @@ func NewSystem(k *sim.Kernel, cfg Config) *System {
 }
 
 // NewSystemSharded builds the same system partitioned across a
-// ShardGroup: the loops and the front-end live on the hub kernel, and
-// disk i's components (media, embedded CPU, scratch, communication
-// buffers, inbox) live on shard i's kernel. g must have exactly
-// cfg.Disks shards.
+// ShardGroup: the loops, the front-end, and every disk's communication
+// endpoints (receive-buffer credits, inbox, diskos probe) live on the
+// hub kernel, while disk i's private components (media, embedded CPU,
+// scratch) live on shard i's kernel. g must have exactly cfg.Disks
+// shards.
 //
 // On a sharded system only the leaf-local operations (ReadLocal,
 // WriteLocal, Compute) may be called from disklet processes directly;
-// anything touching the loops or the front-end (SendToFrontEnd in
-// particular) must run on a hub process — disklets reach it through
-// Shard.Call. Components are constructed in the single-kernel order
-// (loops, front-end, then disks ascending) so that merging the leaf
-// probe sinks into the hub's reproduces NewSystem's instance numbering.
+// anything touching the loops, the front-end, or a stream endpoint
+// (Send, SendToFrontEnd, Recv, Release in particular) must run on a
+// hub process — disklets reach it through Shard.Call, modeling the
+// shared FC loop every inter-disk byte crosses. Components are
+// constructed in the single-kernel order (loops, front-end, then disks
+// ascending, with hub-side placeholders for leaf-registered probes) so
+// that merging the leaf probe sinks into the hub's reproduces
+// NewSystem's instance numbering.
 func NewSystemSharded(g *sim.ShardGroup, cfg Config) *System {
 	if g.Shards() != cfg.Disks {
 		panic(fmt.Sprintf("diskos: %d shards for %d disks", g.Shards(), cfg.Disks))
@@ -234,15 +238,25 @@ func build(cfg Config, hub *sim.Kernel, leaf func(int) *sim.Kernel) *System {
 			}
 		}
 		lk := leaf(i)
+		name := fmt.Sprintf("ad%d", i)
+		if lk != hub {
+			// The communication endpoints below register on the hub sink,
+			// but the media and embedded CPU register on the leaf's. Claim
+			// their hub slots first (empty, capacity adopted at merge) so
+			// the hub sink's instance order matches the single-kernel
+			// build order and merged traces stay byte-identical.
+			hub.Probe().Register("disk", name)
+			hub.Probe().Register("cpu", name+".cpu")
+		}
 		ad := &ActiveDisk{
 			ID:      i,
-			Disk:    disk.New(lk, fmt.Sprintf("ad%d", i), spec),
-			CPU:     cpu.New(lk, fmt.Sprintf("ad%d.cpu", i), cfg.EmbeddedHz),
-			Scratch: sim.NewResource(lk, fmt.Sprintf("ad%d.scratch", i), scratch),
+			Disk:    disk.New(lk, name, spec),
+			CPU:     cpu.New(lk, name+".cpu", cfg.EmbeddedHz),
+			Scratch: sim.NewResource(lk, name+".scratch", scratch),
 			sys:     s,
-			commBuf: sim.NewResource(lk, fmt.Sprintf("ad%d.commbuf", i), commBuf),
-			inbox:   sim.NewMailbox(lk, fmt.Sprintf("ad%d.inbox", i), 0),
-			pr:      lk.Probe().Register("diskos", fmt.Sprintf("ad%d", i)),
+			commBuf: sim.NewResource(hub, name+".commbuf", commBuf),
+			inbox:   sim.NewMailbox(hub, name+".inbox", 0),
+			pr:      hub.Probe().Register("diskos", name),
 		}
 		ad.pr.SetCapacity(commBuf)
 		s.Disks = append(s.Disks, ad)
@@ -434,7 +448,9 @@ func (ad *ActiveDisk) Recv(p *sim.Proc) (Chunk, bool) {
 
 // Release returns receive-buffer credit after a chunk's payload has been
 // consumed by the disklet.
-func (ad *ActiveDisk) Release(bytes int64) { ad.commBuf.Release(bytes) }
+func (ad *ActiveDisk) Release(bytes int64) {
+	ad.commBuf.Release(bytes)
+}
 
 // CloseInbox signals receivers that no more chunks will arrive.
 func (ad *ActiveDisk) CloseInbox() { ad.inbox.Close() }

@@ -86,6 +86,12 @@ type Plan struct {
 	// background, contending with the foreground scan. Requires Replica
 	// and a fail clause.
 	Spare bool
+	// RebuildRate caps the spare-rebuild stream at the given MB/s
+	// (0 = rebuild as fast as the replica and loop allow). Real arrays
+	// throttle rebuild to protect foreground latency; the knob exposes
+	// the rebuild-time vs. degraded-throughput tradeoff directly.
+	// Requires Spare.
+	RebuildRate float64
 	// Stragglers lists per-drive CPU slowdown windows.
 	Stragglers []Straggler
 	// Outages lists interconnect outage windows by link/bus name.
@@ -108,7 +114,8 @@ func NewPlan(seed uint64) *Plan {
 // fail=DISK@T (permanent failure of disk index DISK at time T), replica
 // (declare replicas so scans can recover), spare (declare a hot spare
 // the replica rebuilds onto; requires replica and fail),
-// straggler=DISK@T+D*F (disk DISK's CPU runs F times slower from T for
+// rebuild-rate=MBPS (cap the spare-rebuild stream at MBPS MB/s;
+// requires spare), straggler=DISK@T+D*F (disk DISK's CPU runs F times slower from T for
 // D; *F is optional and defaults to 2), outage=NAME@T+D (link NAME down
 // from T for D). Durations use Go syntax (50ms, 2s). straggler and
 // outage may repeat; every other key may appear at most once.
@@ -125,7 +132,7 @@ func ParsePlan(s string) (*Plan, error) {
 		}
 		key, val, hasVal := strings.Cut(field, "=")
 		switch key {
-		case "seed", "media", "slow", "slowby", "corrupt", "fail", "replica", "spare":
+		case "seed", "media", "slow", "slowby", "corrupt", "fail", "replica", "spare", "rebuild-rate":
 			if seen[key] {
 				return nil, fmt.Errorf("fault: duplicate %s clause (each may appear once; drop one)", key)
 			}
@@ -191,6 +198,12 @@ func ParsePlan(s string) (*Plan, error) {
 				return nil, fmt.Errorf("fault: spare takes no value, got %q", val)
 			}
 			p.Spare = true
+		case "rebuild-rate":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f <= 0 {
+				return nil, fmt.Errorf("fault: bad rebuild-rate %q (must be a positive MB/s figure)", val)
+			}
+			p.RebuildRate = f
 		case "straggler":
 			st, err := parseStraggler(val)
 			if err != nil {
@@ -224,6 +237,9 @@ func ParsePlan(s string) (*Plan, error) {
 	}
 	if p.Spare && (!p.Replica || p.FailDisk < 0) {
 		return nil, fmt.Errorf("fault: spare needs a replica to rebuild from and a fail clause to trigger it (add replica and fail=DISK@TIME)")
+	}
+	if p.RebuildRate > 0 && !p.Spare {
+		return nil, fmt.Errorf("fault: rebuild-rate paces the spare rebuild and needs one to pace (add spare)")
 	}
 	return p, nil
 }
@@ -308,6 +324,9 @@ func (p *Plan) String() string {
 	if p.Spare {
 		parts = append(parts, "spare")
 	}
+	if p.RebuildRate > 0 {
+		parts = append(parts, "rebuild-rate="+strconv.FormatFloat(p.RebuildRate, 'g', -1, 64))
+	}
 	strags := append([]Straggler(nil), p.Stragglers...)
 	sort.Slice(strags, func(i, j int) bool {
 		if strags[i].Disk != strags[j].Disk {
@@ -339,6 +358,19 @@ func (p *Plan) Empty() bool {
 	return p == nil ||
 		(p.MediaRate == 0 && p.SlowRate == 0 && p.CorruptRate == 0 &&
 			p.FailDisk < 0 && len(p.Stragglers) == 0 && len(p.Outages) == 0)
+}
+
+// RebuildChunkTime returns the minimum virtual time an n-byte rebuild
+// chunk must occupy under the plan's rebuild-rate cap, or 0 when the
+// rebuild is unthrottled. The rebuild loop delays for the remainder
+// whenever a chunk's read+copy+write finished faster than the cap
+// allows.
+func (p *Plan) RebuildChunkTime(n int64) sim.Time {
+	if p == nil || p.RebuildRate <= 0 {
+		return 0
+	}
+	// rate is MB/s (1 MB = 1e6 bytes), so n bytes take n*1000/rate ns.
+	return sim.Time(float64(n) * 1000 / p.RebuildRate)
 }
 
 // OutagesFor returns the outage windows declared for the named link or

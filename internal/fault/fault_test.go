@@ -214,6 +214,12 @@ func TestParsePlanErrorsTable(t *testing.T) {
 		{"spare", "spare needs a replica"},
 		{"spare,replica", "spare needs a replica"},
 		{"spare,fail=1@1s", "spare needs a replica"},
+		{"replica,spare,fail=1@1s,rebuild-rate=0", "positive MB/s"},
+		{"replica,spare,fail=1@1s,rebuild-rate=-5", "positive MB/s"},
+		{"replica,spare,fail=1@1s,rebuild-rate=fast", "positive MB/s"},
+		{"rebuild-rate=10", "needs one to pace"},
+		{"replica,fail=1@1s,rebuild-rate=10", "needs one to pace"},
+		{"replica,spare,fail=1@1s,rebuild-rate=10,rebuild-rate=20", "duplicate rebuild-rate"},
 	} {
 		_, err := ParsePlan(tc.in)
 		if err == nil {
@@ -230,6 +236,7 @@ func TestParsePlanErrorsTable(t *testing.T) {
 		"straggler=0@1s+10ms*2,straggler=1@1s+10ms*2",
 		"outage=l@1s+1s,outage=l@3s+1s",
 		"seed=5,replica,spare,fail=2@1s",
+		"seed=5,replica,spare,fail=2@1s,rebuild-rate=12.5",
 	} {
 		if _, err := ParsePlan(ok); err != nil {
 			t.Errorf("ParsePlan(%q) rejected valid input: %v", ok, err)
@@ -265,6 +272,44 @@ func TestParsePlanNewKeysRoundTrip(t *testing.T) {
 	}
 	if q.String() != p.String() {
 		t.Errorf("round trip changed the plan:\n  %s\n  %s", p.String(), q.String())
+	}
+}
+
+func TestParsePlanRebuildRate(t *testing.T) {
+	const in = "seed=3,fail=1@1s,replica,spare,rebuild-rate=12.5"
+	p, err := ParsePlan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.RebuildRate != 12.5 {
+		t.Errorf("RebuildRate = %v, want 12.5", p.RebuildRate)
+	}
+	// 12.5 MB/s moves 1 MB in 80 ms.
+	if got := p.RebuildChunkTime(1_000_000); got != 80*sim.Millisecond {
+		t.Errorf("RebuildChunkTime(1MB) = %v, want 80ms", got)
+	}
+	// Unthrottled plans demand no chunk time at all.
+	q, err := ParsePlan("seed=3,fail=1@1s,replica,spare")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.RebuildChunkTime(1_000_000); got != 0 {
+		t.Errorf("unthrottled RebuildChunkTime = %v, want 0", got)
+	}
+	if got := (*Plan)(nil).RebuildChunkTime(1_000_000); got != 0 {
+		t.Errorf("nil-plan RebuildChunkTime = %v, want 0", got)
+	}
+	// The canonical rendering carries the rate and re-parses to an equal
+	// plan.
+	if !strings.Contains(p.String(), "rebuild-rate=12.5") {
+		t.Errorf("String() dropped rebuild-rate: %s", p.String())
+	}
+	r, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatalf("canonical form does not re-parse: %v", err)
+	}
+	if r.String() != p.String() {
+		t.Errorf("round trip changed the plan:\n  %s\n  %s", p.String(), r.String())
 	}
 }
 

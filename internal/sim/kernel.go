@@ -23,9 +23,23 @@ type event struct {
 	// single-kernel tie-break for requests arriving from different
 	// partitions: order by (t, schedT, shard).
 	schedT Time
-	fn     func()
-	tk     *Task
+	// anc extends schedT up the scheduling chain: anc[0] is the schedT of
+	// the event that scheduled this one, anc[1] its scheduler's, and so
+	// on. When two events tie on (t, schedT), their seq order is the
+	// execution order of their scheduler events at that instant — which
+	// recurses the same comparison one level up. A ShardGroup uses the
+	// vector to slot same-instant requests from different partitions into
+	// single-kernel order when one level of schedT cannot separate them
+	// (lockstep processes whose chains diverge deeper in their history).
+	anc lineage
+	fn  func()
+	tk  *Task
 }
+
+// lineage is a fixed window of ancestor scheduling instants, newest
+// first: lineage[0] is the schedT of an event's scheduler, lineage[1]
+// its scheduler's, and so on.
+type lineage [7]Time
 
 // Kernel is a discrete-event simulation scheduler. Create one with
 // NewKernel, spawn processes with Spawn, and advance virtual time with
@@ -41,12 +55,25 @@ type Kernel struct {
 	blocked int // processes and tasks parked without a pending wake event
 	limit   Time
 	limited bool
-	stopped bool
+	// posT/posSched/posAnc, when posLimited, additionally bound Run by
+	// scheduling position: events at instant posT whose scheduling key
+	// (schedT, anc) sorts after (posSched, posAnc) stay queued. A
+	// ShardGroup uses the bound on the hub to stop exactly where a
+	// cross-shard request slots into single-kernel order, and on a leaf
+	// to resume a rendezvoused caller exactly at the hub proxy's event
+	// position among the leaf's pending same-instant events.
+	posT       Time
+	posSched   Time
+	posAnc     lineage
+	posLimited bool
+	stopped    bool
 	// curSched is the scheduling time of the event currently executing —
 	// the recursive half of the (t, schedT) tie-break key a ShardGroup
 	// uses to slot cross-partition requests into single-kernel order.
+	// curAnc is the executing event's ancestor-lineage vector (event.anc).
 	curSched Time
-	mode    ExecMode
+	curAnc   lineage
+	mode     ExecMode
 	// publish, when set, is called with the new virtual time just before
 	// the kernel advances to it — the clock-promise hook a ShardGroup
 	// uses for conservative synchronization. Nil outside sharded runs,
@@ -149,6 +176,8 @@ func (k *Kernel) DeadlockReport() string {
 func (k *Kernel) schedule(t Time, fn func(), tk *Task) {
 	k.seq++
 	e := event{t: t, seq: k.seq, schedT: k.now, fn: fn, tk: tk}
+	e.anc[0] = k.curSched
+	copy(e.anc[1:], k.curAnc[:len(e.anc)-1])
 	if t == k.now {
 		k.events.fast.push(e)
 	} else {
@@ -184,9 +213,19 @@ func (k *Kernel) Stop() { k.stopped = true }
 // virtual time.
 func (k *Kernel) Run() Time {
 	for !k.events.empty() && !k.stopped {
-		if k.limited && k.events.peekTime() > k.limit {
-			k.now = k.limit
-			break
+		if k.limited {
+			t := k.events.peekTime()
+			if t > k.limit {
+				k.now = k.limit
+				break
+			}
+			if k.posLimited && t == k.posT {
+				e := k.events.peekEvent()
+				if schedKeyAfter(e.schedT, &e.anc, k.posSched, &k.posAnc) {
+					k.now = t
+					break
+				}
+			}
 		}
 		e := k.events.pop()
 		if k.publish != nil && e.t != k.now {
@@ -194,6 +233,7 @@ func (k *Kernel) Run() Time {
 		}
 		k.now = e.t
 		k.curSched = e.schedT
+		k.curAnc = e.anc
 		k.sched.Count(probe.KindEvents, 1)
 		if e.fn != nil {
 			e.fn()
@@ -220,6 +260,41 @@ func (k *Kernel) RunUntil(limit Time) Time {
 	return k.Run()
 }
 
+// schedKeyAfter reports whether scheduling key (s, a) sorts strictly
+// after (ps, pa): later scheduling instant first, ancestor lineage as
+// the recursive tie-break. Equal keys are not after — a position bound
+// admits events whose key ties it exactly.
+func schedKeyAfter(s Time, a *lineage, ps Time, pa *lineage) bool {
+	if s != ps {
+		return s > ps
+	}
+	for i := range a {
+		if a[i] != pa[i] {
+			return a[i] > pa[i]
+		}
+	}
+	return false
+}
+
+// RunUntilPos executes events up to the scheduling position (limit,
+// sched, anc): every event at instants before limit, plus events at
+// limit whose scheduling key sorts at or before (sched, anc). A
+// ShardGroup uses it to stop a kernel exactly at a single-kernel queue
+// position — the hub where a cross-shard request belongs (an event at
+// the request's instant scheduled after the request's issuing leaf
+// event would have carried a larger sequence number in a single
+// kernel), a leaf where a rendezvoused caller resumes (the hub proxy's
+// event position among the leaf's pending same-instant events).
+func (k *Kernel) RunUntilPos(limit, sched Time, anc lineage) Time {
+	k.limit, k.limited = limit, true
+	k.posT, k.posSched, k.posAnc, k.posLimited = limit, sched, anc, true
+	defer func() {
+		k.limit, k.limited = 0, false
+		k.posT, k.posSched, k.posAnc, k.posLimited = 0, 0, lineage{}, false
+	}()
+	return k.Run()
+}
+
 // NextEventTime returns the timestamp of the earliest pending event and
 // whether one exists.
 func (k *Kernel) NextEventTime() (Time, bool) {
@@ -227,6 +302,21 @@ func (k *Kernel) NextEventTime() (Time, bool) {
 		return 0, false
 	}
 	return k.events.peekTime(), true
+}
+
+// NextEventKey returns the earliest pending event's timestamp and
+// scheduling key. Within one kernel same-instant events execute in
+// sequence order and sequence order respects scheduling keys, so this
+// is a lower bound on the key of anything the kernel will execute — or
+// send — at that instant. A ShardGroup publishes it so the hub can
+// order a parked leaf's remaining same-instant work against pending
+// cross-shard requests.
+func (k *Kernel) NextEventKey() (t, sched Time, anc lineage, ok bool) {
+	if k.events.empty() {
+		return 0, 0, lineage{}, false
+	}
+	e := k.events.peekEvent()
+	return e.t, e.schedT, e.anc, true
 }
 
 // AdvanceTo moves the clock forward to t without executing anything.
@@ -324,6 +414,14 @@ type Proc struct {
 	Task
 	resume chan struct{}
 	body   func(*Proc)
+	// xrank is the delivery rank of the cross-shard rendezvous that most
+	// recently resumed this process (ShardGroup.respond): the tie-break
+	// that orders same-position requests from processes running in
+	// lockstep by the hub-side order that last sequenced them — a
+	// barrier's FIFO wake order, a mailbox grant order — which is the
+	// order their chains hold in a single kernel. Zero until first
+	// resumed.
+	xrank uint64
 }
 
 // Spawn creates a process running body and schedules it to start at the
@@ -332,6 +430,25 @@ type Proc struct {
 // goroutine in a free pool and Spawn reuses them — steady-state
 // spawning performs no allocation and creates no goroutine.
 func (k *Kernel) Spawn(name string, body func(*Proc)) *Proc {
+	p := k.newProc(name, body)
+	k.scheduleProc(p, k.now)
+	return p
+}
+
+// spawnInline creates a process like Spawn but hands control to it
+// immediately — inline at the caller's position, with no start event —
+// returning once the process parks or finishes. It must be called from
+// kernel context between events. A ShardGroup uses it to execute a
+// cross-shard request at the exact queue position of the leaf event
+// that issued it: a start event scheduled at the current instant would
+// sort after every event already pending at this time.
+func (k *Kernel) spawnInline(name string, body func(*Proc)) {
+	k.activate(k.newProc(name, body))
+}
+
+// newProc prepares a process (reusing a pooled worker when possible)
+// without scheduling or running it.
+func (k *Kernel) newProc(name string, body func(*Proc)) *Proc {
 	k.procSeq++
 	var p *Proc
 	if n := len(k.procFree); n > 0 {
@@ -368,7 +485,6 @@ func (k *Kernel) Spawn(name string, body func(*Proc)) *Proc {
 		k.procs = append(k.procs, p)
 		p.inReg = true
 	}
-	k.scheduleProc(p, k.now)
 	return p
 }
 

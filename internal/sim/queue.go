@@ -131,6 +131,20 @@ func (q *eventQueue) peekTime() Time {
 	return f.t
 }
 
+// peekEvent returns the next event in (t, seq) order across both
+// lanes; the queue must be non-empty. The pointer is only valid until
+// the next push or pop.
+func (q *eventQueue) peekEvent() *event {
+	if q.fast.n == 0 {
+		return &q.heap[0]
+	}
+	f := q.fast.peek()
+	if len(q.heap) > 0 && eventBefore(&q.heap[0], f) {
+		return &q.heap[0]
+	}
+	return f
+}
+
 // pop removes and returns the (t, seq)-least event across both lanes.
 func (q *eventQueue) pop() event {
 	if q.fast.n == 0 {

@@ -7,8 +7,8 @@ import (
 )
 
 // TestHorizonQueueOrdering exercises the inbound-request queue: peek
-// returns the (at, src)-least entry and takeAt returns a timestamp's
-// requests in source-shard order regardless of arrival order.
+// and takeMin return entries in (at, sched, anc, rank, src, seq)
+// injection order regardless of arrival order.
 func TestHorizonQueueOrdering(t *testing.T) {
 	var q horizonQueue
 	mk := func(at Time, src int32) *xcall { return &xcall{at: at, src: src} }
@@ -19,20 +19,31 @@ func TestHorizonQueueOrdering(t *testing.T) {
 	if got := q.peek(); got.at != 10 || got.src != 1 {
 		t.Fatalf("peek = (%v, %d), want (10, 1)", got.at, got.src)
 	}
-	due := q.takeAt(10)
-	if len(due) != 2 || due[0].src != 1 || due[1].src != 2 {
-		t.Fatalf("takeAt(10) sources = %v, want [1 2]", []int32{due[0].src, due[1].src})
+	var order []int32
+	for c := q.takeMin(); c != nil; c = q.takeMin() {
+		order = append(order, c.src)
 	}
-	if q.len() != 2 {
-		t.Fatalf("after takeAt: len = %d, want 2", q.len())
+	if len(order) != 4 || order[0] != 1 || order[1] != 2 || order[2] != 3 || order[3] != 0 {
+		t.Fatalf("takeMin order = %v, want [1 2 3 0]", order)
 	}
-	if got := q.peek(); got.at != 20 || got.src != 3 {
-		t.Fatalf("peek = (%v, %d), want (20, 3)", got.at, got.src)
-	}
-	q.takeAt(20)
-	q.takeAt(30)
 	if q.len() != 0 || q.peek() != nil {
 		t.Fatalf("queue not empty after draining: len = %d", q.len())
+	}
+	// Same timestamp, deeper keys: sched wins over anc, anc over rank.
+	a := &xcall{at: 10, sched: 5, anc: lineage{9}, rank: 1}
+	b := &xcall{at: 10, sched: 6, anc: lineage{1}, rank: 0}
+	c := &xcall{at: 10, sched: 5, anc: lineage{9}, rank: 2}
+	q.push(c)
+	q.push(b)
+	q.push(a)
+	if got := q.takeMin(); got != a {
+		t.Fatalf("takeMin = %+v, want a", got)
+	}
+	if got := q.takeMin(); got != c {
+		t.Fatalf("takeMin = %+v, want c", got)
+	}
+	if got := q.takeMin(); got != b {
+		t.Fatalf("takeMin = %+v, want b", got)
 	}
 }
 
@@ -129,6 +140,100 @@ func TestShardGroupLookaheadAdvance(t *testing.T) {
 	g.Run()
 	if len(seen) != 2 || seen[0] != 25 || seen[1] != 75 {
 		t.Fatalf("hub events ran %v, want [25 75]", seen)
+	}
+}
+
+// TestShardGroupLinkLookahead pins the per-edge lookahead semantics: a
+// Call over a latency-L edge arrives on the hub L after it was issued,
+// the caller resumes at the hub completion time, and a parked shard's
+// remaining local events are hub-driven inside the widened window while
+// the call is outstanding (the leaf no longer publishes +inf when
+// parked — its horizon is next-event + lookahead).
+func TestShardGroupLinkLookahead(t *testing.T) {
+	g := NewShardGroup(1)
+	defer g.Close()
+	g.Link(0, 5)
+	sh := g.Shard(0)
+	sig := NewSignal()
+	var callAt Time
+	var leafLog []string
+	sh.Kernel().At(20, func() { leafLog = append(leafLog, "timer@20") })
+	sh.Kernel().Spawn("caller", func(p *Proc) {
+		p.Delay(10)
+		sh.Call(p, func(hp *Proc) {
+			callAt = hp.Now() // arrival: issue time 10 + lookahead 5
+			sig.Wait(hp)      // held open until the hub event at 30 fires
+		})
+		leafLog = append(leafLog, fmt.Sprintf("resumed@%v", p.Now()))
+	})
+	g.Hub().At(30, func() { sig.Fire() })
+	if end := g.Run(); end != 30 {
+		t.Fatalf("end = %v, want 30", end)
+	}
+	if callAt != 15 {
+		t.Errorf("call executed on hub at %v, want 15 (issue 10 + lookahead 5)", callAt)
+	}
+	// The leaf timer at 20 must have been driven while the caller was
+	// parked (its response only lands at 30), in local order.
+	if len(leafLog) != 2 || leafLog[0] != "timer@20" || leafLog[1] != "resumed@30ns" {
+		t.Errorf("leaf log = %v, want [timer@20 resumed@30ns]", leafLog)
+	}
+	if g.Stall() != "" {
+		t.Fatalf("unexpected stall: %s", g.Stall())
+	}
+}
+
+// TestShardGroupLinkLookaheadDeterminism reruns a contended lookahead
+// workload — back-to-back Calls (which arrive after the drain instant
+// and take the queued-request path) plus local timers — under varying
+// GOMAXPROCS and requires an identical grant history each time.
+func TestShardGroupLinkLookaheadDeterminism(t *testing.T) {
+	workload := func() []Time {
+		g := NewShardGroup(3)
+		defer g.Close()
+		for i := 0; i < 3; i++ {
+			g.Link(i, Time(i+1))
+		}
+		res := NewResource(g.Hub(), "shared", 1)
+		var hist []Time
+		for i := 0; i < 3; i++ {
+			sh := g.Shard(i)
+			sh.Kernel().At(Time(5+3*i), func() {}) // local events to drive
+			sh.Kernel().Spawn(fmt.Sprintf("u%d", i), func(p *Proc) {
+				for r := 0; r < 3; r++ {
+					p.Delay(Time(4 + i))
+					grab := func(hp *Proc) {
+						res.Acquire(hp, 1)
+						hist = append(hist, hp.Now())
+						hp.Delay(2)
+						res.Release(1)
+					}
+					sh.Call(p, grab)
+					sh.Call(p, grab) // arrives lookahead after the resume instant
+				}
+			})
+		}
+		g.Run()
+		return hist
+	}
+	want := workload()
+	if len(want) != 18 {
+		t.Fatalf("history has %d grants, want 18", len(want))
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, procs := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(procs)
+		for rep := 0; rep < 3; rep++ {
+			got := workload()
+			if len(got) != len(want) {
+				t.Fatalf("GOMAXPROCS=%d rep %d: %d grants, want %d", procs, rep, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("GOMAXPROCS=%d rep %d: grant %d at %v, want %v", procs, rep, i, got[i], want[i])
+				}
+			}
+		}
 	}
 }
 

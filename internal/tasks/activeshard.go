@@ -1,19 +1,24 @@
 package tasks
 
-// Sharded Active Disk execution (-procmode parallel): the hub-and-spoke
-// tasks — select, aggregate, group-by and datacube — partition cleanly
-// at per-disk boundaries. Each disk's media, embedded CPU and buffers
-// live on their own shard kernel running the event-driven fast path on
-// a separate core; the loops, front-end and coordination primitives
-// live on the hub. A disklet's only shared touches (SendToFrontEnd,
-// WaitGroup.Done) are wrapped in Shard.Call, which executes them on the
-// hub at the same virtual time the inline call would have — so the
-// sharded run is byte-equivalent to the single-kernel event run.
+// Sharded Active Disk execution (-procmode parallel): each disk's
+// media, embedded CPU and scratch live on their own shard kernel
+// running the event-driven fast path on a separate core; the loops,
+// front-end, stream endpoints (receive-buffer credits, inboxes) and
+// coordination primitives live on the hub. A disklet's shared touches —
+// SendToFrontEnd, Send, Recv, Release, barrier waits, WaitGroup.Done —
+// are wrapped in Shard.Call, which executes them on the hub at the same
+// virtual time the inline call would have, so the sharded run is
+// byte-equivalent to the single-kernel event run.
 //
-// Tasks with cross-disk traffic (sort, join, mine, mview: Send/Recv
-// streams, barriers, front-end broadcasts) keep the single-kernel path
-// under -procmode parallel; they execute in event mode, trivially
-// byte-identical.
+// The hub-and-spoke tasks (select, aggregate, group-by, datacube) cross
+// to the hub only to flush results. The communication-heavy tasks sort
+// and join also shard: their all-to-all repartition streams, phase
+// barriers and credit releases ride the same Call channel, whose
+// per-edge horizon protocol (shard.go) lets every leaf keep multiple
+// calls in flight while its disklets' local events — and the other
+// leaves' — run concurrently. Mine and mview (front-end broadcast
+// reductions) keep the single-kernel path under -procmode parallel;
+// they execute in event mode, trivially byte-identical.
 //
 // Fault plans shard cleanly: injection is a pure function of the
 // per-disk request sequence, straggler windows stretch only the shard's
@@ -38,9 +43,10 @@ import (
 )
 
 // shardable reports whether a run can execute on a ShardGroup: an
-// Active Disk configuration, a hub-and-spoke task, and no replica
-// failover in the plan (failing over reads a peer shard's disk, which
-// would break the one-disklet-per-shard frozen-leaf invariant).
+// Active Disk configuration, a task whose cross-disk traffic fits the
+// Call channel, and no replica failover in the plan (failing over reads
+// a peer shard's disk directly, bypassing the hub-owned stream
+// endpoints).
 func shardable(cfg arch.Config, task workload.TaskID, plan *fault.Plan) bool {
 	if cfg.Kind != arch.KindActiveDisk {
 		return false
@@ -49,7 +55,8 @@ func shardable(cfg arch.Config, task workload.TaskID, plan *fault.Plan) bool {
 		return false
 	}
 	switch task {
-	case workload.Select, workload.Aggregate, workload.GroupBy, workload.DataCube:
+	case workload.Select, workload.Aggregate, workload.GroupBy, workload.DataCube,
+		workload.Sort, workload.Join:
 		return true
 	}
 	return false
@@ -89,6 +96,10 @@ func runActiveSharded(cfg arch.Config, task workload.TaskID, ds workload.Dataset
 		done = shardGroupBy(g, s, ds, res)
 	case workload.DataCube:
 		done = shardCube(g, s, ds, res)
+	case workload.Sort:
+		done = shardSort(g, s, ds, res)
+	case workload.Join:
+		done = shardJoin(g, s, ds, res)
 	default:
 		panic(fmt.Sprintf("tasks: task %v is not shardable", task))
 	}
@@ -350,6 +361,346 @@ func shardCube(g *sim.ShardGroup, s *diskos.System, ds workload.Dataset, res *Re
 		if merged != nil {
 			merged.Wait(p)
 		}
+		done.Fire()
+	})
+	return done
+}
+
+// shardSort is activeSort partitioned: scanning, run formation, run
+// writes and the phase-2 merge run on each disk's shard; every stream
+// operation (Send, Recv, Release), the phase barrier and the completion
+// marks cross to the hub through Shard.Call at the exact virtual times
+// the single-kernel disklets would have touched the loop. The CPU
+// breakdown counters accumulate shard-locally and fold into the shared
+// totals inside hub Calls, so the shared variables are only touched on
+// the hub.
+func shardSort(g *sim.ShardGroup, s *diskos.System, ds workload.Dataset, res *Result) *sim.Signal {
+	d := len(s.Disks)
+	per := perNodeBytes(ds.TotalBytes, d)
+	capEach := s.Disks[0].Disk.Capacity()
+	runRegion := alignSector(capEach / 3)
+	outRegion := alignSector(2 * capEach / 3)
+
+	runBytes := alignSector(s.ScratchBytes() - 3<<20)
+	if runBytes < 1<<20 {
+		runBytes = 1 << 20
+	}
+	if runBytes > per {
+		runBytes = alignSector(per)
+	}
+	plan := relational.PlanExternalSort(per, runBytes, 0)
+	res.Details["runs"] = float64(plan.Runs)
+	res.Details["run_bytes"] = float64(runBytes)
+
+	hz := s.Disks[0].CPU.Hz()
+	var cPart, cAppend, cSort, cMerge int64 // hub-only: folded inside Calls
+	var p1End sim.Time
+
+	type runState struct {
+		fill     int64
+		runSizes []int64
+		mu       *sim.Mutex // partitioner and sorter disklets share the run buffer
+		cAppend  int64      // shard-local until the sorter's final fold
+		cSort    int64
+	}
+	states := make([]*runState, d)
+	for i := range states {
+		states[i] = &runState{mu: sim.NewMutex(g.Shard(i).Kernel(), fmt.Sprintf("run%d", i))}
+	}
+
+	// absorb accumulates arriving bytes into the current run, sorting
+	// and writing whenever the run buffer fills — all on the disk's own
+	// shard (both disklets of a disk live on the same kernel).
+	absorb := func(p *sim.Proc, i int, bytes int64) {
+		ad := s.Disks[i]
+		st := states[i]
+		st.mu.Lock(p)
+		defer st.mu.Unlock()
+		t := tuplesIn(bytes, ds.TupleBytes)
+		ad.Compute(p, t*AppendCycles)
+		st.cAppend += t * AppendCycles
+		st.fill += bytes
+		for st.fill >= runBytes {
+			rt := tuplesIn(runBytes, ds.TupleBytes)
+			ad.Compute(p, rt*RunSortCycles)
+			st.cSort += rt * RunSortCycles
+			var written int64
+			for _, r := range st.runSizes {
+				written += r
+			}
+			ad.WriteLocal(p, runRegion+written, runBytes)
+			st.runSizes = append(st.runSizes, runBytes)
+			st.fill -= runBytes
+		}
+	}
+
+	barrier := sim.NewBarrier(g.Hub(), "sort.p1", d)
+	readers := sim.NewWaitGroup(d)
+	sorters := sim.NewWaitGroup(d)
+	done := sim.NewSignal()
+
+	for i := range s.Disks {
+		i := i
+		ad := s.Disks[i]
+		sh := g.Shard(i)
+		peers := make([]int, 0, d-1)
+		for j := 0; j < d; j++ {
+			if j != i {
+				peers = append(peers, j)
+			}
+		}
+		// Partitioner disklet: scan local input, keep the local share,
+		// stream the rest to peer disks in rotating batches.
+		sh.Kernel().Spawn(fmt.Sprintf("part%d", i), func(p *sim.Proc) {
+			var local int64
+			rot := 0
+			chunksOf(per, func(off, n int64) {
+				ad.ReadLocal(p, off, n)
+				t := tuplesIn(n, ds.TupleBytes)
+				ad.Compute(p, t*PartitionCycles)
+				local += t * PartitionCycles
+				remote := n * int64(d-1) / int64(d)
+				if remote > 0 && len(peers) > 0 {
+					dst := peers[rot]
+					sh.Call(p, func(hp *sim.Proc) { ad.Send(hp, dst, remote, nil) })
+					rot = (rot + 1) % len(peers)
+				}
+				absorb(p, i, n-remote)
+			})
+			c := local
+			sh.Call(p, func(hp *sim.Proc) {
+				cPart += c
+				readers.Done()
+			})
+		})
+		// Sorter disklet: absorb arriving tuples into runs, then merge.
+		// The previous chunk's credit release rides the next Recv Call —
+		// the two are adjacent same-instant hub touches in the
+		// single-kernel run.
+		sh.Kernel().Spawn(fmt.Sprintf("sort%d", i), func(p *sim.Proc) {
+			var c diskos.Chunk
+			var ok bool
+			rel := int64(0)
+			for {
+				r := rel
+				sh.Call(p, func(hp *sim.Proc) {
+					if r > 0 {
+						ad.Release(r)
+					}
+					c, ok = ad.Recv(hp)
+				})
+				if !ok {
+					break
+				}
+				absorb(p, i, c.Bytes)
+				rel = c.Bytes
+			}
+			st := states[i]
+			if st.fill > 0 {
+				t := tuplesIn(st.fill, ds.TupleBytes)
+				ad.Compute(p, t*RunSortCycles)
+				st.cSort += t * RunSortCycles
+				var written int64
+				for _, r := range st.runSizes {
+					written += r
+				}
+				sz := alignSector(st.fill)
+				ad.WriteLocal(p, runRegion+written, sz)
+				st.runSizes = append(st.runSizes, sz)
+				st.fill = 0
+			}
+			sh.Call(p, func(hp *sim.Proc) {
+				barrier.Wait(hp)
+				if i == 0 {
+					p1End = hp.Now()
+				}
+			})
+			var mergeC int64
+			activeMerge(p, ad, st.runSizes, runRegion, outRegion, ds.TupleBytes, &mergeC)
+			ca, cs, m := st.cAppend, st.cSort, mergeC
+			sh.Call(p, func(hp *sim.Proc) {
+				cAppend += ca
+				cSort += cs
+				cMerge += m
+				sorters.Done()
+			})
+		})
+	}
+	// Close inboxes once every partitioner has finished sending.
+	g.Hub().Spawn("closer", func(p *sim.Proc) {
+		readers.Wait(p)
+		for _, ad := range s.Disks {
+			ad.CloseInbox()
+		}
+	})
+	g.Hub().Spawn("coord", func(p *sim.Proc) {
+		sorters.Wait(p)
+		// Attribute CPU buckets (average per disk) and idle remainders,
+		// matching Figure 3's legend.
+		total := p.Now()
+		toTime := func(cycles int64) sim.Time {
+			return sim.Time(float64(cycles) / hz / float64(d) * float64(sim.Second))
+		}
+		bd := res.Breakdown
+		bd.Add("P1:Partitioner", toTime(cPart))
+		bd.Add("P1:Append", toTime(cAppend))
+		bd.Add("P1:Sort", toTime(cSort))
+		p1CPU := toTime(cPart + cAppend + cSort)
+		if p1End > p1CPU {
+			bd.Add("P1:Idle", p1End-p1CPU)
+		}
+		bd.Add("P2:Merge", toTime(cMerge))
+		p2 := total - p1End
+		if p2 > toTime(cMerge) {
+			bd.Add("P2:Idle", p2-toTime(cMerge))
+		}
+		res.Details["p1_seconds"] = p1End.Seconds()
+		res.Details["p2_seconds"] = (total - p1End).Seconds()
+		done.Fire()
+	})
+	return done
+}
+
+// shardJoin is activeJoin partitioned: both relations are scanned,
+// projected and hash-repartitioned from each disk's shard (the shuffle
+// streams and phase barriers crossing through Shard.Call), then each
+// shard joins its partitions locally and writes the output without
+// touching the hub again until the completion mark.
+func shardJoin(g *sim.ShardGroup, s *diskos.System, ds workload.Dataset, res *Result) *sim.Signal {
+	d := len(s.Disks)
+	rBytes := ds.TotalBytes / 2
+	sBytes := ds.TotalBytes - rBytes
+	perR := perNodeBytes(rBytes, d)
+	perS := perNodeBytes(sBytes, d)
+	projFrac := float64(ds.ProjectedTupleBytes) / float64(ds.TupleBytes)
+	partRegion := alignSector(s.Disks[0].Disk.Capacity() / 3)
+	outRegion := alignSector(2 * s.Disks[0].Disk.Capacity() / 3)
+
+	projR := alignSector(int64(float64(perR) * projFrac))
+	projS := alignSector(int64(float64(perS) * projFrac))
+	gp := relational.PlanGraceJoin(projR, s.ScratchBytes()-2<<20)
+	res.Details["grace_partitions"] = float64(gp.Partitions)
+
+	done := sim.NewSignal()
+	var phase [2]*sim.Barrier
+	phase[0] = sim.NewBarrier(g.Hub(), "join.p1", d)
+	phase[1] = sim.NewBarrier(g.Hub(), "join.p2", d)
+	readersR := sim.NewWaitGroup(d)
+	readersS := sim.NewWaitGroup(d)
+	workers := sim.NewWaitGroup(d)
+
+	for i := range s.Disks {
+		i := i
+		ad := s.Disks[i]
+		sh := g.Shard(i)
+		peers := make([]int, 0, d-1)
+		for j := 0; j < d; j++ {
+			if j != i {
+				peers = append(peers, j)
+			}
+		}
+		// shuffle scans a local relation partition, projects it and
+		// streams the remote share to peers (each Send one hub Call).
+		shuffle := func(p *sim.Proc, per int64) {
+			rot := 0
+			chunksOf(per, func(off, n int64) {
+				ad.ReadLocal(p, off, n)
+				t := tuplesIn(n, ds.TupleBytes)
+				ad.Compute(p, t*ProjectCycles)
+				proj := int64(float64(n) * projFrac)
+				remote := proj * int64(d-1) / int64(d)
+				if remote > 0 && len(peers) > 0 {
+					dst := peers[rot]
+					sh.Call(p, func(hp *sim.Proc) { ad.Send(hp, dst, remote, nil) })
+					rot = (rot + 1) % len(peers)
+				}
+			})
+		}
+		// Scanner disklet: project+shuffle R, barrier, then S.
+		sh.Kernel().Spawn(fmt.Sprintf("jscan%d", i), func(p *sim.Proc) {
+			shuffle(p, perR)
+			sh.Call(p, func(hp *sim.Proc) {
+				readersR.Done()
+				phase[0].Wait(hp)
+				if i == 0 {
+					res.Details["p1_seconds"] = hp.Now().Seconds()
+				}
+			})
+			shuffle(p, perS)
+			sh.Call(p, func(hp *sim.Proc) { readersS.Done() })
+		})
+		// Writer disklet: receive projected tuples, write the partition
+		// files, then build+probe each Grace partition. The credit
+		// release is its own Call: the single-kernel disklet releases
+		// after the append compute but before the (possible) partition
+		// write.
+		sh.Kernel().Spawn(fmt.Sprintf("jwork%d", i), func(p *sim.Proc) {
+			var pend, written int64
+			flush := func(final bool) {
+				if pend >= flushBatch || (final && pend > 0) {
+					w := alignSector(pend)
+					ad.WriteLocal(p, partRegion+written, w)
+					written += w
+					pend = 0
+				}
+			}
+			for {
+				var c diskos.Chunk
+				var ok bool
+				sh.Call(p, func(hp *sim.Proc) { c, ok = ad.Recv(hp) })
+				if !ok {
+					break
+				}
+				t := tuplesIn(c.Bytes, ds.ProjectedTupleBytes)
+				ad.Compute(p, t*AppendCycles/4)
+				pend += c.Bytes
+				rel := c.Bytes
+				sh.Call(p, func(hp *sim.Proc) { ad.Release(rel) })
+				flush(false)
+			}
+			// Locally retained projected share of both relations.
+			local := (projR + projS) / int64(d)
+			pend += local
+			flush(true)
+			sh.Call(p, func(hp *sim.Proc) {
+				phase[1].Wait(hp)
+				if i == 0 {
+					res.Details["p2_seconds"] = hp.Now().Seconds() - res.Details["p1_seconds"]
+				}
+			})
+
+			// Local Grace join over the received partitions.
+			totalPart := written
+			rShare := totalPart * projR / (projR + projS)
+			sShare := totalPart - rShare
+			chunksOf(rShare, func(off, n int64) {
+				ad.ReadLocal(p, partRegion+off, n)
+				t := tuplesIn(n, ds.ProjectedTupleBytes)
+				ad.Compute(p, t*BuildCycles)
+			})
+			var outOff int64
+			chunksOf(sShare, func(off, n int64) {
+				ad.ReadLocal(p, partRegion+rShare+off, n)
+				t := tuplesIn(n, ds.ProjectedTupleBytes)
+				ad.Compute(p, t*ProbeCycles)
+				out := int64(float64(n) * JoinOutputFraction)
+				if out > 0 {
+					ad.WriteLocal(p, outRegion+outOff, alignSector(out))
+					outOff += alignSector(out)
+				}
+			})
+			sh.Call(p, func(hp *sim.Proc) { workers.Done() })
+		})
+	}
+	g.Hub().Spawn("closer", func(p *sim.Proc) {
+		readersR.Wait(p)
+		readersS.Wait(p)
+		for _, ad := range s.Disks {
+			ad.CloseInbox()
+		}
+	})
+	g.Hub().Spawn("coord", func(p *sim.Proc) {
+		workers.Wait(p)
 		done.Fire()
 	})
 	return done

@@ -273,3 +273,41 @@ func TestSpareRebuild(t *testing.T) {
 		t.Errorf("elapsed differs across identical rebuild runs: %v vs %v", res.Elapsed, again.Elapsed)
 	}
 }
+
+// TestRebuildRateThrottle: a rebuild-rate cap must stretch the rebuild
+// window without losing any rebuilt bytes, and the paced run must stay
+// byte-reproducible — the pacing delays are pure functions of the plan,
+// not of host timing.
+func TestRebuildRateThrottle(t *testing.T) {
+	ds := scaled(workload.Select, 48<<20)
+	const free = "seed=42,fail=3@40ms,replica,spare"
+	const paced = "seed=42,fail=3@40ms,replica,spare,rebuild-rate=5"
+	unthrottled := RunDatasetFaulted(arch.ActiveDisks(4), workload.Select, ds, mustPlan(t, free))
+	throttled := RunDatasetFaulted(arch.ActiveDisks(4), workload.Select, ds, mustPlan(t, paced))
+	if throttled.Fault == nil || throttled.Fault.Rebuild == nil {
+		t.Fatal("paced run carried no RebuildStats")
+	}
+	rb, free0 := throttled.Fault.Rebuild, unthrottled.Fault.Rebuild
+	if rb.Bytes != free0.Bytes {
+		t.Errorf("pacing changed rebuilt bytes: %d vs %d", rb.Bytes, free0.Bytes)
+	}
+	// 5 MB/s over the 12 MB partition floors the rebuild window at 2.4s,
+	// far beyond the unthrottled rebuild; the cap must dominate.
+	floor := float64(rb.Bytes) / 5e6
+	if got := rb.EndSec - rb.StartSec; got < floor {
+		t.Errorf("paced rebuild window %.3fs under the %.3fs rate floor", got, floor)
+	}
+	if freeWin := free0.EndSec - free0.StartSec; rb.EndSec-rb.StartSec <= freeWin {
+		t.Errorf("paced rebuild window %.3fs not longer than unthrottled %.3fs",
+			rb.EndSec-rb.StartSec, freeWin)
+	}
+	again := RunDatasetFaulted(arch.ActiveDisks(4), workload.Select, ds, mustPlan(t, paced))
+	if again.Fault.Render() != throttled.Fault.Render() {
+		t.Errorf("paced rebuild report not byte-reproducible:\n--- run 1 ---\n%s--- run 2 ---\n%s",
+			throttled.Fault.Render(), again.Fault.Render())
+	}
+	if again.Elapsed != throttled.Elapsed {
+		t.Errorf("elapsed differs across identical paced runs: %v vs %v",
+			again.Elapsed, throttled.Elapsed)
+	}
+}

@@ -32,6 +32,8 @@ type rebuildState struct {
 // region of the surviving peer onto the spare. Every chunk is a real
 // simulated read, loop crossing and write, so the rebuild and the
 // foreground scan slow each other down exactly as a live array would.
+// A rebuild-rate plan key caps the stream at that many MB/s, trading a
+// longer rebuild window for lighter foreground interference.
 func spawnRebuild(k *sim.Kernel, s *diskos.System, ds workload.Dataset,
 	plan *fault.Plan, rb *rebuildState) {
 	d := len(s.Disks)
@@ -55,6 +57,7 @@ func spawnRebuild(k *sim.Kernel, s *diskos.System, ds workload.Dataset,
 			if per-off < n {
 				n = alignSector(per - off)
 			}
+			chunkStart := p.Now()
 			rs := pr.Begin(readKind, probe.Time(p.Now()))
 			err := src.ReadLocal(p, replicaRegion+off, n)
 			if pr.On() {
@@ -73,6 +76,14 @@ func spawnRebuild(k *sim.Kernel, s *diskos.System, ds workload.Dataset,
 			}
 			rb.bytes += n
 			off += n
+			// rebuild-rate cap: if the chunk moved faster than the plan's
+			// MB/s budget, idle out the remainder so the stream never
+			// exceeds the cap, leaving the media and loop to the scan.
+			if floor := plan.RebuildChunkTime(n); floor > 0 {
+				if took := p.Now() - chunkStart; took < floor {
+					p.Delay(floor - took)
+				}
+			}
 		}
 		rb.end = p.Now()
 	})

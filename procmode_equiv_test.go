@@ -67,14 +67,17 @@ func TestExecModeSortContentionEquivalence(t *testing.T) {
 }
 
 // TestExecModeShardedTaskEquivalence pins every task the parallel mode
-// actually shards (select, aggregate, group-by, datacube) at a scale
-// where flushes from many disks contend for the loop, with a probe sink
-// attached: the elapsed time, the detail metrics, the rendered
-// breakdown report and the exported trace must all match the
-// single-kernel event run byte for byte.
+// actually shards — the hub-and-spoke four plus the communication-heavy
+// sort and join, whose all-to-all repartition streams, credit releases
+// and phase barriers ride the Call channel — at a scale where flushes
+// from many disks contend for the loop, with a probe sink attached: the
+// elapsed time, the detail metrics, the rendered breakdown report and
+// the exported trace must all match the single-kernel event run byte
+// for byte.
 func TestExecModeShardedTaskEquivalence(t *testing.T) {
 	for _, task := range []workload.TaskID{
 		workload.Select, workload.Aggregate, workload.GroupBy, workload.DataCube,
+		workload.Sort, workload.Join,
 	} {
 		task := task
 		modeCompare(t, "sharded "+task.String(), func() string {
@@ -135,6 +138,7 @@ func TestExecModeShardedFaultEquivalence(t *testing.T) {
 		}
 		for _, task := range []workload.TaskID{
 			workload.Select, workload.Aggregate, workload.GroupBy, workload.DataCube,
+			workload.Sort, workload.Join,
 		} {
 			task, plan := task, plan
 			modeCompare(t, fmt.Sprintf("sharded %s under %s", task, planStr), func() string {

@@ -40,19 +40,40 @@ type parallelReport struct {
 	Speedup    float64 `json:"speedup"`
 }
 
-// gateParallel applies the speedup floor to a benchparallel report and
-// reports whether the gate failed.
+// gateParallel applies the speedup floor, per task, to a benchparallel
+// report — either the current array-of-rows shape or the legacy single
+// select-only object — and reports whether any task failed its gate.
 func gateParallel(path string, minSpeedup float64, minCPU int) bool {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchguard:", err)
 		return true
 	}
-	var rep parallelReport
-	if err := json.Unmarshal(data, &rep); err != nil {
-		fmt.Fprintf(os.Stderr, "benchguard: %s: %v\n", path, err)
+	var rows []parallelReport
+	if err := json.Unmarshal(data, &rows); err != nil {
+		var single parallelReport
+		if err2 := json.Unmarshal(data, &single); err2 != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %s: %v\n", path, err)
+			return true
+		}
+		rows = []parallelReport{single}
+	}
+	if len(rows) == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %s: no parallel rows\n", path)
 		return true
 	}
+	failed := false
+	for _, rep := range rows {
+		if gateParallelRow(&rep, minSpeedup, minCPU) {
+			failed = true
+		}
+	}
+	return failed
+}
+
+// gateParallelRow applies the speedup floor to one per-task row and
+// reports whether the gate failed.
+func gateParallelRow(rep *parallelReport, minSpeedup float64, minCPU int) bool {
 	cores := rep.NumCPU
 	if rep.GoMaxProcs < cores {
 		cores = rep.GoMaxProcs

@@ -1,16 +1,17 @@
 // Command benchparallel measures the wall-clock speedup of the sharded
 // parallel execution mode (-procmode parallel) over the single-kernel
-// event mode on a shardable Active Disk run, and records the honest
-// numbers — including the host's core count — as JSON:
+// event mode on the shardable Active Disk tasks, and records the honest
+// numbers — including the host's core count — as a JSON array with one
+// row per task:
 //
 //	go run ./scripts/benchparallel            # or: make bench-parallel
-//	go run ./scripts/benchparallel -disks 64 -scale 0.25 -count 3
+//	go run ./scripts/benchparallel -tasks sort,join -disks 64 -count 3
 //
-// The two runs must agree on the simulated elapsed time (the parallel
-// mode is byte-equivalent, not approximately equal); the command fails
-// if they diverge. benchguard gates the recorded speedup only when the
-// measurement machine had enough cores for the comparison to mean
-// anything.
+// For every task the two runs must agree on the simulated elapsed time
+// (the parallel mode is byte-equivalent, not approximately equal); the
+// command fails if they diverge. benchguard gates the recorded speedups
+// per task, and only when the measurement machine had enough cores for
+// the comparison to mean anything.
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"howsim/internal/arch"
@@ -46,47 +48,64 @@ type report struct {
 func main() {
 	var (
 		out      = flag.String("out", "BENCH_parallel.json", "output file")
-		taskName = flag.String("task", "select", "shardable task: select|aggregate|groupby|dcube")
-		disks    = flag.Int("disks", 64, "Active Disk farm size (one shard per disk)")
-		scale    = flag.Float64("scale", 0.25, "dataset scale factor")
-		count    = flag.Int("count", 3, "repetitions per mode (best wall time wins)")
+		taskList = flag.String("tasks", "select,sort,join",
+			"comma-separated shardable tasks: select|aggregate|groupby|dcube|sort|join")
+		disks = flag.Int("disks", 64, "Active Disk farm size (one shard per disk)")
+		scale = flag.Float64("scale", 0.25, "dataset scale factor")
+		count = flag.Int("count", 3, "repetitions per mode (best wall time wins)")
 	)
 	flag.Parse()
 
-	task, err := workload.ParseTask(*taskName)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchparallel:", err)
+	var rows []report
+	for _, name := range strings.Split(*taskList, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		task, err := workload.ParseTask(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchparallel:", err)
+			os.Exit(2)
+		}
+		ds := workload.ForTask(task)
+		if *scale < 1.0 {
+			ds = ds.Scaled(int64(float64(ds.TotalBytes) * *scale))
+		}
+		cfg := arch.ActiveDisks(*disks)
+
+		singleWall, singleSim := measure(sim.ModeEvent, cfg, task, ds, *count)
+		parWall, parSim := measure(sim.ModeParallel, cfg, task, ds, *count)
+		if singleSim != parSim {
+			fmt.Fprintf(os.Stderr, "benchparallel: %s: simulated time diverged: event %v, parallel %v\n",
+				task, singleSim, parSim)
+			os.Exit(1)
+		}
+
+		r := report{
+			Generated:  time.Now().UTC().Format(time.RFC3339),
+			GoVersion:  runtime.Version(),
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			Task:       task.String(),
+			Disks:      *disks,
+			Scale:      *scale,
+			Count:      *count,
+			SingleMs:   float64(singleWall.Microseconds()) / 1e3,
+			ParallelMs: float64(parWall.Microseconds()) / 1e3,
+			Speedup:    singleWall.Seconds() / parWall.Seconds(),
+			ElapsedSim: singleSim.String(),
+		}
+		rows = append(rows, r)
+		fmt.Printf("%s on %d disks: %.1f ms single / %.1f ms parallel = %.2fx on %d cores\n",
+			r.Task, r.Disks, r.SingleMs, r.ParallelMs, r.Speedup, r.NumCPU)
+	}
+	if len(rows) == 0 {
+		fmt.Fprintln(os.Stderr, "benchparallel: no tasks given")
 		os.Exit(2)
 	}
-	ds := workload.ForTask(task)
-	if *scale < 1.0 {
-		ds = ds.Scaled(int64(float64(ds.TotalBytes) * *scale))
-	}
-	cfg := arch.ActiveDisks(*disks)
 
-	singleWall, singleSim := measure(sim.ModeEvent, cfg, task, ds, *count)
-	parWall, parSim := measure(sim.ModeParallel, cfg, task, ds, *count)
-	if singleSim != parSim {
-		fmt.Fprintf(os.Stderr, "benchparallel: simulated time diverged: event %v, parallel %v\n", singleSim, parSim)
-		os.Exit(1)
-	}
-
-	rep := report{
-		Generated:  time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		GOARCH:     runtime.GOARCH,
-		NumCPU:     runtime.NumCPU(),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Task:       task.String(),
-		Disks:      *disks,
-		Scale:      *scale,
-		Count:      *count,
-		SingleMs:   float64(singleWall.Microseconds()) / 1e3,
-		ParallelMs: float64(parWall.Microseconds()) / 1e3,
-		Speedup:    singleWall.Seconds() / parWall.Seconds(),
-		ElapsedSim: singleSim.String(),
-	}
-	data, err := json.MarshalIndent(rep, "", "  ")
+	data, err := json.MarshalIndent(rows, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchparallel:", err)
 		os.Exit(1)
@@ -95,8 +114,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchparallel:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s: %s on %d disks, %.1f ms single / %.1f ms parallel = %.2fx on %d cores\n",
-		*out, rep.Task, rep.Disks, rep.SingleMs, rep.ParallelMs, rep.Speedup, rep.NumCPU)
+	fmt.Printf("wrote %s (%d tasks)\n", *out, len(rows))
 }
 
 // measure runs the task count times in the given mode and returns the

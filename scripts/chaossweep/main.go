@@ -108,7 +108,8 @@ func main() {
 	const disks = 4
 	cfgs := []arch.Config{arch.ActiveDisks(disks), arch.Cluster(disks), arch.SMP(disks)}
 	pool := []workload.TaskID{
-		workload.Select, workload.Aggregate, workload.GroupBy, workload.DataCube, workload.Sort,
+		workload.Select, workload.Aggregate, workload.GroupBy, workload.DataCube,
+		workload.Sort, workload.Join,
 	}
 	modes := []struct {
 		name string
