@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race bench-kernel bench-figures benchfigures bench-parallel bench-guard fault-smoke trace-smoke chaos-smoke
+.PHONY: build vet lint test race bench-kernel bench-figures benchfigures bench-parallel bench-service bench-guard fault-smoke trace-smoke chaos-smoke service-smoke
 
 build:
 	$(GO) build ./...
@@ -49,14 +49,21 @@ benchfigures:
 bench-parallel:
 	$(GO) run ./scripts/benchparallel -out BENCH_parallel.json
 
-# Gate the kernel hot path against the committed baseline, and the
-# sharded-execution speedup against its floor (what CI's bench-smoke
-# job runs).
+# Refresh BENCH_service.json: howsimd service-path benchmarks (cold
+# admission, warm cache hit, dedup fan-out) with an instant stub
+# runner, so the numbers isolate the service layer from simulation.
+bench-service:
+	$(GO) run ./scripts/benchservice -count 3 -out BENCH_service.json
+
+# Gate the kernel hot path against the committed baseline, the
+# sharded-execution speedup against its floor, and the service warm-hit
+# path against its baseline (what CI's bench-smoke job runs).
 bench-guard:
 	$(GO) run ./scripts/benchkernel -count 1 -out /tmp/BENCH_kernel.json
 	$(GO) run ./scripts/benchparallel -out /tmp/BENCH_parallel.json
+	$(GO) run ./scripts/benchservice -count 1 -out /tmp/BENCH_service.json
 	$(GO) run ./scripts/benchguard -baseline BENCH_kernel.json -current /tmp/BENCH_kernel.json \
-		-parallel /tmp/BENCH_parallel.json
+		-parallel /tmp/BENCH_parallel.json -service /tmp/BENCH_service.json
 
 # Fault-injection smoke: one disk fails mid-scan on each architecture,
 # once recovering via replicas and once completing degraded. Every run
@@ -88,3 +95,9 @@ trace-smoke:
 	$(GO) run ./scripts/tracecheck /tmp/howsim-traces/sort.active.json \
 		/tmp/howsim-traces/sort.cluster.json /tmp/howsim-traces/sort.smp.json
 	grep -q "accounted" /tmp/howsim-traces/breakdown.txt
+
+# Service smoke: build howsimd, start it, simulate the same config
+# twice (repeat must be a byte-identical cache hit), sweep, check
+# /statsz accounting, then SIGTERM and require a clean drain.
+service-smoke:
+	$(GO) run ./scripts/servicesmoke

@@ -30,11 +30,10 @@ import (
 	"strings"
 	"time"
 
-	"howsim/internal/arch"
 	"howsim/internal/experiments"
-	"howsim/internal/fault"
 	"howsim/internal/probe"
 	"howsim/internal/profiling"
+	"howsim/internal/runconfig"
 	"howsim/internal/sim"
 	"howsim/internal/tasks"
 	"howsim/internal/workload"
@@ -152,45 +151,45 @@ func main() {
 	fmt.Fprintf(os.Stderr, "total wall time %v\n", time.Since(start).Round(time.Millisecond))
 }
 
+// normalizedSpecs resolves the requested architecture(s) into fully
+// validated run specs via the shared runconfig normalizer — the same
+// validation howsim and howsimd use, replacing the per-command config
+// switch blocks this command used to carry.
+func normalizedSpecs(taskName, archName string, size int, scale float64, planStr string) ([]*runconfig.Spec, error) {
+	names := runconfig.ArchNames()
+	if archName != "all" {
+		names = []string{archName}
+	}
+	specs := make([]*runconfig.Spec, 0, len(names))
+	for _, name := range names {
+		sp, err := runconfig.Request{
+			Task: taskName, Arch: name, Disks: size, Scale: scale, Faults: planStr,
+		}.Normalize()
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, sp)
+	}
+	return specs, nil
+}
+
 // runFaultExperiment runs one task under a deterministic fault plan on
 // the requested architecture(s) at the given size and dataset scale, and
 // prints each run's recovery report. The report is a pure function of
 // (plan, task, configuration, dataset), so repeated invocations print
 // byte-identical output.
 func runFaultExperiment(planStr, taskName, archName string, size int, scale float64) error {
-	plan, err := fault.ParsePlan(planStr)
+	specs, err := normalizedSpecs(taskName, archName, size, scale, planStr)
 	if err != nil {
 		return err
 	}
-	task, err := workload.ParseTask(taskName)
-	if err != nil {
-		return err
-	}
-	ds := workload.ForTask(task)
-	if scale < 1.0 {
-		ds = ds.Scaled(int64(float64(ds.TotalBytes) * scale))
-	}
-	cfgs := map[string]arch.Config{
-		"active":  arch.ActiveDisks(size),
-		"cluster": arch.Cluster(size),
-		"smp":     arch.SMP(size),
-	}
-	order := []string{"active", "cluster", "smp"}
-	if archName != "all" {
-		cfg, ok := cfgs[archName]
-		if !ok {
-			return fmt.Errorf("unknown architecture %q", archName)
-		}
-		cfgs = map[string]arch.Config{archName: cfg}
-		order = []string{archName}
-	}
-	for _, name := range order {
-		res := tasks.RunDatasetFaulted(cfgs[name], task, ds, plan)
+	for _, sp := range specs {
+		res := tasks.RunDatasetFaulted(sp.Config, sp.TaskID, sp.Dataset, sp.Plan)
 		if res.Fault != nil {
 			fmt.Print(res.Fault.Render())
 		} else {
 			fmt.Printf("fault report: %s on %s\n  plan:          %s\n  status:        completed (no faults injected)\n",
-				task, cfgs[name].Name(), plan.String())
+				sp.TaskID, sp.Config.Name(), sp.Req.Faults)
 		}
 		fmt.Println()
 	}
@@ -205,44 +204,20 @@ func runFaultExperiment(planStr, taskName, archName string, size int, scale floa
 // pure function of (plan, task, configuration, dataset): repeated
 // invocations produce byte-identical traces and reports.
 func runProbedExperiment(tracePath string, breakdown bool, planStr, taskName, archName string, size int, scale float64, ringSpans int) error {
-	var plan *fault.Plan
-	if planStr != "" {
-		var err error
-		plan, err = fault.ParsePlan(planStr)
-		if err != nil {
-			return err
-		}
-	}
-	task, err := workload.ParseTask(taskName)
+	specs, err := normalizedSpecs(taskName, archName, size, scale, planStr)
 	if err != nil {
 		return err
-	}
-	ds := workload.ForTask(task)
-	if scale < 1.0 {
-		ds = ds.Scaled(int64(float64(ds.TotalBytes) * scale))
-	}
-	cfgs := map[string]arch.Config{
-		"active":  arch.ActiveDisks(size),
-		"cluster": arch.Cluster(size),
-		"smp":     arch.SMP(size),
-	}
-	order := []string{"active", "cluster", "smp"}
-	if archName != "all" {
-		if _, ok := cfgs[archName]; !ok {
-			return fmt.Errorf("unknown architecture %q", archName)
-		}
-		order = []string{archName}
 	}
 	if ringSpans < 1 {
 		ringSpans = 1
 	}
-	for _, name := range order {
+	for _, sp := range specs {
 		sink := probe.NewSinkCap(ringSpans * probe.DefaultRingSpans)
-		res := tasks.RunDatasetProbed(cfgs[name], task, ds, plan, sink)
+		res := tasks.RunDatasetProbed(sp.Config, sp.TaskID, sp.Dataset, sp.Plan, sink)
 		if tracePath != "" {
 			path := tracePath
-			if len(order) > 1 {
-				path = archSuffixed(tracePath, name)
+			if len(specs) > 1 {
+				path = archSuffixed(tracePath, sp.Req.Arch)
 			}
 			if err := sink.WriteTraceFile(path); err != nil {
 				return err
@@ -251,7 +226,7 @@ func runProbedExperiment(tracePath string, breakdown bool, planStr, taskName, ar
 				path, sink.SpansRecorded(), sink.Dropped())
 		}
 		if breakdown {
-			fmt.Print(sink.BuildReport(task.String(), cfgs[name].Name(), int64(res.Elapsed)).Render())
+			fmt.Print(sink.BuildReport(sp.TaskID.String(), sp.Config.Name(), int64(res.Elapsed)).Render())
 			fmt.Println()
 		}
 		if res.Fault != nil {

@@ -12,99 +12,63 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 
 	"howsim/internal/arch"
-	"howsim/internal/fault"
 	"howsim/internal/probe"
 	"howsim/internal/profiling"
-	"howsim/internal/sim"
+	"howsim/internal/runconfig"
 	"howsim/internal/tasks"
-	"howsim/internal/workload"
 )
 
 func main() {
+	var req runconfig.Request
+	flag.StringVar(&req.Task, "task", runconfig.DefaultTask, "task: select|aggregate|groupby|sort|dcube|join|dmine|mview")
+	flag.StringVar(&req.Arch, "arch", runconfig.DefaultArch, "architecture: active|cluster|smp")
+	flag.IntVar(&req.Disks, "disks", runconfig.DefaultDisks, "number of disks (and processors)")
+	flag.BoolVar(&req.FastIO, "fastio", false, "400 MB/s serial interconnect (Active/SMP)")
+	flag.Int64Var(&req.MemMB, "mem", runconfig.DefaultMemMB, "Active Disk memory per drive, MB (32/64/128)")
+	flag.BoolVar(&req.FrontEndOnly, "feonly", false, "restrict Active Disk communication to the front-end")
+	flag.BoolVar(&req.FastDisk, "fastdisk", false, "upgrade drives to the Hitachi DK3E1T-91")
+	flag.IntVar(&req.FibreSwitch, "fibreswitch", 0, "split the Active Disk farm across N switched loops (0 = single loop)")
+	flag.Float64Var(&req.Scale, "scale", runconfig.DefaultScale, "dataset scale factor (1.0 = full Table 2 size)")
+	flag.StringVar(&req.Faults, "faults", "", "fault plan, e.g. seed=42,media=0.001,corrupt=0.001,straggler=2@1s+500ms*4,fail=3@2s,replica,spare")
+	flag.StringVar(&req.ProcMode, "procmode", runconfig.DefaultProcMode, "simulator execution mode: event|goroutine|parallel")
+	flag.IntVar(&req.RingSpans, "ring-spans", runconfig.DefaultRingSpans, "span-ring capacity multiplier for -trace/-breakdown (x 256Ki spans)")
 	var (
-		taskName = flag.String("task", "select", "task: select|aggregate|groupby|sort|dcube|join|dmine|mview")
-		archName = flag.String("arch", "active", "architecture: active|cluster|smp")
-		disks    = flag.Int("disks", 16, "number of disks (and processors)")
-		fastIO   = flag.Bool("fastio", false, "400 MB/s serial interconnect (Active/SMP)")
-		memMB    = flag.Int64("mem", 32, "Active Disk memory per drive, MB (32/64/128)")
-		feOnly   = flag.Bool("feonly", false, "restrict Active Disk communication to the front-end")
-		fastDisk = flag.Bool("fastdisk", false, "upgrade drives to the Hitachi DK3E1T-91")
-		fsw      = flag.Int("fibreswitch", 0, "split the Active Disk farm across N switched loops (0 = single loop)")
-		scale    = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = full Table 2 size)")
-		sweep    = flag.Bool("sweep", false, "run the task across 16/32/64/128 disks and print a scaling table")
-		faults    = flag.String("faults", "", "fault plan, e.g. seed=42,media=0.001,corrupt=0.001,straggler=2@1s+500ms*4,fail=3@2s,replica,spare")
-		procmode  = flag.String("procmode", "event", "simulator execution mode: event|goroutine|parallel")
+		sweep     = flag.Bool("sweep", false, "run the task across 16/32/64/128 disks and print a scaling table")
 		tracePath = flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file")
 		breakdown = flag.Bool("breakdown", false, "print the utilization/phase breakdown report")
-		ringSpans = flag.Int("ring-spans", 1, "span-ring capacity multiplier for -trace/-breakdown (x 256Ki spans)")
 	)
 	flag.Parse()
+	req.Breakdown = *breakdown
 
-	mode, err := sim.ParseExecMode(*procmode)
+	sp, err := req.Normalize()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
-	}
-	sim.DefaultExecMode = mode
-
-	plan, err := fault.ParsePlan(*faults)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-
-	task, err := workload.ParseTask(*taskName)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	var cfg arch.Config
-	switch *archName {
-	case "active":
-		cfg = arch.ActiveDisks(*disks).WithDiskMemory(*memMB << 20)
-		if *feOnly {
-			cfg = cfg.WithFrontEndOnly()
-		}
-		if *fsw > 1 {
-			cfg = cfg.WithFibreSwitch(*fsw)
-		}
-	case "cluster":
-		cfg = arch.Cluster(*disks)
-	case "smp":
-		cfg = arch.SMP(*disks)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown architecture %q\n", *archName)
-		os.Exit(2)
-	}
-	if *fastIO {
-		cfg = cfg.WithFastIO()
-	}
-	if *fastDisk {
-		cfg = cfg.WithFastDisk()
-	}
-
-	ds := workload.ForTask(task)
-	if *scale < 1.0 {
-		ds = ds.Scaled(int64(float64(ds.TotalBytes) * *scale))
 	}
 
 	stop := profiling.Start()
 	defer stop()
 
 	if *sweep {
-		fmt.Printf("%s on %s, %0.2f GB dataset: scaling sweep\n\n", task, *archName, float64(ds.TotalBytes)/1e9)
+		fmt.Printf("%s on %s, %0.2f GB dataset: scaling sweep\n\n",
+			sp.TaskID, sp.Req.Arch, float64(sp.Dataset.TotalBytes)/1e9)
 		fmt.Printf("%8s %12s %10s\n", "disks", "elapsed", "speedup")
 		var base float64
 		for _, n := range arch.StudiedSizes() {
-			c := cfg
+			c := sp.Config
 			c.Disks = n
-			r := tasks.RunDataset(c, task, ds)
+			r, err := tasks.RunCtx(context.Background(), c, sp.TaskID, sp.Dataset, nil, nil, sp.Mode)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 			if base == 0 {
 				base = r.Elapsed.Seconds()
 			}
@@ -115,12 +79,13 @@ func main() {
 
 	var sink *probe.Sink
 	if *tracePath != "" || *breakdown {
-		if *ringSpans < 1 {
-			*ringSpans = 1
-		}
-		sink = probe.NewSinkCap(*ringSpans * probe.DefaultRingSpans)
+		sink = probe.NewSinkCap(sp.Req.RingSpans * probe.DefaultRingSpans)
 	}
-	res := tasks.RunDatasetProbed(cfg, task, ds, plan, sink)
+	res, err := tasks.RunCtx(context.Background(), sp.Config, sp.TaskID, sp.Dataset, sp.Plan, sink, sp.Mode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	if *tracePath != "" {
 		if err := sink.WriteTraceFile(*tracePath); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -130,8 +95,9 @@ func main() {
 			*tracePath, sink.SpansRecorded(), sink.Dropped())
 	}
 
-	fmt.Printf("task       %s\n", task)
-	fmt.Printf("config     %s\n", cfg.Name())
+	ds := sp.Dataset
+	fmt.Printf("task       %s\n", sp.TaskID)
+	fmt.Printf("config     %s\n", sp.Config.Name())
 	fmt.Printf("dataset    %.2f GB (%d tuples of %d bytes)\n",
 		float64(ds.TotalBytes)/1e9, ds.Tuples, ds.TupleBytes)
 	fmt.Printf("elapsed    %v\n", res.Elapsed)
@@ -155,6 +121,6 @@ func main() {
 	}
 	if *breakdown {
 		fmt.Println()
-		fmt.Print(sink.BuildReport(task.String(), cfg.Name(), int64(res.Elapsed)).Render())
+		fmt.Print(sink.BuildReport(sp.TaskID.String(), sp.Config.Name(), int64(res.Elapsed)).Render())
 	}
 }

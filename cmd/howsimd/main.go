@@ -1,0 +1,89 @@
+// Command howsimd serves the simulator as a long-running what-if
+// service: POST a config to /v1/simulate and get the deterministic
+// result as JSON. Identical requests share one cached result,
+// concurrent identical requests share one run, and a bounded worker
+// pool rejects overload with 429 instead of queueing without bound.
+//
+// Usage:
+//
+//	howsimd [-addr :8080] [-workers 2] [-queue 16] [-cache 256]
+//	        [-timeout 120s] [-max-ring-spans 32] [-max-disks 4096]
+//	        [-max-scale 1.0] [-drain 30s]
+//
+// Endpoints:
+//
+//	POST /v1/simulate   one run; body is a runconfig.Request JSON object
+//	POST /v1/sweep      one config across system sizes (default 16..128)
+//	GET  /healthz       ok | draining
+//	GET  /statsz        counters, gauges, latency histograms (text)
+//
+// SIGINT/SIGTERM triggers a graceful drain: the listener stops,
+// in-flight requests finish (bounded by -drain), then the pool exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"howsim/internal/runconfig"
+	"howsim/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", service.DefaultWorkers, "concurrent simulations")
+		queue   = flag.Int("queue", service.DefaultQueueDepth, "admission queue depth (full queue => 429)")
+		cache   = flag.Int("cache", service.DefaultCacheEntries, "result cache entries")
+		timeout = flag.Duration("timeout", service.DefaultTimeout, "per-simulation wall-clock budget (0 = none)")
+		spans   = flag.Int("max-ring-spans", runconfig.MaxRingSpans, "per-request ring_spans budget")
+		disks   = flag.Int("max-disks", runconfig.MaxDisks, "per-request disks budget")
+		scale   = flag.Float64("max-scale", service.DefaultMaxScale, "per-request dataset scale budget")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful shutdown budget for in-flight requests")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cache,
+		RequestTimeout: *timeout,
+		MaxRingSpans:   *spans,
+		MaxDisks:       *disks,
+		MaxScale:       *scale,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "howsimd listening on %s (workers=%d queue=%d cache=%d timeout=%v)\n",
+		*addr, *workers, *queue, *cache, *timeout)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "howsimd: %v, draining\n", sig)
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// Stop the listener and let in-flight handlers finish, then drain
+	// the worker pool (queued jobs complete; handler-less runs are
+	// reaped by the service's final context cancel).
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "howsimd: shutdown:", err)
+	}
+	svc.Close()
+	fmt.Fprintln(os.Stderr, "howsimd: drained")
+}

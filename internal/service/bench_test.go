@@ -1,0 +1,105 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"howsim/internal/runconfig"
+)
+
+// benchStub is an instant runner: the benchmarks below measure the
+// service path (decode, normalize, hash, cache, singleflight, pool
+// round-trip, respond), not the simulator.
+func benchStub(ctx context.Context, sp *runconfig.Spec) ([]byte, error) {
+	return stubBody(sp), nil
+}
+
+// coldKeySeq mints request bodies with distinct cache keys by varying
+// the dataset scale in its 9th decimal — a different canonical config
+// (and key) every call, with identical simulation cost. Global so
+// repeated benchmark runs in one process never collide.
+var coldKeySeq atomic.Int64
+
+func coldBody() string {
+	n := coldKeySeq.Add(1)
+	return fmt.Sprintf(`{"task":"select","arch":"active","disks":8,"scale":%.9f}`, 1-float64(n%500_000_000+1)*1e-9)
+}
+
+func benchServer(b *testing.B) *Server {
+	b.Helper()
+	s := New(Config{Workers: 2, QueueDepth: 64})
+	s.run = benchStub
+	b.Cleanup(s.Close)
+	return s
+}
+
+func doPost(h http.Handler, body string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, "/v1/simulate", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+// BenchmarkServiceWarmHit is the gated steady-state number: a request
+// whose result is already cached, end to end through the handler.
+func BenchmarkServiceWarmHit(b *testing.B) {
+	s := benchServer(b)
+	h := s.Handler()
+	body := `{"task":"select","arch":"active","disks":8}`
+	if w := doPost(h, body); w.Code != http.StatusOK {
+		b.Fatalf("warm-up: status %d: %s", w.Code, w.Body)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if w := doPost(h, body); w.Code != http.StatusOK {
+			b.Fatalf("status %d", w.Code)
+		}
+	}
+}
+
+// BenchmarkServiceColdPath measures a cache miss's full trip through
+// normalize → singleflight → pool → cache-fill with an instant runner:
+// the admission overhead a fresh config pays on top of its simulation.
+func BenchmarkServiceColdPath(b *testing.B) {
+	s := benchServer(b)
+	h := s.Handler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if w := doPost(h, coldBody()); w.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", w.Code, w.Body)
+		}
+	}
+}
+
+// BenchmarkServiceDedupFanout measures 8 concurrent identical requests
+// against a fresh key per op — the singleflight's join/wake cost.
+func BenchmarkServiceDedupFanout(b *testing.B) {
+	const fan = 8
+	s := benchServer(b)
+	h := s.Handler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := coldBody()
+		var wg sync.WaitGroup
+		for j := 0; j < fan; j++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if w := doPost(h, body); w.Code != http.StatusOK {
+					b.Errorf("status %d", w.Code)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}

@@ -1,0 +1,68 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is the bounded result cache: canonical-config key → rendered
+// response body. Every simulation is a pure function of its canonical
+// config, so entries never expire — a hit is byte-identical to a fresh
+// run and eviction exists only to bound memory. Reads promote; inserts
+// beyond capacity evict the least recently used entry.
+type lru struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type lruEntry struct {
+	key  string
+	body []byte
+}
+
+func newLRU(capacity int) *lru {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lru{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// Get returns the cached body for key, promoting the entry.
+func (c *lru) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).body, true
+}
+
+// Add inserts (or refreshes) key → body, evicting the least recently
+// used entry beyond capacity. Determinism makes overwrites idempotent:
+// a racing duplicate insert carries an identical body.
+func (c *lru) Add(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).body = body
+		return
+	}
+	c.m[key] = c.ll.PushFront(&lruEntry{key: key, body: body})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *lru) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

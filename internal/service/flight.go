@@ -1,0 +1,87 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// call is one in-flight simulation shared by every request that asked
+// for the same canonical config. The leader submits the job; followers
+// park on done. refs counts the waiters still interested in the result:
+// when the last one walks away before completion the run context is
+// cancelled so the worker (or the queued job) can be reclaimed.
+type call struct {
+	ctx    context.Context // run context: server base + request timeout
+	cancel context.CancelFunc
+
+	done chan struct{}
+	body []byte
+	err  error
+
+	refs      int  // guarded by flightGroup.mu
+	finished  bool // guarded by flightGroup.mu
+	abandoned bool // guarded by flightGroup.mu; all waiters left pre-finish
+}
+
+// flightGroup deduplicates concurrent identical requests: N callers
+// with the same key share exactly one simulation.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*call
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*call)}
+}
+
+// join returns the in-flight call for key, creating one if absent.
+// leader is true for the creator, who must either submit work that
+// eventually calls finish, or call finish itself on submit failure.
+// Every joiner (leader included) holds one ref and must balance it with
+// a wait-for-done or a release.
+func (g *flightGroup) join(key string, newCtx func() (context.Context, context.CancelFunc)) (c *call, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.m[key]; ok && !c.abandoned {
+		c.refs++
+		return c, false
+	}
+	ctx, cancel := newCtx()
+	c = &call{ctx: ctx, cancel: cancel, done: make(chan struct{}), refs: 1}
+	g.m[key] = c
+	return c, true
+}
+
+// release drops one waiter's interest in c without consuming a result.
+// When the last waiter leaves an unfinished call, the run is cancelled
+// and the call marked abandoned so a later request for the same key
+// starts fresh instead of joining a dying run.
+func (g *flightGroup) release(key string, c *call) {
+	g.mu.Lock()
+	c.refs--
+	last := c.refs == 0 && !c.finished
+	if last {
+		c.abandoned = true
+		if g.m[key] == c {
+			delete(g.m, key)
+		}
+	}
+	g.mu.Unlock()
+	if last {
+		c.cancel()
+	}
+}
+
+// finish completes c with a result (or error), wakes every waiter, and
+// removes the call from the group. Exactly one finish per call.
+func (g *flightGroup) finish(key string, c *call, body []byte, err error) {
+	g.mu.Lock()
+	c.finished = true
+	c.body, c.err = body, err
+	if g.m[key] == c {
+		delete(g.m, key)
+	}
+	g.mu.Unlock()
+	c.cancel()
+	close(c.done)
+}

@@ -1,0 +1,235 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"howsim/internal/arch"
+	"howsim/internal/runconfig"
+)
+
+// maxBodyBytes bounds request bodies; a simulate request is a small
+// JSON object, so anything near this limit is garbage.
+const maxBodyBytes = 1 << 20
+
+// errorBody writes a JSON error payload with the given status.
+func errorBody(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	b, _ := json.Marshal(map[string]string{"error": msg})
+	w.Write(append(b, '\n'))
+}
+
+// decodeInto parses the request body as strict JSON into dst.
+func decodeInto(r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return err
+	}
+	// Trailing garbage after the object is a malformed request too.
+	if dec.More() {
+		return errors.New("trailing data after JSON object")
+	}
+	return nil
+}
+
+// admit applies the service's per-request resource caps on top of
+// runconfig validation. These are admission-control limits, not model
+// validity: a request may be well-formed yet ask for more than this
+// deployment is willing to spend on it.
+func (s *Server) admit(sp *runconfig.Spec) error {
+	if sp.Req.RingSpans > s.cfg.MaxRingSpans {
+		return fmt.Errorf("ring_spans %d exceeds server limit %d", sp.Req.RingSpans, s.cfg.MaxRingSpans)
+	}
+	if sp.Req.Disks > s.cfg.MaxDisks {
+		return fmt.Errorf("disks %d exceeds server limit %d", sp.Req.Disks, s.cfg.MaxDisks)
+	}
+	if sp.Req.Scale > s.cfg.MaxScale {
+		return fmt.Errorf("scale %g exceeds server limit %g", sp.Req.Scale, s.cfg.MaxScale)
+	}
+	return nil
+}
+
+// writeSimError maps a simulate error onto an HTTP status.
+func (s *Server) writeSimError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errBusy):
+		w.Header().Set("Retry-After", "1")
+		errorBody(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, errDraining):
+		errorBody(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		errorBody(w, http.StatusGatewayTimeout, "simulation exceeded the request timeout")
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is written into the void but
+		// keeps the handler's control flow uniform.
+		errorBody(w, statusClientClosedRequest, "request cancelled")
+	default:
+		errorBody(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// statusClientClosedRequest is nginx's conventional code for a client
+// that disconnected before the response was ready.
+const statusClientClosedRequest = 499
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.metrics.observeSim(time.Since(start)) }()
+	s.metrics.SimRequests.Add(1)
+	if r.Method != http.MethodPost {
+		errorBody(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req runconfig.Request
+	if err := decodeInto(r, &req); err != nil {
+		s.metrics.BadRequests.Add(1)
+		errorBody(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	sp, err := req.Normalize()
+	if err != nil {
+		s.metrics.BadRequests.Add(1)
+		errorBody(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := s.admit(sp); err != nil {
+		s.metrics.BadRequests.Add(1)
+		errorBody(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	out, err := s.simulate(r.Context(), sp)
+	if err != nil {
+		s.writeSimError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Howsim-Cache", out.source)
+	w.Header().Set("X-Howsim-Key", sp.Key())
+	w.Write(out.body)
+}
+
+// SweepRequest is the /v1/sweep body: one base config swept across
+// system sizes. Sizes defaults to the paper's studied sizes.
+type SweepRequest struct {
+	runconfig.Request
+	Sizes []int `json:"sizes,omitempty"`
+}
+
+// SweepRow is one point of a sweep.
+type SweepRow struct {
+	Disks          int     `json:"disks"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// Speedup is elapsed at the smallest size over elapsed here —
+	// the scaling curve the paper's figures plot.
+	Speedup float64 `json:"speedup"`
+}
+
+// SweepResponse is the /v1/sweep response body.
+type SweepResponse struct {
+	Task  string     `json:"task"`
+	Arch  string     `json:"arch"`
+	Scale float64    `json:"scale"`
+	Rows  []SweepRow `json:"rows"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.metrics.observeSweep(time.Since(start)) }()
+	s.metrics.SweepRequests.Add(1)
+	if r.Method != http.MethodPost {
+		errorBody(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req SweepRequest
+	if err := decodeInto(r, &req); err != nil {
+		s.metrics.BadRequests.Add(1)
+		errorBody(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	sizes := req.Sizes
+	if len(sizes) == 0 {
+		sizes = arch.StudiedSizes()
+	}
+	resp := SweepResponse{Rows: make([]SweepRow, 0, len(sizes))}
+	var base float64
+	allHits := true
+	for i, n := range sizes {
+		point := req.Request
+		point.Disks = n
+		sp, err := point.Normalize()
+		if err != nil {
+			s.metrics.BadRequests.Add(1)
+			errorBody(w, http.StatusBadRequest, fmt.Sprintf("size %d: %v", n, err))
+			return
+		}
+		if err := s.admit(sp); err != nil {
+			s.metrics.BadRequests.Add(1)
+			errorBody(w, http.StatusBadRequest, fmt.Sprintf("size %d: %v", n, err))
+			return
+		}
+		if i == 0 {
+			resp.Task = sp.Req.Task
+			resp.Arch = sp.Req.Arch
+			resp.Scale = sp.Req.Scale
+		}
+		// Each point goes through the same cache/singleflight/pool path
+		// as a standalone simulate, so repeated sweeps are warm and a
+		// sweep racing identical simulates shares their runs.
+		out, err := s.simulate(r.Context(), sp)
+		if err != nil {
+			s.writeSimError(w, err)
+			return
+		}
+		if out.source != "hit" {
+			allHits = false
+		}
+		var sim SimResponse
+		if err := json.Unmarshal(out.body, &sim); err != nil {
+			errorBody(w, http.StatusInternalServerError, "corrupt cached body: "+err.Error())
+			return
+		}
+		row := SweepRow{Disks: n, ElapsedSeconds: sim.ElapsedSeconds}
+		if i == 0 {
+			base = sim.ElapsedSeconds
+		}
+		if sim.ElapsedSeconds > 0 {
+			row.Speedup = base / sim.ElapsedSeconds
+		}
+		resp.Rows = append(resp.Rows, row)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	// Serving metadata stays in headers so the body is byte-identical
+	// whether the points came from fresh runs or the cache.
+	if allHits {
+		w.Header().Set("X-Howsim-Cache", "hit")
+	} else {
+		w.Header().Set("X-Howsim-Cache", "miss")
+	}
+	b, err := json.Marshal(resp)
+	if err != nil {
+		errorBody(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Write(append(b, '\n'))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, s.metrics.Render(s.pool.queueDepth(), s.pool.inFlight(), s.cache.Len()))
+}

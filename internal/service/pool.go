@@ -1,0 +1,76 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"howsim/internal/runconfig"
+)
+
+// errBusy is returned by trySubmit when the queue is full; handlers
+// translate it into 429 Too Many Requests with a Retry-After hint.
+var errBusy = errors.New("service: simulation queue full")
+
+// job is one admitted simulation: the normalized spec plus the shared
+// call that carries its result to every waiter.
+type job struct {
+	key  string
+	spec *runconfig.Spec
+	c    *call
+}
+
+// pool runs admitted jobs on a fixed set of workers fed by a bounded
+// queue. Admission is non-blocking: a full queue rejects immediately
+// rather than stacking goroutines, which is the backpressure signal
+// the HTTP layer surfaces as 429.
+type pool struct {
+	jobs     chan *job
+	wg       sync.WaitGroup
+	inflight atomic.Int64 // jobs currently executing on a worker
+}
+
+func newPool(workers, queueDepth int, run func(*job)) *pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	p := &pool{jobs: make(chan *job, queueDepth)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for j := range p.jobs {
+				p.inflight.Add(1)
+				run(j)
+				p.inflight.Add(-1)
+			}
+		}()
+	}
+	return p
+}
+
+// trySubmit enqueues j if the queue has room, else returns errBusy.
+func (p *pool) trySubmit(j *job) error {
+	select {
+	case p.jobs <- j:
+		return nil
+	default:
+		return errBusy
+	}
+}
+
+// queueDepth reports jobs admitted but not yet picked up by a worker.
+func (p *pool) queueDepth() int { return len(p.jobs) }
+
+// inFlight reports jobs currently executing.
+func (p *pool) inFlight() int { return int(p.inflight.Load()) }
+
+// close stops accepting work and waits for queued and running jobs to
+// drain. Callers must ensure no trySubmit races with close.
+func (p *pool) close() {
+	close(p.jobs)
+	p.wg.Wait()
+}

@@ -1,0 +1,292 @@
+// Package service implements howsimd's engine: a concurrent what-if
+// front end over the simulator. Because every simulation is a pure,
+// deterministic function of its canonical config (internal/runconfig),
+// the service can treat results as content-addressed: identical
+// requests share one cached body, concurrent identical requests share
+// one in-flight run (singleflight), and a bounded worker pool with a
+// bounded queue provides admission control — overload is an immediate
+// 429, never an unbounded pile-up of multi-second simulations.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync"
+	"time"
+
+	"howsim/internal/probe"
+	"howsim/internal/runconfig"
+	"howsim/internal/tasks"
+)
+
+// Config sizes the service. Zero values select the defaults below.
+type Config struct {
+	// Workers is the number of simulations that may execute at once.
+	Workers int
+	// QueueDepth bounds admitted-but-not-started jobs; a full queue
+	// rejects with 429.
+	QueueDepth int
+	// CacheEntries bounds the result cache.
+	CacheEntries int
+	// RequestTimeout bounds one simulation's wall-clock run time; an
+	// overrun surfaces as 504. Zero means no timeout.
+	RequestTimeout time.Duration
+	// MaxRingSpans, MaxDisks, MaxScale cap per-request resource asks;
+	// requests beyond them are rejected with 400 before admission.
+	MaxRingSpans int
+	MaxDisks     int
+	MaxScale     float64
+}
+
+const (
+	// DefaultWorkers deliberately leaves headroom: each simulation is
+	// CPU-bound single-kernel work, so a small pool keeps the host
+	// responsive while the queue absorbs bursts.
+	DefaultWorkers      = 2
+	DefaultQueueDepth   = 16
+	DefaultCacheEntries = 256
+	DefaultTimeout      = 120 * time.Second
+	DefaultMaxScale     = 1.0
+)
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = DefaultWorkers
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = DefaultCacheEntries
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = DefaultTimeout
+	}
+	if c.MaxRingSpans <= 0 {
+		c.MaxRingSpans = runconfig.MaxRingSpans
+	}
+	if c.MaxDisks <= 0 {
+		c.MaxDisks = runconfig.MaxDisks
+	}
+	if c.MaxScale <= 0 {
+		c.MaxScale = DefaultMaxScale
+	}
+	return c
+}
+
+// SimResponse is the /v1/simulate response body. Field order is fixed
+// and map keys are sorted by encoding/json, so a given config always
+// renders the same bytes — the property the result cache relies on.
+type SimResponse struct {
+	Key            string             `json:"key"`
+	Config         string             `json:"config"`
+	Machine        string             `json:"machine"`
+	Task           string             `json:"task"`
+	Arch           string             `json:"arch"`
+	Disks          int                `json:"disks"`
+	DatasetMB      int64              `json:"dataset_mb"`
+	ElapsedSeconds float64            `json:"elapsed_seconds"`
+	Details        map[string]float64 `json:"details,omitempty"`
+	FaultReport    string             `json:"fault_report,omitempty"`
+	Breakdown      string             `json:"breakdown,omitempty"`
+}
+
+// runFunc executes one normalized simulation and renders its response
+// body. Replaced by tests to model slow, failing, or counted runs.
+type runFunc func(ctx context.Context, sp *runconfig.Spec) ([]byte, error)
+
+// Server wires cache, singleflight, and the worker pool together. It
+// is safe for concurrent use; Close drains it.
+type Server struct {
+	cfg     Config
+	cache   *lru
+	flight  *flightGroup
+	pool    *pool
+	metrics *Metrics
+	run     runFunc
+
+	baseCtx    context.Context // parent of every run context; dies on Close
+	baseCancel context.CancelFunc
+
+	drainMu  sync.RWMutex // write-held by Close so no submit races pool.close
+	draining bool
+
+	mux *http.ServeMux
+}
+
+// New builds a ready-to-serve Server.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:     cfg.withDefaults(),
+		flight:  newFlightGroup(),
+		metrics: &Metrics{},
+		run:     simulateReal,
+	}
+	s.cache = newLRU(s.cfg.CacheEntries)
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.pool = newPool(s.cfg.Workers, s.cfg.QueueDepth, s.runJob)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	return s
+}
+
+// Handler returns the HTTP surface: POST /v1/simulate, POST /v1/sweep,
+// GET /healthz, GET /statsz.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the server's counters (read-only use expected).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Close drains the service: new work is refused (503), queued and
+// running jobs finish (their run contexts are not cancelled — a
+// graceful drain lets admitted work complete), then the workers exit.
+// The caller is expected to stop the HTTP listener first.
+func (s *Server) Close() {
+	s.drainMu.Lock()
+	if s.draining {
+		s.drainMu.Unlock()
+		return
+	}
+	s.draining = true
+	s.drainMu.Unlock()
+	s.pool.close()
+	s.baseCancel()
+}
+
+// Draining reports whether Close has begun.
+func (s *Server) Draining() bool {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	return s.draining
+}
+
+var errDraining = errors.New("service: draining")
+
+// newRunCtx builds the context a leader's simulation runs under:
+// rooted at the server (so Close's final cancel reaps stragglers) and
+// bounded by the request timeout. It is cancelled early only when
+// every waiter abandons the call.
+func (s *Server) newRunCtx() (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout > 0 {
+		return context.WithTimeout(s.baseCtx, s.cfg.RequestTimeout)
+	}
+	return context.WithCancel(s.baseCtx)
+}
+
+// outcome is a served simulation result plus how it was obtained.
+type outcome struct {
+	body   []byte
+	source string // "hit" | "miss" | "dedup"
+}
+
+// simulate serves one normalized spec: cache, then singleflight, then
+// the pool. ctx is the caller's wait context (the HTTP request);
+// abandoning it releases this waiter's stake in the shared run.
+func (s *Server) simulate(ctx context.Context, sp *runconfig.Spec) (outcome, error) {
+	key := sp.Key()
+	if body, ok := s.cache.Get(key); ok {
+		s.metrics.CacheHits.Add(1)
+		return outcome{body: body, source: "hit"}, nil
+	}
+
+	s.drainMu.RLock()
+	if s.draining {
+		s.drainMu.RUnlock()
+		return outcome{}, errDraining
+	}
+	c, leader := s.flight.join(key, s.newRunCtx)
+	if leader {
+		s.metrics.CacheMisses.Add(1)
+		if err := s.pool.trySubmit(&job{key: key, spec: sp, c: c}); err != nil {
+			s.drainMu.RUnlock()
+			s.metrics.Rejected.Add(1)
+			// Wake any followers that joined between join and here; they
+			// see the same 429.
+			s.flight.finish(key, c, nil, err)
+			return outcome{}, err
+		}
+	} else {
+		s.metrics.DedupJoins.Add(1)
+	}
+	s.drainMu.RUnlock()
+
+	src := "miss"
+	if !leader {
+		src = "dedup"
+	}
+	select {
+	case <-c.done:
+		if c.err != nil {
+			return outcome{}, c.err
+		}
+		return outcome{body: c.body, source: src}, nil
+	case <-ctx.Done():
+		s.flight.release(key, c)
+		return outcome{}, ctx.Err()
+	}
+}
+
+// runJob executes one admitted job on a worker and completes its call.
+func (s *Server) runJob(j *job) {
+	if err := j.c.ctx.Err(); err != nil {
+		// Every waiter left (or the timeout fired) while the job sat in
+		// the queue; don't burn a worker on an unwanted run.
+		s.metrics.Cancelled.Add(1)
+		s.flight.finish(j.key, j.c, nil, err)
+		return
+	}
+	body, err := s.run(j.c.ctx, j.spec)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.metrics.Cancelled.Add(1)
+		} else {
+			s.metrics.RunErrors.Add(1)
+		}
+		s.flight.finish(j.key, j.c, nil, err)
+		return
+	}
+	s.metrics.SimRuns.Add(1)
+	s.cache.Add(j.key, body)
+	s.flight.finish(j.key, j.c, body, nil)
+}
+
+// simulateReal runs the actual simulator and renders the response
+// body. Determinism contract: for a given canonical spec the returned
+// bytes are identical across runs, processes, and execution modes.
+func simulateReal(ctx context.Context, sp *runconfig.Spec) ([]byte, error) {
+	var sink *probe.Sink
+	if sp.Req.Breakdown {
+		sink = probe.NewSinkCap(sp.Req.RingSpans * probe.DefaultRingSpans)
+	}
+	res, err := tasks.RunCtx(ctx, sp.Config, sp.TaskID, sp.Dataset, sp.Plan, sink, sp.Mode)
+	if err != nil {
+		return nil, err
+	}
+	resp := SimResponse{
+		Key:            sp.Key(),
+		Config:         sp.Canonical(),
+		Machine:        sp.Config.Name(),
+		Task:           sp.Req.Task,
+		Arch:           sp.Req.Arch,
+		Disks:          sp.Req.Disks,
+		DatasetMB:      sp.Dataset.TotalBytes >> 20,
+		ElapsedSeconds: res.Elapsed.Seconds(),
+		Details:        res.Details,
+	}
+	if res.Fault != nil {
+		resp.FaultReport = res.Fault.Render()
+	}
+	if sink != nil {
+		resp.Breakdown = sink.BuildReport(sp.Req.Task, sp.Config.Name(), probe.Time(res.Elapsed)).Render()
+	}
+	b, err := json.Marshal(resp)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -67,6 +67,10 @@ type Kernel struct {
 	posAnc     lineage
 	posLimited bool
 	stopped    bool
+	// dying is set while Shutdown unwinds live processes: any process
+	// resumed (or attempting to park) while it is set panics with the
+	// kill sentinel instead of continuing its body.
+	dying bool
 	// curSched is the scheduling time of the event currently executing —
 	// the recursive half of the (t, schedT) tie-break key a ShardGroup
 	// uses to slot cross-partition requests into single-kernel order.
@@ -364,6 +368,46 @@ func (k *Kernel) Snapshot() KernelSnapshot {
 	}
 }
 
+// procKilled is the sentinel Shutdown throws through a live process
+// body to unwind it; Proc.runBody absorbs it.
+type procKilled struct{}
+
+// Shutdown aborts a run in progress: every live process — parked on a
+// timer, a waiter queue, an Await, or not yet started — is resumed into
+// a panic that unwinds its body, returning its worker goroutine to the
+// free pool, and parked callback tasks are marked finished; then the
+// pool is released via Close. Afterwards Blocked() is zero and
+// DeadlockReport returns "": a cancelled simulation leaves no parked
+// procs and leaks no goroutines. Like Close, Shutdown must only be
+// called between runs (never while Run is executing), and the kernel's
+// model state is unspecified afterwards — discard the kernel. It is
+// idempotent.
+func (k *Kernel) Shutdown() {
+	k.dying = true
+	// Unwinding bodies can in principle spawn (a defer that starts a
+	// process), so index rather than range: appended procs are visited.
+	for i := 0; i < len(k.procs); i++ {
+		p := k.procs[i]
+		if p == nil || p.finished {
+			continue
+		}
+		k.activate(p)
+	}
+	k.dying = false
+	for _, tk := range k.tasks {
+		if tk == nil || tk.finished {
+			continue
+		}
+		if tk.waitOp != "" {
+			tk.waitOp, tk.waitObj = "", ""
+			k.blocked--
+		}
+		tk.finished = true
+		k.liveTasks--
+	}
+	k.Close()
+}
+
 // Close releases the pooled worker goroutines of finished processes.
 // Call it once after the final Run on kernels that spawned processes;
 // without it the pooled workers stay parked on their resume channels
@@ -500,13 +544,35 @@ func (p *Proc) run() {
 		if _, ok := <-p.resume; !ok {
 			return
 		}
-		p.body(p)
+		p.runBody()
 		p.body = nil
 		p.finished = true
 		k.live--
 		k.procFree = append(k.procFree, p)
 		k.yield <- struct{}{}
 	}
+}
+
+// runBody executes the process body, absorbing the kill sentinel that
+// Kernel.Shutdown throws through parked bodies. A killed process counts
+// as finished; if it was parked on a blocking primitive its wait site
+// is cleared so the kernel's blocked count — and DeadlockReport — come
+// out clean.
+func (p *Proc) runBody() {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if _, ok := r.(procKilled); !ok {
+			panic(r)
+		}
+		if p.waitOp != "" {
+			p.waitOp, p.waitObj = "", ""
+			p.k.blocked--
+		}
+	}()
+	p.body(p)
 }
 
 // park suspends the process until another event wakes it. The caller is
@@ -517,8 +583,14 @@ func (p *Proc) run() {
 // neither direction allocates, and the channels must stay unbuffered so
 // that exactly one of {kernel, one process} is ever runnable.
 func (p *Proc) park() {
+	if p.k.dying {
+		panic(procKilled{})
+	}
 	p.k.yield <- struct{}{}
 	<-p.resume
+	if p.k.dying {
+		panic(procKilled{})
+	}
 }
 
 // parkBlocked is park for processes waiting on a condition rather than a

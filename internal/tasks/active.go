@@ -16,12 +16,13 @@ import (
 
 // runActive executes one task on an Active Disk configuration.
 func runActive(cfg arch.Config, task workload.TaskID, ds workload.Dataset, res *Result,
-	plan *fault.Plan, sink *probe.Sink) {
-	if sim.DefaultExecMode == sim.ModeParallel && shardable(cfg, task, plan) {
+	plan *fault.Plan, sink *probe.Sink, rc *runCtl) {
+	if rc.mode == sim.ModeParallel && shardable(cfg, task, plan) {
 		runActiveSharded(cfg, task, ds, res, plan, sink)
 		return
 	}
 	k := sim.NewKernel()
+	k.SetExecMode(rc.mode)
 	defer k.Close()
 	k.SetProbe(sink)
 	s := cfg.BuildActive(k)
@@ -51,7 +52,11 @@ func runActive(cfg arch.Config, task workload.TaskID, ds workload.Dataset, res *
 	default:
 		panic(fmt.Sprintf("tasks: unknown task %v", task))
 	}
-	res.Elapsed = k.Run()
+	res.Elapsed = rc.run(k)
+	if rc.cancelled {
+		rc.abort(k)
+		return
+	}
 	completed := done.Fired()
 	if !completed && plan == nil {
 		panic(fmt.Sprintf("tasks: %v on %s deadlocked at %v (%d blocked)\n%s",

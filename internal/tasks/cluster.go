@@ -50,8 +50,9 @@ func (w *sendWindow) drain(p *sim.Proc) {
 
 // runCluster executes one task on a commodity-cluster configuration.
 func runCluster(cfg arch.Config, task workload.TaskID, ds workload.Dataset, res *Result,
-	plan *fault.Plan, sink *probe.Sink) {
+	plan *fault.Plan, sink *probe.Sink, rc *runCtl) {
 	k := sim.NewKernel()
+	k.SetExecMode(rc.mode)
 	defer k.Close()
 	k.SetProbe(sink)
 	m := cfg.BuildCluster(k)
@@ -82,7 +83,11 @@ func runCluster(cfg arch.Config, task workload.TaskID, ds workload.Dataset, res 
 	default:
 		panic(fmt.Sprintf("tasks: unknown task %v", task))
 	}
-	res.Elapsed = k.Run()
+	res.Elapsed = rc.run(k)
+	if rc.cancelled {
+		rc.abort(k)
+		return
+	}
 	completed := done.Fired()
 	if !completed && plan == nil {
 		panic(fmt.Sprintf("tasks: %v on %s deadlocked at %v (%d blocked)\n%s",

@@ -16,8 +16,9 @@ import (
 // processor, shared self-scheduling block queues over striped files, and
 // block transfers / remote queues for data movement between processors.
 func runSMP(cfg arch.Config, task workload.TaskID, ds workload.Dataset, res *Result,
-	plan *fault.Plan, sink *probe.Sink) {
+	plan *fault.Plan, sink *probe.Sink, rc *runCtl) {
 	k := sim.NewKernel()
+	k.SetExecMode(rc.mode)
 	defer k.Close()
 	k.SetProbe(sink)
 	m := cfg.BuildSMP(k)
@@ -44,7 +45,11 @@ func runSMP(cfg arch.Config, task workload.TaskID, ds workload.Dataset, res *Res
 	default:
 		panic(fmt.Sprintf("tasks: unknown task %v", task))
 	}
-	res.Elapsed = k.Run()
+	res.Elapsed = rc.run(k)
+	if rc.cancelled {
+		rc.abort(k)
+		return
+	}
 	completed := done.Fired()
 	if !completed && plan == nil {
 		panic(fmt.Sprintf("tasks: %v on %s deadlocked at %v (%d blocked)\n%s",

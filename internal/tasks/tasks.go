@@ -1,6 +1,7 @@
 package tasks
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -73,28 +74,13 @@ func RunDatasetFaulted(cfg arch.Config, task workload.TaskID, ds workload.Datase
 // to the run's kernel: every model component registers with (and, when
 // the sink is enabled, emits into) it, and the task's phase timeline is
 // recorded at completion. A nil sink selects the plain path; an
-// attached-but-disabled sink costs only registration.
+// attached-but-disabled sink costs only registration. The execution
+// mode comes from sim.DefaultExecMode; RunCtx is the entry point for
+// callers that need an explicit per-run mode or cancellation.
 func RunDatasetProbed(cfg arch.Config, task workload.TaskID, ds workload.Dataset,
 	plan *fault.Plan, sink *probe.Sink) *Result {
-	if plan != nil && plan.Empty() {
-		plan = nil
-	}
-	res := &Result{
-		Task:      task,
-		Config:    cfg,
-		Breakdown: sim.NewBreakdown(),
-		Details:   map[string]float64{},
-	}
-	switch cfg.Kind {
-	case arch.KindActiveDisk:
-		runActive(cfg, task, ds, res, plan, sink)
-	case arch.KindCluster:
-		runCluster(cfg, task, ds, res, plan, sink)
-	case arch.KindSMP:
-		runSMP(cfg, task, ds, res, plan, sink)
-	default:
-		panic(fmt.Sprintf("tasks: unknown architecture %v", cfg.Kind))
-	}
+	// context.Background can never cancel, so RunCtx never errors here.
+	res, _ := RunCtx(context.Background(), cfg, task, ds, plan, sink, sim.DefaultExecMode)
 	return res
 }
 

@@ -16,6 +16,12 @@
 // (both num_cpu and gomaxprocs): a speedup floor is meaningless on a
 // single-core runner, where the conservative sync protocol can at best
 // break even.
+//
+// With -service, benchguard additionally gates the howsimd service
+// path recorded by scripts/benchservice against -servicebaseline: the
+// warm cache hit's ns/op (with tolerance) and its allocs/op (exactly —
+// a cache hit is a map lookup plus a write of pre-rendered bytes, and
+// any new allocation on that path is a real change, not noise).
 package main
 
 import (
@@ -95,6 +101,48 @@ func gateParallelRow(rep *parallelReport, minSpeedup float64, minCPU int) bool {
 	return failed
 }
 
+// gateService compares the service-path report against its committed
+// baseline: warm-hit ns/op within tolerance, warm-hit allocs/op not
+// growing. Reports whether the gate failed.
+func gateService(baselinePath, currentPath string, tolerance float64) bool {
+	baseline, err := benchfmt.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		return true
+	}
+	current, err := benchfmt.ReadFile(currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		return true
+	}
+	const name = "BenchmarkServiceWarmHit"
+	base, ok := baseline.Find(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchguard: %s missing from baseline %s\n", name, baselinePath)
+		return true
+	}
+	cur, ok := current.Find(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchguard: %s missing from current %s\n", name, currentPath)
+		return true
+	}
+	failed := false
+	limit := base.NsPerOp * (1 + tolerance)
+	verdict := "ok"
+	if cur.NsPerOp > limit {
+		verdict = "REGRESSED"
+		failed = true
+	}
+	fmt.Printf("%-40s baseline %.1f ns/op  current %.1f ns/op  limit %.1f  %s\n",
+		name, base.NsPerOp, cur.NsPerOp, limit, verdict)
+	if cur.AllocsPerOp > base.AllocsPerOp {
+		fmt.Printf("%-40s allocs/op grew %.0f -> %.0f  REGRESSED\n",
+			name, base.AllocsPerOp, cur.AllocsPerOp)
+		failed = true
+	}
+	return failed
+}
+
 func main() {
 	var (
 		baselinePath = flag.String("baseline", "BENCH_kernel.json", "committed baseline report")
@@ -107,6 +155,8 @@ func main() {
 		parallelPath = flag.String("parallel", "", "benchparallel report to gate (empty = no speedup gate)")
 		minSpeedup   = flag.Float64("minspeedup", 2.0, "required parallel speedup when measured on >= -mincpu cores")
 		minCPU       = flag.Int("mincpu", 4, "minimum cores for the speedup gate to engage")
+		servicePath  = flag.String("service", "", "benchservice report to gate (empty = no service gate)")
+		serviceBase  = flag.String("servicebaseline", "BENCH_service.json", "committed service baseline report")
 	)
 	flag.Parse()
 
@@ -175,6 +225,9 @@ func main() {
 		fmt.Printf("%-40s allocs/op %.0f (must be 0)  %s\n", name, cur.AllocsPerOp, verdict)
 	}
 	if *parallelPath != "" && gateParallel(*parallelPath, *minSpeedup, *minCPU) {
+		failed = true
+	}
+	if *servicePath != "" && gateService(*serviceBase, *servicePath, *tolerance) {
 		failed = true
 	}
 	if failed {

@@ -1,0 +1,55 @@
+// Command benchservice runs the howsimd service-path load benchmarks
+// (cold-path admission, warm cache hit, dedup fan-out) and writes the
+// results as JSON (default BENCH_service.json) so the service overhead
+// trajectory can be tracked across PRs:
+//
+//	go run ./scripts/benchservice            # or: make bench-service
+//	go run ./scripts/benchservice -count 3 -out /tmp/s.json
+//
+// The benchmarks use an instant stub runner, so the numbers isolate
+// the service layer — request decode, canonical hashing, cache and
+// singleflight, worker-pool round trip — from simulation cost.
+// benchguard gates the warm-hit latency and allocations against the
+// committed baseline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+
+	"howsim/internal/benchfmt"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_service.json", "output file")
+		pattern = flag.String("bench", "BenchmarkService", "benchmark regexp")
+		pkg     = flag.String("pkg", "./internal/service", "package to benchmark")
+		count   = flag.Int("count", 1, "benchmark repetitions (best ns/op wins)")
+	)
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", *pattern, "-benchmem", "-count", strconv.Itoa(*count), *pkg)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchservice: go test failed: %v\n%s", err, raw)
+		os.Exit(1)
+	}
+
+	rep := benchfmt.NewReport(*pkg, *pattern, *count)
+	rep.Benchmarks = benchfmt.ParseOutput(raw)
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchservice: no benchmark lines parsed")
+		os.Exit(1)
+	}
+	if err := rep.WriteFile(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchservice:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+}

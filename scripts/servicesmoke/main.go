@@ -1,0 +1,146 @@
+// Command servicesmoke is the end-to-end check CI runs against a real
+// howsimd process: build the binary, start it, simulate the same
+// config twice (asserting the repeat is a cache hit with a
+// byte-identical body), run a sweep, verify /statsz accounting, then
+// SIGTERM it and require a clean drain.
+//
+//	go run ./scripts/servicesmoke            # or: make service-smoke
+//	go run ./scripts/servicesmoke -port 18089 -keep-binary /tmp/howsimd
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "servicesmoke: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// post sends a JSON body and returns status, body, cache header.
+func post(url, body string) (int, []byte, string, error) {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, nil, "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, b, resp.Header.Get("X-Howsim-Cache"), err
+}
+
+func main() {
+	var (
+		port = flag.Int("port", 18089, "port to run the smoke instance on")
+		bin  = flag.String("keep-binary", "/tmp/howsimd-smoke", "where to build the howsimd binary")
+	)
+	flag.Parse()
+
+	build := exec.Command("go", "build", "-o", *bin, "./cmd/howsimd")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		fail("build: %v", err)
+	}
+
+	addr := fmt.Sprintf("127.0.0.1:%d", *port)
+	base := "http://" + addr
+	var stderr bytes.Buffer
+	srv := exec.Command(*bin, "-addr", addr, "-workers", "2", "-queue", "8", "-timeout", "60s")
+	srv.Stderr = &stderr
+	if err := srv.Start(); err != nil {
+		fail("start: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Wait() }()
+	defer srv.Process.Kill()
+
+	// Wait for the listener.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			fail("server never became healthy; stderr:\n%s", stderr.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Cold simulate, then the identical request again: the repeat must
+	// be a cache hit and the bodies must be byte-identical.
+	simBody := `{"task":"select","arch":"active","disks":4,"scale":0.002,"breakdown":true}`
+	st, cold, src, err := post(base+"/v1/simulate", simBody)
+	if err != nil || st != http.StatusOK {
+		fail("cold simulate: status=%d err=%v body=%s", st, err, cold)
+	}
+	if src != "miss" {
+		fail("cold simulate disposition %q, want miss", src)
+	}
+	st, warm, src, err := post(base+"/v1/simulate", simBody)
+	if err != nil || st != http.StatusOK {
+		fail("warm simulate: status=%d err=%v", st, err)
+	}
+	if src != "hit" {
+		fail("warm simulate disposition %q, want hit", src)
+	}
+	if !bytes.Equal(cold, warm) {
+		fail("warm body differs from cold:\n%s\nvs\n%s", cold, warm)
+	}
+	fmt.Println("simulate: cold miss + warm hit, byte-identical bodies")
+
+	// A small sweep across two sizes.
+	st, sweep, _, err := post(base+"/v1/sweep", `{"task":"select","arch":"active","scale":0.002,"sizes":[2,4]}`)
+	if err != nil || st != http.StatusOK {
+		fail("sweep: status=%d err=%v body=%s", st, err, sweep)
+	}
+	if !bytes.Contains(sweep, []byte(`"disks":4`)) {
+		fail("sweep response missing rows: %s", sweep)
+	}
+	fmt.Println("sweep: ok")
+
+	// /statsz must account for exactly what we did: 1 hit, 3 misses
+	// (cold simulate + two fresh sweep points), 3 completed runs.
+	resp, err := http.Get(base + "/statsz")
+	if err != nil {
+		fail("statsz: %v", err)
+	}
+	statsB, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	stats := string(statsB)
+	for _, want := range []string{"cache_hits 1\n", "cache_misses 3\n", "sim_runs 3\n", "cache_entries 3\n"} {
+		if !strings.Contains(stats, want) {
+			fail("statsz missing %q:\n%s", strings.TrimSpace(want), stats)
+		}
+	}
+	fmt.Println("statsz: counters consistent")
+
+	// Graceful drain on SIGTERM.
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		fail("signal: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			fail("server exited uncleanly: %v; stderr:\n%s", err, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		fail("server did not drain within 30s; stderr:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "drained") {
+		fail("no drain confirmation in stderr:\n%s", stderr.String())
+	}
+	fmt.Println("shutdown: clean drain on SIGTERM")
+}
