@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race bench-kernel bench-figures benchfigures bench-parallel bench-service bench-guard fault-smoke trace-smoke chaos-smoke service-smoke
+.PHONY: build vet lint vet-fixtures vet-allows test race bench-kernel bench-figures benchfigures bench-parallel bench-service bench-guard fault-smoke trace-smoke chaos-smoke service-smoke
 
 build:
 	$(GO) build ./...
@@ -13,13 +13,25 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Standard vet plus the howsimvet invariant checkers (determinism and
-# dual-mode execution safety — see DESIGN.md "Static analysis"). The
+# Standard vet plus the howsimvet invariant checkers (determinism,
+# dual-mode execution safety, and the v2 concurrency/shard-safety
+# rules — see DESIGN.md "Static analysis" and docs/ANALYZERS.md). The
 # repo must stay at zero findings; suppressions need a
-# `//howsim:allow <analyzer> -- reason` comment.
+# `//howsim:allow <analyzer> -- reason` comment, and a suppression that
+# stops suppressing anything becomes a finding itself.
 lint: vet
 	$(GO) build -o /tmp/howsimvet ./cmd/howsimvet
 	$(GO) vet -vettool=/tmp/howsimvet ./...
+
+# Just the analyzer fixture tests: fast feedback while writing or
+# tuning a checker, without the repo-wide vet sweep.
+vet-fixtures:
+	$(GO) test ./internal/analysis/...
+
+# Print the reviewed-exemption audit table (file:line, analyzer,
+# reason). CI uploads this as an artifact on every lint run.
+vet-allows:
+	$(GO) run ./cmd/howsimvet -allows .
 
 test:
 	$(GO) test ./...

@@ -1,14 +1,20 @@
 // Command howsimvet is the simulator's invariant checker: a
 // go/analysis vettool bundling the determinism and dual-mode execution
 // safety rules from internal/analysis (nowallclock, norandglobal,
-// sortedrange, noblockincallback, proberef).
+// sortedrange, noblockincallback, proberef) plus the v2 concurrency
+// and shard-safety rules (lockguard, atomiconly, shardsafe,
+// ctxdiscipline).
 //
-// Two ways to run it:
+// Three ways to run it:
 //
 //	go vet -vettool=$(which howsimvet) ./...   # the vet protocol
 //	howsimvet ./...                            # standalone; re-execs go vet
+//	howsimvet -allows [dir]                    # audit the //howsim:allow table
 //
-// `make lint` builds it and runs the second form over the whole repo.
+// `make lint` builds it and runs the second form over the whole repo;
+// the third prints every reviewed exemption in production code as a
+// file:line / analyzer / reason table (stale entries are themselves
+// findings in the first two forms, so the table can't rot).
 package main
 
 import (
@@ -16,17 +22,48 @@ import (
 	"os"
 	"os/exec"
 	"strings"
+	"text/tabwriter"
 
 	"golang.org/x/tools/go/analysis/unitchecker"
 
 	hsanalysis "howsim/internal/analysis"
+	"howsim/internal/analysis/allow"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "-allows" {
+		os.Exit(runAllows(os.Args[2:]))
+	}
 	if patterns := standalonePatterns(os.Args[1:]); patterns != nil {
 		os.Exit(runStandalone(patterns))
 	}
 	unitchecker.Main(hsanalysis.Analyzers()...)
+}
+
+// runAllows prints the exemption audit: every //howsim:allow directive
+// under the given root (default ".") with its analyzer and reason.
+func runAllows(args []string) int {
+	root := "."
+	if len(args) > 0 {
+		root = args[0]
+	}
+	recs, err := allow.ScanDir(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "howsimvet:", err)
+		return 1
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "FILE:LINE\tANALYZER\tREASON")
+	for _, r := range recs {
+		reason := r.Reason
+		if reason == "" {
+			reason = "(none given)"
+		}
+		fmt.Fprintf(tw, "%s:%d\t%s\t%s\n", r.File, r.Line, r.Analyzer, reason)
+	}
+	tw.Flush()
+	fmt.Printf("%d directive(s)\n", len(recs))
+	return 0
 }
 
 // standalonePatterns decides how we were invoked. Under `go vet

@@ -1,10 +1,15 @@
 // Clean-sweep gate for the howsimvet invariant checkers: the repository
 // must carry zero findings at all times. The test builds cmd/howsimvet
 // and runs it over every package via `go vet -vettool`, so a stray
-// time.Now in a model package or an unsorted map range feeding a report
-// fails `go test ./...` the same way it fails CI's lint job. New
-// exemptions go through a `//howsim:allow <analyzer> -- reason` comment,
-// which keeps every suppression greppable and reviewed.
+// time.Now in a model package, an unsorted map range feeding a report,
+// a guarded field touched without its mutex, or a leaf disklet
+// reaching hub state outside Shard.Call fails `go test ./...` the same
+// way it fails CI's lint job. New exemptions go through a
+// `//howsim:allow <analyzer> -- reason` comment, which keeps every
+// suppression greppable and reviewed — and audited: each analyzer
+// reports its own directives that no longer suppress anything, so a
+// stale exemption fails this sweep too (`howsimvet -allows` prints the
+// live table).
 package repro_test
 
 import (

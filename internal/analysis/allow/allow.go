@@ -8,7 +8,11 @@ package allow
 
 import (
 	"go/ast"
+	"go/parser"
 	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"golang.org/x/tools/go/analysis"
@@ -51,12 +55,24 @@ func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
 // line above it. Everything after `--` is a free-form justification.
 const Prefix = "//howsim:allow"
 
+// Directive is one parsed //howsim:allow comment for one analyzer
+// name. Used flips when the directive actually suppresses a finding;
+// ReportStale turns directives that never fire into findings of their
+// own, so exemptions cannot outlive the code they excused.
+type Directive struct {
+	Analyzer string
+	Reason   string
+	Pos      token.Pos
+	Used     bool
+}
+
 // Suppressor answers "is this diagnostic exempted?" for one pass. Build
 // it once per analyzer run; it indexes every allow comment in the
 // package by (file, line, analyzer).
 type Suppressor struct {
-	fset  *token.FileSet
-	lines map[suppKey]bool
+	fset       *token.FileSet
+	lines      map[suppKey]*Directive
+	directives []*Directive
 }
 
 type suppKey struct {
@@ -67,7 +83,7 @@ type suppKey struct {
 
 // NewSuppressor scans the pass's files for allow directives.
 func NewSuppressor(pass *analysis.Pass) *Suppressor {
-	s := &Suppressor{fset: pass.Fset, lines: map[suppKey]bool{}}
+	s := &Suppressor{fset: pass.Fset, lines: map[suppKey]*Directive{}}
 	for _, f := range pass.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -75,13 +91,15 @@ func NewSuppressor(pass *analysis.Pass) *Suppressor {
 				if !ok {
 					continue
 				}
-				text, _, _ = strings.Cut(text, "--")
+				text, reason, _ := strings.Cut(text, "--")
 				p := s.fset.Position(c.Pos())
 				for _, name := range strings.Fields(text) {
+					d := &Directive{Analyzer: name, Reason: strings.TrimSpace(reason), Pos: c.Pos()}
+					s.directives = append(s.directives, d)
 					// The directive covers its own line and the next, so
 					// it works both trailing and as a lead-in comment.
-					s.lines[suppKey{p.Filename, p.Line, name}] = true
-					s.lines[suppKey{p.Filename, p.Line + 1, name}] = true
+					s.lines[suppKey{p.Filename, p.Line, name}] = d
+					s.lines[suppKey{p.Filename, p.Line + 1, name}] = d
 				}
 			}
 		}
@@ -90,10 +108,30 @@ func NewSuppressor(pass *analysis.Pass) *Suppressor {
 }
 
 // Allowed reports whether a diagnostic from the named analyzer at pos
-// is covered by an allow directive.
+// is covered by an allow directive, marking the directive live.
 func (s *Suppressor) Allowed(analyzer string, pos token.Pos) bool {
 	p := s.fset.Position(pos)
-	return s.lines[suppKey{p.Filename, p.Line, analyzer}]
+	d := s.lines[suppKey{p.Filename, p.Line, analyzer}]
+	if d == nil {
+		return false
+	}
+	d.Used = true
+	return true
+}
+
+// ReportStale reports every directive naming this pass's analyzer that
+// never suppressed anything. Each analyzer owns the staleness of its
+// own directives, so running the whole suite (the clean-sweep test)
+// catches every stale exemption exactly once. Call it at the end of
+// run — typically `defer sup.ReportStale(pass)` right after
+// NewSuppressor, so early returns still audit.
+func (s *Suppressor) ReportStale(pass *analysis.Pass) {
+	for _, d := range s.directives {
+		if d.Analyzer == pass.Analyzer.Name && !d.Used {
+			pass.Reportf(d.Pos, "stale %s %s directive: no %s finding here to suppress; delete it",
+				Prefix, d.Analyzer, d.Analyzer)
+		}
+	}
 }
 
 // Reportf emits a diagnostic unless an allow directive covers it.
@@ -149,4 +187,74 @@ func writeExpr(b *strings.Builder, e ast.Expr) {
 		// emission is treated as unguarded.
 		b.WriteString("?!")
 	}
+}
+
+// ScannedDirective is one allow directive as seen by the audit scan:
+// file-positioned, independent of any analysis pass. A directive
+// naming several analyzers scans as one record per name.
+type ScannedDirective struct {
+	File     string
+	Line     int
+	Analyzer string
+	Reason   string
+}
+
+// ScanDir walks root for Go files and returns every //howsim:allow
+// directive in them, ordered by file then line. vendor/, testdata/ and
+// hidden directories are skipped: the audit lists the exemptions
+// carried by production code, not fixture material. Whether each
+// directive still earns its keep is enforced separately — every
+// analyzer reports its own unused directives as findings, so the
+// clean-sweep test fails on stale entries in this table.
+func ScanDir(root string) ([]ScannedDirective, error) {
+	var out []ScannedDirective
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "vendor" || name == "testdata" || strings.HasPrefix(name, ".")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, Prefix)
+				if !ok {
+					continue
+				}
+				text, reason, _ := strings.Cut(text, "--")
+				p := fset.Position(c.Pos())
+				for _, name := range strings.Fields(text) {
+					out = append(out, ScannedDirective{
+						File:     p.Filename,
+						Line:     p.Line,
+						Analyzer: name,
+						Reason:   strings.TrimSpace(reason),
+					})
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out, nil
 }

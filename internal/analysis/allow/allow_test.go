@@ -1,0 +1,96 @@
+package allow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+const staleSrc = `package p
+
+var a = 1 //howsim:allow fake -- suppresses the finding below
+var b = 2
+//howsim:allow fake -- never fires
+var c = 3
+var d = 4 //howsim:allow other -- not ours
+`
+
+func passFor(t *testing.T, src string, name string) (*analysis.Pass, *[]analysis.Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "stale.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer: &analysis.Analyzer{Name: name},
+		Fset:     fset,
+		Files:    []*ast.File{f},
+		Report:   func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	return pass, &diags
+}
+
+// TestReportStale: a directive that suppressed a finding stays silent;
+// one that never fired is reported; directives owned by other analyzers
+// are left for their owners.
+func TestReportStale(t *testing.T) {
+	pass, diags := passFor(t, staleSrc, "fake")
+	sup := NewSuppressor(pass)
+
+	// Simulate a finding on line 3 (the directive's own line): suppressed.
+	pos := pass.Fset.File(pass.Files[0].Pos()).LineStart(3)
+	if !sup.Allowed("fake", pos) {
+		t.Fatalf("directive on line 3 should suppress a fake finding there")
+	}
+	sup.ReportStale(pass)
+	if len(*diags) != 1 {
+		t.Fatalf("want exactly 1 stale report, got %d: %v", len(*diags), *diags)
+	}
+	d := (*diags)[0]
+	if !strings.Contains(d.Message, "stale") || !strings.Contains(d.Message, "fake") {
+		t.Errorf("stale message should name the analyzer: %q", d.Message)
+	}
+	if line := pass.Fset.Position(d.Pos).Line; line != 5 {
+		t.Errorf("stale report at line %d, want 5 (the unused directive)", line)
+	}
+}
+
+// TestReportStaleNextLineCoverage: a lead-in directive used by a finding
+// on the following line is live.
+func TestReportStaleNextLineCoverage(t *testing.T) {
+	pass, diags := passFor(t, staleSrc, "fake")
+	sup := NewSuppressor(pass)
+	// Line 6 is covered by the lead-in directive on line 5.
+	pos := pass.Fset.File(pass.Files[0].Pos()).LineStart(6)
+	if !sup.Allowed("fake", pos) {
+		t.Fatalf("lead-in directive should cover the next line")
+	}
+	sup.ReportStale(pass)
+	// The trailing directive on line 3 never fired this time.
+	if len(*diags) != 1 {
+		t.Fatalf("want exactly 1 stale report, got %d: %v", len(*diags), *diags)
+	}
+	if line := pass.Fset.Position((*diags)[0].Pos).Line; line != 3 {
+		t.Errorf("stale report at line %d, want 3", line)
+	}
+}
+
+// TestReportStaleOwnership: an analyzer only audits directives bearing
+// its own name.
+func TestReportStaleOwnership(t *testing.T) {
+	pass, diags := passFor(t, staleSrc, "other")
+	sup := NewSuppressor(pass)
+	sup.ReportStale(pass)
+	if len(*diags) != 1 {
+		t.Fatalf("want 1 stale report for 'other', got %d: %v", len(*diags), *diags)
+	}
+	if line := pass.Fset.Position((*diags)[0].Pos).Line; line != 7 {
+		t.Errorf("stale report at line %d, want 7", line)
+	}
+}

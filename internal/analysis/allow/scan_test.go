@@ -1,0 +1,68 @@
+package allow_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"howsim/internal/analysis/allow"
+)
+
+// TestScanDir checks the audit scan: directives are found with their
+// analyzer names and reasons, multi-name directives expand to one
+// record per analyzer, and vendor/testdata trees are excluded.
+func TestScanDir(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		p := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("a/a.go", `package a
+
+func f() int {
+	x := 1 //howsim:allow nowallclock -- replay of a recorded trace
+	//howsim:allow lockguard sortedrange -- snapshot taken under test harness lock
+	return x
+}
+`)
+	write("vendor/v/v.go", `package v
+
+var x = 1 //howsim:allow norandglobal -- vendored, not ours
+`)
+	write("a/testdata/src/fx/fx.go", `package fx
+
+var y = 1 //howsim:allow proberef -- fixture material
+`)
+
+	recs, err := allow.ScanDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d directives, want 3: %+v", len(recs), recs)
+	}
+	if recs[0].Analyzer != "nowallclock" || recs[0].Line != 4 {
+		t.Errorf("recs[0] = %+v, want nowallclock at line 4", recs[0])
+	}
+	if recs[0].Reason != "replay of a recorded trace" {
+		t.Errorf("recs[0].Reason = %q", recs[0].Reason)
+	}
+	// The two-analyzer directive expands, ordered by file then line.
+	if recs[1].Analyzer != "lockguard" || recs[2].Analyzer != "sortedrange" {
+		t.Errorf("multi-name directive scanned as %q, %q", recs[1].Analyzer, recs[2].Analyzer)
+	}
+	if recs[1].Line != 5 || recs[2].Line != 5 {
+		t.Errorf("multi-name lines = %d, %d, want 5", recs[1].Line, recs[2].Line)
+	}
+	for _, r := range recs {
+		if filepath.Base(filepath.Dir(r.File)) == "v" || r.Analyzer == "norandglobal" || r.Analyzer == "proberef" {
+			t.Errorf("vendored or fixture directive leaked into audit: %+v", r)
+		}
+	}
+}

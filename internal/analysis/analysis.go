@@ -1,9 +1,12 @@
 // Package analysis registers howsim's custom go/analysis suite: the
 // invariant checkers behind the repo's reproducibility guarantees
 // (byte-identical figures, fault reports and probe traces across runs,
-// seeds and -procmode settings). cmd/howsimvet wires these into a
-// vettool; howsimvet_clean_test.go keeps the repo itself at zero
-// findings.
+// seeds and -procmode settings) and the concurrency/shard-safety
+// rules for the service and shard tiers (guarded-field locking,
+// atomic-field hygiene, hub/leaf ownership, context discipline).
+// cmd/howsimvet wires these into a vettool; howsimvet_clean_test.go
+// keeps the repo itself at zero findings — including stale
+// //howsim:allow directives, which each analyzer reports for itself.
 //
 // An individually reviewed exemption is written as
 //
@@ -15,14 +18,20 @@ package analysis
 import (
 	"golang.org/x/tools/go/analysis"
 
+	"howsim/internal/analysis/atomiconly"
+	"howsim/internal/analysis/ctxdiscipline"
+	"howsim/internal/analysis/lockguard"
 	"howsim/internal/analysis/noblockincallback"
 	"howsim/internal/analysis/norandglobal"
 	"howsim/internal/analysis/nowallclock"
 	"howsim/internal/analysis/proberef"
+	"howsim/internal/analysis/shardsafe"
 	"howsim/internal/analysis/sortedrange"
 )
 
-// Analyzers returns the howsimvet suite in a stable order.
+// Analyzers returns the howsimvet suite in a stable order: the v1
+// determinism checkers first, then the v2 concurrency and
+// shard-safety checkers.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		nowallclock.Analyzer,
@@ -30,5 +39,9 @@ func Analyzers() []*analysis.Analyzer {
 		sortedrange.Analyzer,
 		noblockincallback.Analyzer,
 		proberef.Analyzer,
+		lockguard.Analyzer,
+		atomiconly.Analyzer,
+		shardsafe.Analyzer,
+		ctxdiscipline.Analyzer,
 	}
 }

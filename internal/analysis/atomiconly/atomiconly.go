@@ -1,0 +1,212 @@
+// Package atomiconly enforces all-or-nothing atomicity on shared
+// counters, the discipline the service tier's Metrics and the shard
+// runtime's horizons rely on:
+//
+//   - A value of a sync/atomic type (atomic.Int64, atomic.Bool,
+//     atomic.Value, …) must never be copied: not assigned, not passed
+//     as an argument, not returned, not embedded in a composite
+//     literal. Copies detach from the original and silently fork the
+//     counter. Legal uses are method calls on the value and taking its
+//     address.
+//
+//   - A plain-typed struct field that is ever accessed through the
+//     sync/atomic functions (`atomic.AddInt64(&s.n, 1)`, …) is an
+//     atomic field everywhere: any other direct read or write of it in
+//     the package mixes atomic and non-atomic access, which is exactly
+//     the race the atomics were bought to prevent.
+//
+// The typed-atomic form is the repo's preferred one; the function-form
+// rule exists so a future regression to mixed access on a legacy
+// counter is caught at vet time rather than by the race detector.
+package atomiconly
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"howsim/internal/analysis/allow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomiconly",
+	Doc: "flag copies of sync/atomic values (assignment, argument, return, composite literal) and " +
+		"non-atomic access to fields elsewhere accessed via sync/atomic functions; " +
+		"mixed atomic/plain access is a data race by construction",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	sup := allow.NewSuppressor(pass)
+	defer sup.ReportStale(pass)
+
+	checkCopies(pass, ins, sup)
+	checkMixedAccess(pass, ins, sup)
+	return nil, nil
+}
+
+// isAtomicType reports whether t is a named type from sync/atomic
+// (possibly behind an alias), excluding pointers to them — pointers
+// share, values fork.
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	o := named.Obj()
+	return o.Pkg() != nil && o.Pkg().Path() == "sync/atomic"
+}
+
+// copyable reports whether e is an expression whose evaluation would
+// copy an existing atomic value — a variable, field, deref or index,
+// as opposed to a fresh composite literal or conversion.
+func copyable(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.CompositeLit:
+		return false
+	case *ast.CallExpr:
+		return false
+	case *ast.UnaryExpr:
+		return e.Op.String() == "*"
+	}
+	return false
+}
+
+// checkCopies flags every position where an atomic value is copied.
+func checkCopies(pass *analysis.Pass, ins *inspector.Inspector, sup *allow.Suppressor) {
+	report := func(e ast.Expr, how string) {
+		t := pass.TypesInfo.TypeOf(e)
+		if t == nil || !isAtomicType(t) || !copyable(e) {
+			return
+		}
+		if allow.IsTestFile(pass.Fset, e.Pos()) {
+			return
+		}
+		allow.Reportf(pass, sup, e.Pos(),
+			"%s copies atomic value %s (type %s); atomic values must be used in place — "+
+				"share a pointer instead", how, allow.ExprString(e), t.String())
+	}
+
+	ins.Preorder([]ast.Node{
+		(*ast.AssignStmt)(nil), (*ast.CallExpr)(nil), (*ast.ReturnStmt)(nil),
+		(*ast.CompositeLit)(nil), (*ast.ValueSpec)(nil), (*ast.RangeStmt)(nil),
+	}, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// `_ = v` discards the copy; every real use is flagged at
+			// its own site.
+			if !(len(n.Lhs) == 1 && isBlank(n.Lhs[0])) {
+				for _, r := range n.Rhs {
+					report(r, "assignment")
+				}
+			}
+			if n.Tok == token.DEFINE {
+				break // := initializes fresh variables, it overwrites nothing
+			}
+			// Assigning INTO an atomic-typed location clobbers its state
+			// non-atomically, whatever the source.
+			for _, l := range n.Lhs {
+				if t := pass.TypesInfo.TypeOf(l); t != nil && isAtomicType(t) && copyable(l) {
+					if allow.IsTestFile(pass.Fset, l.Pos()) {
+						continue
+					}
+					allow.Reportf(pass, sup, l.Pos(),
+						"assignment overwrites atomic value %s (type %s) non-atomically; "+
+							"use its Store method", allow.ExprString(l), t.String())
+				}
+			}
+		case *ast.CallExpr:
+			for _, a := range n.Args {
+				report(a, "argument")
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				report(r, "return")
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					report(kv.Value, "composite literal")
+				} else {
+					report(el, "composite literal")
+				}
+			}
+		case *ast.ValueSpec:
+			for _, v := range n.Values {
+				report(v, "initialization")
+			}
+		case *ast.RangeStmt:
+			report(n.X, "range")
+		}
+	})
+}
+
+// atomicFns are the sync/atomic package-level accessors; their first
+// argument identifies the word that must be atomic everywhere.
+func isAtomicFnCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	return fn.Type().(*types.Signature).Recv() == nil
+}
+
+// checkMixedAccess collects every field passed by address to a
+// sync/atomic function, then flags any other direct use of those
+// fields.
+func checkMixedAccess(pass *analysis.Pass, ins *inspector.Inspector, sup *allow.Suppressor) {
+	atomicFields := map[types.Object]bool{}
+	inAtomicCall := map[ast.Node]bool{} // &x.f nodes inside atomic calls
+
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		if !isAtomicFnCall(pass, call) || len(call.Args) == 0 {
+			return
+		}
+		if u, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr); ok && u.Op.String() == "&" {
+			if se, ok := ast.Unparen(u.X).(*ast.SelectorExpr); ok {
+				if obj := pass.TypesInfo.Uses[se.Sel]; obj != nil {
+					if v, ok := obj.(*types.Var); ok && v.IsField() {
+						atomicFields[obj] = true
+						inAtomicCall[se] = true
+					}
+				}
+			}
+		}
+	})
+	if len(atomicFields) == 0 {
+		return
+	}
+
+	ins.Preorder([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node) {
+		se := n.(*ast.SelectorExpr)
+		obj := pass.TypesInfo.Uses[se.Sel]
+		if obj == nil || !atomicFields[obj] || inAtomicCall[se] {
+			return
+		}
+		if allow.IsTestFile(pass.Fset, se.Pos()) {
+			return
+		}
+		allow.Reportf(pass, sup, se.Pos(),
+			"non-atomic access to %s, elsewhere accessed via sync/atomic; "+
+				"every read and write of an atomic word must go through sync/atomic",
+			allow.ExprString(se))
+	})
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

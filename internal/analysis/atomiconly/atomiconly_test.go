@@ -1,0 +1,12 @@
+package atomiconly_test
+
+import (
+	"testing"
+
+	"howsim/internal/analysis/atest"
+	"howsim/internal/analysis/atomiconly"
+)
+
+func TestAtomicOnly(t *testing.T) {
+	atest.Run(t, "../testdata", atomiconly.Analyzer, "aofx")
+}

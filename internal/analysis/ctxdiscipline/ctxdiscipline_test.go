@@ -1,0 +1,13 @@
+package ctxdiscipline_test
+
+import (
+	"testing"
+
+	"howsim/internal/analysis/atest"
+	"howsim/internal/analysis/ctxdiscipline"
+)
+
+func TestCtxDiscipline(t *testing.T) {
+	atest.Run(t, "../testdata", ctxdiscipline.Analyzer,
+		"howsim/internal/service/cdfx", "howsim/internal/tasks/cdtfx")
+}

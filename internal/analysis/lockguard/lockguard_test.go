@@ -1,0 +1,12 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"howsim/internal/analysis/atest"
+	"howsim/internal/analysis/lockguard"
+)
+
+func TestLockGuard(t *testing.T) {
+	atest.Run(t, "../testdata", lockguard.Analyzer, "lgfx")
+}

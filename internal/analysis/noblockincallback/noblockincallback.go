@@ -54,6 +54,7 @@ var blockingProcMethods = map[string]bool{
 func run(pass *analysis.Pass) (any, error) {
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 	sup := allow.NewSuppressor(pass)
+	defer sup.ReportStale(pass)
 
 	// Pass 1: index this package's function bodies and collect callback
 	// registrations.

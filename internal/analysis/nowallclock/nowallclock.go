@@ -43,6 +43,7 @@ func run(pass *analysis.Pass) (any, error) {
 	}
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 	sup := allow.NewSuppressor(pass)
+	defer sup.ReportStale(pass)
 	ins.Preorder([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node) {
 		sel := n.(*ast.SelectorExpr)
 		if allow.IsTestFile(pass.Fset, sel.Pos()) {

@@ -54,6 +54,7 @@ var nilSafeSink = map[string]bool{
 func run(pass *analysis.Pass) (any, error) {
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 	sup := allow.NewSuppressor(pass)
+	defer sup.ReportStale(pass)
 
 	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
 		fd := n.(*ast.FuncDecl)

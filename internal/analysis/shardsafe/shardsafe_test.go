@@ -1,0 +1,12 @@
+package shardsafe_test
+
+import (
+	"testing"
+
+	"howsim/internal/analysis/atest"
+	"howsim/internal/analysis/shardsafe"
+)
+
+func TestShardSafe(t *testing.T) {
+	atest.Run(t, "../testdata", shardsafe.Analyzer, "ssfx/sim", "ssfx")
+}

@@ -14,6 +14,7 @@ package sortedrange
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 
@@ -27,7 +28,8 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "sortedrange",
 	Doc: "flag `for … range` over a map whose body reaches an output or accumulation sink " +
-		"(fmt.Fprint*, writer methods, probe emissions, appends to slices that are never sorted); " +
+		"(fmt.Fprint*, writer methods, writers escaping into render helpers, probe emissions, " +
+		"appends to slices that are never sorted); " +
 		"map order is randomized per run, so these sites break byte-identical output",
 	Requires: []*analysis.Analyzer{inspect.Analyzer},
 	Run:      run,
@@ -51,6 +53,7 @@ var probeMethods = map[string]bool{
 func run(pass *analysis.Pass) (any, error) {
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 	sup := allow.NewSuppressor(pass)
+	defer sup.ReportStale(pass)
 	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
 		fd := n.(*ast.FuncDecl)
 		if fd.Body == nil || allow.IsTestFile(pass.Fset, fd.Pos()) {
@@ -95,6 +98,11 @@ func checkMapRange(pass *analysis.Pass, sup *allow.Suppressor, fnBody *ast.Block
 			allow.Reportf(pass, sup, call.Pos(),
 				"probe emission while ranging over a map (order is randomized per run); "+
 					"iterate sorted keys instead")
+		case writerSinkCallee(pass, call) != "":
+			allow.Reportf(pass, sup, call.Pos(),
+				"writer passed to %s while ranging over a map (order is randomized per run); "+
+					"the callee commits bytes in iteration order — iterate sorted keys instead",
+				writerSinkCallee(pass, call))
 		default:
 			if obj := appendTarget(pass, call, rng); obj != nil && !sortedLater(pass, fnBody, rng, obj) {
 				allow.Reportf(pass, sup, call.Pos(),
@@ -133,6 +141,49 @@ func isOutputSink(pass *analysis.Pass, call *ast.CallExpr) bool {
 		return false
 	}
 	return sinkMethods[fn.Name()]
+}
+
+// writerIface is io.Writer built structurally, so the check needs no
+// dependency on the io package's export data.
+var writerIface = func() *types.Interface {
+	params := types.NewTuple(types.NewVar(token.NoPos, nil, "p", types.NewSlice(types.Typ[types.Byte])))
+	results := types.NewTuple(
+		types.NewVar(token.NoPos, nil, "n", types.Typ[types.Int]),
+		types.NewVar(token.NoPos, nil, "err", types.Universe.Lookup("error").Type()),
+	)
+	sig := types.NewSignatureType(nil, nil, nil, params, results, false)
+	iface := types.NewInterfaceType([]*types.Func{types.NewFunc(token.NoPos, nil, "Write", sig)}, nil)
+	iface.Complete()
+	return iface
+}()
+
+// writerSinkCallee returns the name of the named function or method
+// the call hands an io.Writer-shaped argument to, or "" if none. This
+// is the service tier's render-helper shape — hist.render(&b, name),
+// report writers taking a *strings.Builder — where the bytes are
+// committed one call deep: a writer escaping into a callee under map
+// order is as much a sink as writing here would be.
+func writerSinkCallee(pass *analysis.Pass, call *ast.CallExpr) string {
+	var fn *types.Func
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ = pass.TypesInfo.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+	}
+	if fn == nil {
+		return ""
+	}
+	for _, arg := range call.Args {
+		tv, ok := pass.TypesInfo.Types[arg]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if types.Implements(tv.Type, writerIface) {
+			return fn.Name()
+		}
+	}
+	return ""
 }
 
 // isProbeEmission reports whether call records into a probe.Ref (a

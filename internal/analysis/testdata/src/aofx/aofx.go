@@ -1,0 +1,84 @@
+// Fixture for the atomiconly analyzer: typed atomics are never copied,
+// and function-form atomics are never mixed with plain access.
+package aofx
+
+import "sync/atomic"
+
+// metrics is the repo's typed-atomic shape (service Metrics, shard
+// horizons).
+type metrics struct {
+	hits  atomic.Int64
+	ratio atomic.Value
+}
+
+func ok(m *metrics) int64 {
+	m.hits.Add(1) // ok: method call on the value
+	p := &m.hits  // ok: taking the address shares, not copies
+	_ = p
+	return m.hits.Load() // ok
+}
+
+func badAssign(m *metrics) {
+	h := m.hits // want `assignment copies atomic value m\.hits`
+	_ = h
+}
+
+func badArg(m *metrics) {
+	sink(m.hits) // want `argument copies atomic value m\.hits`
+}
+
+func sink(v atomic.Int64) int64 { return v.Load() }
+
+func badReturn(m *metrics) atomic.Int64 {
+	return m.hits // want `return copies atomic value m\.hits`
+}
+
+type snapshot struct {
+	n atomic.Int64
+}
+
+func badComposite(m *metrics) snapshot {
+	return snapshot{n: m.hits} // want `composite literal copies atomic value m\.hits`
+}
+
+func badStore(m *metrics, o *metrics) {
+	m.hits = o.hits // want `assignment overwrites atomic value m\.hits` `assignment copies atomic value o\.hits`
+}
+
+func okFresh() {
+	var v atomic.Int64 // ok: declaration, no copy
+	v.Store(1)
+}
+
+func allowedCopy(m *metrics) {
+	h := m.hits //howsim:allow atomiconly -- copying a quiesced counter after shutdown
+	_ = h
+}
+
+// legacy is the function-form shape: the field becomes atomic-only the
+// moment one access goes through sync/atomic.
+type legacy struct {
+	inflight int64
+	plain    int64
+}
+
+func (l *legacy) enter() {
+	atomic.AddInt64(&l.inflight, 1) // ok: sanctioned access
+}
+
+func (l *legacy) snapshotOK() int64 {
+	return atomic.LoadInt64(&l.inflight) // ok
+}
+
+func (l *legacy) badMixedRead() int64 {
+	return l.inflight // want `non-atomic access to l\.inflight`
+}
+
+func (l *legacy) badMixedWrite() {
+	l.inflight = 0 // want `non-atomic access to l\.inflight`
+}
+
+func (l *legacy) okPlainField() int64 {
+	l.plain++ // ok: never touched atomically
+	return l.plain
+}

@@ -1,0 +1,37 @@
+// Fixture for ctxdiscipline inside the tasks tier: rule 1 does not
+// apply (this is where direct kernel execution legitimately lives) but
+// rule 2 still does.
+package cdtfx
+
+import (
+	"context"
+
+	"howsim/internal/sim"
+)
+
+func step(k *sim.Kernel) {}
+
+// Direct kernel execution is this tier's job: not a finding here.
+func okDirectInTasks(k *sim.Kernel) {
+	k.Run()
+	k.RunUntil(100)
+}
+
+// The sliced-execution shape: poll between slices.
+func okSliced(ctx context.Context, k *sim.Kernel) error {
+	for i := 0; i < 100; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		k.RunUntil(int64(i) * 10)
+	}
+	return nil
+}
+
+// Accepting ctx and then spinning the kernel without polling is the
+// exact bug RunCtx exists to prevent.
+func badSliced(ctx context.Context, k *sim.Kernel) {
+	for i := 0; i < 100; i++ { // want `loop in badSliced calls out without polling its context`
+		k.RunUntil(int64(i) * 10)
+	}
+}

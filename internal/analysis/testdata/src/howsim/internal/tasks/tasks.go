@@ -1,0 +1,12 @@
+// Minimal stand-in for internal/tasks' entry points: RunCtx is the
+// sanctioned context-aware door, everything else Run* is not.
+package tasks
+
+import "context"
+
+type Result struct{}
+
+func Run(cfg any) (*Result, error)                         { return nil, nil }
+func RunDataset(cfg, ds any) (*Result, error)              { return nil, nil }
+func RunFaulted(cfg, plan any) (*Result, error)            { return nil, nil }
+func RunCtx(ctx context.Context, cfg any) (*Result, error) { return nil, nil }

@@ -1,0 +1,87 @@
+// Regression fixture mirroring internal/service/flight.go: fields of
+// one type guarded by a mutex on *another* type, named via the dotted
+// `// guarded by flightGroup.mu` form, accessed through the group's
+// methods and initialized via composite literal.
+package lgfx
+
+import "sync"
+
+type flightCall struct {
+	done chan struct{}
+
+	refs      int  // guarded by flightGroup.mu
+	finished  bool // guarded by flightGroup.mu
+	abandoned bool // guarded by flightGroup.mu; all waiters left pre-finish
+}
+
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+func (g *flightGroup) join(key string) (*flightCall, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.m[key]; ok && !c.abandoned { // ok: group lock held
+		c.refs++ // ok
+		return c, false
+	}
+	c := &flightCall{done: make(chan struct{}), refs: 1} // ok: composite literal
+	g.m[key] = c
+	return c, true
+}
+
+func (g *flightGroup) release(key string, c *flightCall) {
+	g.mu.Lock()
+	c.refs--
+	last := c.refs == 0 && !c.finished // ok
+	if last {
+		c.abandoned = true // ok
+		delete(g.m, key)
+	}
+	g.mu.Unlock()
+	if last {
+		close(c.done)
+	}
+}
+
+func (g *flightGroup) badPeek(c *flightCall) int {
+	return c.refs // want `c\.refs read without holding flightGroup\.mu`
+}
+
+func (g *flightGroup) badLateTouch(key string, c *flightCall) {
+	g.mu.Lock()
+	c.finished = true // ok
+	g.mu.Unlock()
+	c.abandoned = false // want `c\.abandoned written without holding flightGroup\.mu`
+}
+
+// shardLike mirrors internal/sim/shard.go: leaf-side fields guarded by
+// the owning group's mutex, reached through the sibling pointer field
+// g, plus the *Locked-suffix convention for helpers called under it.
+type shardLike struct {
+	g *groupLike
+
+	outstanding int // guarded by g.mu
+	nextAt      int // guarded by g.mu
+}
+
+type groupLike struct {
+	mu     sync.Mutex
+	shards []*shardLike
+}
+
+func (g *groupLike) drive(sh *shardLike) {
+	g.mu.Lock()
+	sh.outstanding++ // ok: guard resolves to groupLike.mu by type
+	g.mu.Unlock()
+	sh.nextAt = 7 // want `sh\.nextAt written without holding g\.mu`
+}
+
+func (g *groupLike) ownCapLocked(sh *shardLike) int {
+	return sh.outstanding + sh.nextAt // ok: *Locked convention
+}
+
+func (g *groupLike) badHelper(sh *shardLike) int {
+	return sh.outstanding // want `sh\.outstanding read without holding g\.mu`
+}

@@ -9,5 +9,5 @@ const KindBytes Kind = 0
 
 type Ref struct{}
 
-func (r Ref) On() bool            { return false }
+func (r Ref) On() bool              { return false }
 func (r Ref) Count(k Kind, n int64) {}

@@ -100,6 +100,40 @@ func cleanLocalTemp(m map[string][]int) int {
 	return n
 }
 
+// A helper that takes the writer commits bytes in iteration order
+// just as surely as writing here would: the render-helper shape.
+func renderRow(w io.Writer, k string) { fmt.Fprintln(w, k) }
+
+func badWriterEscape(w io.Writer, m map[string]int) {
+	for k := range m {
+		renderRow(w, k) // want `writer passed to renderRow while ranging over a map`
+	}
+}
+
+type table struct{}
+
+func (t *table) emit(b *strings.Builder, k string) { b.WriteString(k) }
+
+func badBuilderEscape(m map[string]int) string {
+	var b strings.Builder
+	t := &table{}
+	for k := range m {
+		t.emit(&b, k) // want `writer passed to emit while ranging over a map`
+	}
+	return b.String()
+}
+
+// No writer in the argument list: not a render helper.
+func classify(k string) int { return len(k) }
+
+func cleanNoWriterArg(m map[string]int) int {
+	n := 0
+	for k := range m {
+		n += classify(k)
+	}
+	return n
+}
+
 func allowedPrint(w io.Writer, m map[string]int) {
 	for k := range m {
 		//howsim:allow sortedrange -- debug dump, order-insensitive consumer

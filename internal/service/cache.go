@@ -13,8 +13,8 @@ import (
 type lru struct {
 	mu  sync.Mutex
 	cap int
-	ll  *list.List // front = most recently used
-	m   map[string]*list.Element
+	ll  *list.List               // guarded by mu; front = most recently used
+	m   map[string]*list.Element // guarded by mu
 }
 
 type lruEntry struct {

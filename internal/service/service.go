@@ -111,7 +111,7 @@ type Server struct {
 	baseCancel context.CancelFunc
 
 	drainMu  sync.RWMutex // write-held by Close so no submit races pool.close
-	draining bool
+	draining bool         // guarded by drainMu
 
 	mux *http.ServeMux
 }

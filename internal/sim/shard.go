@@ -270,12 +270,12 @@ type Shard struct {
 	// outstanding counts calls posted and not yet completed; nextAt,
 	// hasNext, nextSched and nextAnc are the hub-side view of a parked
 	// leaf's earliest remaining item (local event or undelivered
-	// rendezvous resume) and its scheduling key. All guarded by g.mu.
-	outstanding int
-	nextAt      Time
-	hasNext     bool
-	nextSched   Time
-	nextAnc     lineage
+	// rendezvous resume) and its scheduling key.
+	outstanding int     // guarded by g.mu
+	nextAt      Time    // guarded by g.mu
+	hasNext     bool    // guarded by g.mu
+	nextSched   Time    // guarded by g.mu
+	nextAnc     lineage // guarded by g.mu
 
 	cmds    chan leafCmd
 	replies chan leafStatus
@@ -510,7 +510,7 @@ type ShardGroup struct {
 
 	mu    sync.Mutex
 	cond  *sync.Cond
-	inbox horizonQueue
+	inbox horizonQueue // guarded by mu
 	// want is the timestamp the hub is currently stalled on (or
 	// horizonInfinity): a leaf whose published horizon crosses it
 	// broadcasts the condition variable. Keeping the threshold in an
