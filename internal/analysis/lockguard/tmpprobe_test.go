@@ -1,0 +1,13 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"golang.org/x/tools/go/analysis/analysistest"
+
+	"howsim/internal/analysis/lockguard"
+)
+
+func TestTmpProbe(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockguard.Analyzer, "tmpprobe")
+}

@@ -1,0 +1,18 @@
+package lgprobe
+
+import "sync"
+
+type c struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (x *c) f(b bool) {
+	switch {
+	case b:
+		break
+	default:
+		break
+	}
+	x.n++ // unguarded access AFTER the switch — should be flagged
+}
